@@ -1,0 +1,173 @@
+//! Criterion micro-benchmarks: the instrumentation hot path (the paper's
+//! low-overhead claim rests on it), the bound processor, table lookups,
+//! interval math, and end-to-end simulator throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use overlap_core::{
+    ManualClock, Recorder, RecorderOpts, SizeBins, XferTimeTable,
+};
+use simcore::IntervalSet;
+
+fn flat_table() -> XferTimeTable {
+    XferTimeTable::sample(1, 8 << 20, |b| 5_000 + b)
+}
+
+/// The per-message recorder cost: CALL_ENTER + XFER_BEGIN + CALL_EXIT +
+/// CALL_ENTER + XFER_END + CALL_EXIT — what every instrumented send pays.
+fn bench_recorder_hot_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recorder");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("message_cycle", |b| {
+        let clock = ManualClock::new();
+        let mut rec = Recorder::new(
+            0,
+            Box::new(clock.clone()),
+            flat_table(),
+            RecorderOpts::default(),
+        );
+        let mut id = 0u64;
+        b.iter(|| {
+            clock.advance(100);
+            rec.call_enter("MPI_Isend");
+            rec.xfer_begin(id, 4096);
+            clock.advance(10);
+            rec.call_exit();
+            clock.advance(500);
+            rec.call_enter("MPI_Wait");
+            rec.xfer_end(id, 4096);
+            clock.advance(10);
+            rec.call_exit();
+            id += 1;
+        });
+    });
+    g.bench_function("disabled_noop", |b| {
+        let clock = ManualClock::new();
+        let mut rec = Recorder::new(
+            0,
+            Box::new(clock.clone()),
+            flat_table(),
+            RecorderOpts {
+                enabled: false,
+                ..Default::default()
+            },
+        );
+        b.iter(|| {
+            rec.call_enter("MPI_Isend");
+            rec.xfer_begin(1, 4096);
+            rec.call_exit();
+        });
+    });
+    g.finish();
+}
+
+/// Data-processing module throughput: events folded per second, across
+/// queue capacities (the DESIGN.md §6 queue ablation's timing face).
+fn bench_processor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("processor");
+    for capacity in [64usize, 4096] {
+        g.throughput(Throughput::Elements(6 * 1000));
+        g.bench_function(format!("fold_1000_msgs_cap{capacity}"), |b| {
+            b.iter_batched(
+                || {
+                    let clock = ManualClock::new();
+                    let rec = Recorder::new(
+                        0,
+                        Box::new(clock.clone()),
+                        flat_table(),
+                        RecorderOpts {
+                            queue_capacity: capacity,
+                            bins: SizeBins::default(),
+                            enabled: true,
+                        },
+                    );
+                    (clock, rec)
+                },
+                |(clock, mut rec)| {
+                    for id in 0..1000u64 {
+                        clock.advance(100);
+                        rec.call_enter("MPI_Isend");
+                        rec.xfer_begin(id, 10_240);
+                        rec.call_exit();
+                        clock.advance(400);
+                        rec.call_enter("MPI_Wait");
+                        rec.xfer_end(id, 10_240);
+                        rec.call_exit();
+                    }
+                    rec.finish()
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_table_lookup(c: &mut Criterion) {
+    let table = flat_table();
+    let mut g = c.benchmark_group("xfer_table");
+    g.bench_function("lookup_interpolated", |b| {
+        let mut x = 1u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            std::hint::black_box(table.lookup((x % (4 << 20)) + 1))
+        });
+    });
+    g.finish();
+}
+
+fn bench_intervals(c: &mut Criterion) {
+    let a = IntervalSet::from_unsorted((0..1000).map(|i| (i * 100, i * 100 + 60)).collect());
+    let bset = IntervalSet::from_unsorted((0..1000).map(|i| (i * 97 + 13, i * 97 + 55)).collect());
+    let mut g = c.benchmark_group("intervals");
+    g.bench_function("intersect_1000x1000", |b| {
+        b.iter(|| std::hint::black_box(a.intersect(&bset)).total());
+    });
+    g.bench_function("overlap_with_window", |b| {
+        b.iter(|| std::hint::black_box(a.overlap_with(25_000, 75_000)));
+    });
+    g.finish();
+}
+
+/// End-to-end simulated ping-pong throughput (engine + fabric + library +
+/// instrumentation together).
+fn bench_sim_pingpong(c: &mut Criterion) {
+    use overlap_core::RecorderOpts;
+    use simmpi::{run_mpi, MpiConfig, Src, TagSel};
+    use simnet::NetConfig;
+    let mut g = c.benchmark_group("simulation");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(200));
+    g.bench_function("pingpong_200_msgs", |b| {
+        b.iter(|| {
+            run_mpi(
+                2,
+                NetConfig::default(),
+                MpiConfig::default(),
+                RecorderOpts::default(),
+                |mpi| {
+                    for i in 0..100 {
+                        if mpi.rank() == 0 {
+                            mpi.send(1, i, &[1u8; 1024]);
+                            mpi.recv(Src::Rank(1), TagSel::Is(i + 1000));
+                        } else {
+                            mpi.recv(Src::Rank(0), TagSel::Is(i));
+                            mpi.send(0, i + 1000, &[2u8; 1024]);
+                        }
+                    }
+                },
+            )
+            .unwrap()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_recorder_hot_path,
+    bench_processor,
+    bench_table_lookup,
+    bench_intervals,
+    bench_sim_pingpong
+);
+criterion_main!(benches);

@@ -1,0 +1,466 @@
+//! Ablation studies for the design choices called out in `DESIGN.md` §6.
+
+use overlap_core::{RecorderOpts, SizeBins, XferTimeTable};
+use simmpi::{default_xfer_table, run_mpi, run_mpi_with, MpiConfig, Src, TagSel};
+use simnet::NetConfig;
+
+use crate::{pct, Series};
+
+/// Eager-threshold sweep: the *receiver-side* overlap cliff for a fixed
+/// message size. Below the threshold the message arrives eagerly and the
+/// receiver's bound allows full overlap (case 3); above it, the rendezvous
+/// is only noticed inside the wait and overlap collapses to zero (case 1) —
+/// the protocol-boundary effect behind the paper's short-vs-long contrasts.
+pub fn ablation_eager_threshold() -> Series {
+    let bytes = 32 << 10;
+    let mut rows = Vec::new();
+    for threshold in [4 << 10, 16 << 10, 32 << 10, 64 << 10] {
+        let cfg = MpiConfig {
+            eager_threshold: threshold,
+            ..MpiConfig::open_mpi_leave_pinned()
+        };
+        let out = run_mpi(
+            2,
+            NetConfig::default(),
+            cfg,
+            RecorderOpts::default(),
+            move |mpi| {
+                for i in 0..50 {
+                    if mpi.rank() == 0 {
+                        mpi.send(1, i, &vec![1u8; bytes]);
+                    } else {
+                        let r = mpi.irecv(Src::Rank(0), TagSel::Is(i));
+                        mpi.compute(200_000);
+                        mpi.wait(r);
+                    }
+                    mpi.barrier();
+                }
+            },
+        )
+        .expect("run failed");
+        let r = &out.reports[1];
+        rows.push(vec![
+            (threshold >> 10).to_string(),
+            pct(r.total.min_pct()),
+            pct(r.total.max_pct()),
+            format!("{:.1}", r.calls["MPI_Wait"].avg() / 1e3),
+        ]);
+    }
+    Series {
+        id: "ablation-eager",
+        title: "Receiver overlap of a 32 KB message vs eager threshold".to_string(),
+        columns: ["threshold_KB", "rcv_min%", "rcv_max%", "wait_us"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
+/// Fragment-size sweep for the pipelined scheme: the overlappable share is
+/// exactly the first fragment's fraction of the message.
+pub fn ablation_fragment_size() -> Series {
+    let bytes = 1 << 20;
+    let mut rows = Vec::new();
+    for frag in [32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10] {
+        let cfg = MpiConfig {
+            fragment_size: frag,
+            ..MpiConfig::open_mpi_pipelined()
+        };
+        let out = run_mpi(
+            2,
+            NetConfig::default(),
+            cfg,
+            RecorderOpts::default(),
+            move |mpi| {
+                for i in 0..20 {
+                    if mpi.rank() == 0 {
+                        let r = mpi.isend(1, i, &vec![1u8; bytes]);
+                        mpi.compute(2_000_000);
+                        mpi.wait(r);
+                    } else {
+                        mpi.recv(Src::Rank(0), TagSel::Is(i));
+                    }
+                    mpi.barrier();
+                }
+            },
+        )
+        .expect("run failed");
+        rows.push(vec![
+            (frag >> 10).to_string(),
+            pct(out.reports[0].total.max_pct()),
+            pct(100.0 * frag as f64 / bytes as f64),
+        ]);
+    }
+    Series {
+        id: "ablation-frag",
+        title: "Pipelined sender max overlap vs fragment size (1 MB message)".to_string(),
+        columns: ["frag_KB", "snd_max%", "first_frag_share%"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
+/// Probe-frequency sweep (the SP tuning knob): receiver overlap vs number of
+/// `MPI_Iprobe` calls inserted into the computation region.
+pub fn ablation_iprobe_count() -> Series {
+    let mut rows = Vec::new();
+    for probes in [0usize, 1, 2, 4, 8, 16] {
+        let out = run_mpi(
+            2,
+            NetConfig::default(),
+            MpiConfig::mvapich2(),
+            RecorderOpts::default(),
+            move |mpi| {
+                for i in 0..20 {
+                    if mpi.rank() == 0 {
+                        mpi.send(1, i, &vec![1u8; 1 << 20]);
+                    } else {
+                        let r = mpi.irecv(Src::Rank(0), TagSel::Is(i));
+                        let chunk = 1_500_000 / (probes as u64 + 1);
+                        for _ in 0..probes {
+                            mpi.compute(chunk);
+                            mpi.iprobe(Src::Any, TagSel::Any);
+                        }
+                        mpi.compute(chunk);
+                        mpi.wait(r);
+                    }
+                    mpi.barrier();
+                }
+            },
+        )
+        .expect("run failed");
+        let r = &out.reports[1];
+        rows.push(vec![
+            probes.to_string(),
+            pct(r.total.min_pct()),
+            pct(r.total.max_pct()),
+            format!("{:.1}", r.calls["MPI_Wait"].avg() / 1e3),
+        ]);
+    }
+    Series {
+        id: "ablation-iprobe",
+        title: "Receiver overlap vs inserted Iprobe count (1 MB direct RDMA)".to_string(),
+        columns: ["iprobes", "rcv_min%", "rcv_max%", "wait_us"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
+/// Transfer-table resolution: bound tightness (max−min gap) against ground
+/// truth as the a-priori table gets coarser.
+pub fn ablation_table_resolution() -> Series {
+    let net = NetConfig::default();
+    let dense = default_xfer_table(&net);
+    let sparse = XferTimeTable::from_points(vec![
+        (1, net.transfer_time(1)),
+        (1 << 20, net.transfer_time(1 << 20)),
+    ]);
+    let constant = XferTimeTable::from_points(vec![(1, net.transfer_time(64 << 10))]);
+    let mut rows = Vec::new();
+    for (name, table) in [("dense", dense), ("two-point", sparse), ("constant", constant)] {
+        let out = run_mpi_with(
+            2,
+            net.clone(),
+            MpiConfig::open_mpi_leave_pinned(),
+            RecorderOpts::default(),
+            table,
+            simcore::SimOpts::default(),
+            move |mpi| {
+                let mut shared = 1u64;
+                for i in 0..30 {
+                    let bytes = [4 << 10, 64 << 10, 512 << 10][(shared % 3) as usize];
+                    shared = shared.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    if mpi.rank() == 0 {
+                        let r = mpi.isend(1, i, &vec![1u8; bytes]);
+                        mpi.compute(800_000);
+                        mpi.wait(r);
+                    } else {
+                        let r = mpi.irecv(Src::Rank(0), TagSel::Is(i));
+                        mpi.compute(400_000);
+                        mpi.wait(r);
+                        mpi.iprobe(Src::Any, TagSel::Any);
+                    }
+                    mpi.barrier();
+                }
+            },
+        )
+        .expect("run failed");
+        let r = &out.reports[0].total;
+        let truth = out.true_overlap(0);
+        rows.push(vec![
+            name.to_string(),
+            pct(r.min_pct()),
+            pct(r.max_pct()),
+            format!("{:.1}", (r.max_overlap - r.min_overlap) as f64 / 1e6),
+            format!("{:.1}", truth as f64 / 1e6),
+        ]);
+    }
+    Series {
+        id: "ablation-table",
+        title: "Bound tightness vs a-priori table resolution".to_string(),
+        columns: ["table", "min%", "max%", "gap_ms", "true_ms"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
+/// Recorder queue-capacity sweep: flush count vs identical aggregates.
+pub fn ablation_queue_capacity() -> Series {
+    let mut rows = Vec::new();
+    for cap in [16usize, 256, 4096, 65536] {
+        let rec = RecorderOpts {
+            queue_capacity: cap,
+            bins: SizeBins::default(),
+            enabled: true,
+        };
+        let out = run_mpi(
+            2,
+            NetConfig::default(),
+            MpiConfig::default(),
+            rec,
+            |mpi| {
+                for i in 0..200 {
+                    if mpi.rank() == 0 {
+                        let r = mpi.isend(1, i, &[1u8; 4096]);
+                        mpi.compute(30_000);
+                        mpi.wait(r);
+                    } else {
+                        mpi.recv(Src::Rank(0), TagSel::Is(i));
+                    }
+                }
+            },
+        )
+        .expect("run failed");
+        let r = &out.reports[0];
+        rows.push(vec![
+            cap.to_string(),
+            r.queue_flushes.to_string(),
+            r.events_recorded.to_string(),
+            pct(r.total.max_pct()),
+        ]);
+    }
+    Series {
+        id: "ablation-queue",
+        title: "Event-queue capacity vs flush count (results invariant)".to_string(),
+        columns: ["capacity", "flushes", "events", "snd_max%"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
+/// Incast contention: `n` senders push to rank 0 simultaneously. With
+/// ingress contention modeled, physical durations stretch past the idle
+/// a-priori table — the `congestion_excess` slack that loosens the upper
+/// bound. Demonstrates the bound semantics under load.
+pub fn ablation_incast() -> Series {
+    let mut rows = Vec::new();
+    for contention in [false, true] {
+        for senders in [1usize, 3, 7] {
+            let net = simnet::NetConfig {
+                model_ingress_contention: contention,
+                ..simnet::NetConfig::infiniband_2006()
+            };
+            let out = run_mpi(
+                senders + 1,
+                net.clone(),
+                MpiConfig::mvapich2(),
+                RecorderOpts::default(),
+                move |mpi| {
+                    if mpi.rank() == 0 {
+                        let reqs: Vec<_> = (1..=senders)
+                            .map(|s| mpi.irecv(Src::Rank(s), TagSel::Is(7)))
+                            .collect();
+                        mpi.waitall(&reqs);
+                    } else {
+                        let r = mpi.isend(0, 7, &vec![1u8; 256 << 10]);
+                        mpi.compute(600_000);
+                        mpi.wait(r);
+                    }
+                },
+            )
+            .expect("run failed");
+            let table = default_xfer_table(&net);
+            let slack: u64 = (1..=senders).map(|r| out.congestion_excess(r, &table)).sum();
+            let r1 = &out.reports[1];
+            rows.push(vec![
+                if contention { "on" } else { "off" }.to_string(),
+                senders.to_string(),
+                pct(r1.total.min_pct()),
+                pct(r1.total.max_pct()),
+                format!("{:.1}", slack as f64 / 1e3),
+            ]);
+        }
+    }
+    Series {
+        id: "ablation-incast",
+        title: "Incast: sender bounds and congestion slack vs fan-in".to_string(),
+        columns: ["ingress", "senders", "snd1_min%", "snd1_max%", "slack_us"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
+/// Effective bandwidth vs message size, per protocol configuration — the
+/// classic companion curve to the overlap plots (what a `perf_main`-style
+/// sweep would show for the *library* rather than the raw fabric).
+pub fn ablation_bandwidth() -> Series {
+    let mut rows = Vec::new();
+    for size in [1usize << 10, 8 << 10, 64 << 10, 512 << 10, 4 << 20] {
+        let mut row = vec![if size >= 1 << 20 {
+            format!("{}M", size >> 20)
+        } else {
+            format!("{}K", size >> 10)
+        }];
+        for cfg in [MpiConfig::open_mpi_pipelined(), MpiConfig::open_mpi_leave_pinned()] {
+            let reps = 10usize;
+            let out = run_mpi(
+                2,
+                NetConfig::default(),
+                cfg,
+                RecorderOpts::default(),
+                move |mpi| {
+                    // Steady-state one-way stream with a closing ack.
+                    if mpi.rank() == 0 {
+                        for i in 0..reps {
+                            mpi.send(1, i as u64, &vec![1u8; size]);
+                        }
+                        mpi.recv(Src::Rank(1), TagSel::Is(999));
+                    } else {
+                        for i in 0..reps {
+                            mpi.recv(Src::Rank(0), TagSel::Is(i as u64));
+                        }
+                        mpi.send(0, 999, &[0u8; 8]);
+                    }
+                },
+            )
+            .expect("run failed");
+            let bytes = (size * reps) as f64;
+            // Exclude init/finalize sync by using the data-only span from
+            // ground truth records.
+            let start = out.transfers.iter().map(|t| t.phys_start).min().unwrap();
+            let end = out.transfers.iter().map(|t| t.phys_end).max().unwrap();
+            let gbps = bytes / (end - start) as f64; // bytes per ns == GB/s
+            row.push(format!("{gbps:.3}"));
+        }
+        rows.push(row);
+    }
+    Series {
+        id: "ablation-bandwidth",
+        title: "Library streaming bandwidth vs message size (GB/s; fabric peak 1.0)"
+            .to_string(),
+        columns: ["size", "pipelined", "direct_read"].map(String::from).to_vec(),
+        rows,
+    }
+}
+
+/// The message-size breakdown the paper gathered for every NAS benchmark
+/// but omitted "due to space considerations" (Sec. 4): per-bin min/max
+/// overlap for process 0 at class A, np = 4.
+pub fn extra_nas_bins() -> Series {
+    use nasbench::runner::{run_benchmark, NasBenchmark};
+    use nasbench::Class;
+    let mut rows = Vec::new();
+    for bench in [
+        NasBenchmark::Bt,
+        NasBenchmark::Cg,
+        NasBenchmark::Lu,
+        NasBenchmark::Ft,
+        NasBenchmark::Sp,
+    ] {
+        let art = run_benchmark(bench, Class::A, 4, NetConfig::default(), RecorderOpts::default());
+        let r = &art.reports()[0];
+        for (label, b) in r.bin_labels.iter().zip(&r.by_bin) {
+            if b.transfers == 0 {
+                continue;
+            }
+            rows.push(vec![
+                bench.name().to_string(),
+                label.clone(),
+                b.transfers.to_string(),
+                pct(b.min_pct()),
+                pct(b.max_pct()),
+                format!("{:.2}", b.nonoverlapped_min() as f64 / 1e6),
+            ]);
+        }
+    }
+    Series {
+        id: "extra-bins",
+        title: "NAS per-message-size breakdown (class A, np=4, process 0)".to_string(),
+        columns: ["bench", "size_bin", "n", "min%", "max%", "non_ovl_ms"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
+/// The paper's closing wish (Sec. 2.2/6): "if it were possible to obtain
+/// time-stamps on data transfers from the network interface card, a more
+/// precise characterization would be possible." The simulator *has* those
+/// timestamps (ground truth), so this harness quantifies exactly what NIC
+/// support would buy: the true overlap sits between the host-side bounds,
+/// and the bound gap is the measurement uncertainty NIC timestamps would
+/// remove.
+pub fn extra_nic_timestamps() -> Series {
+    let net = NetConfig::default();
+    let mut rows = Vec::new();
+    for compute_us in [100u64, 400, 700, 1000, 1300] {
+        let out = run_mpi(
+            2,
+            net.clone(),
+            MpiConfig::open_mpi_leave_pinned(),
+            RecorderOpts::default(),
+            move |mpi| {
+                for i in 0..30 {
+                    if mpi.rank() == 0 {
+                        let r = mpi.isend(1, i, &vec![1u8; 1 << 20]);
+                        mpi.compute(compute_us * 1_000);
+                        mpi.wait(r);
+                    } else {
+                        mpi.recv(Src::Rank(0), TagSel::Is(i));
+                    }
+                    mpi.barrier();
+                }
+            },
+        )
+        .expect("run failed");
+        let r = &out.reports[0].total;
+        let truth = out.true_overlap(0);
+        let true_pct = 100.0 * truth as f64 / r.data_transfer_time as f64;
+        rows.push(vec![
+            compute_us.to_string(),
+            pct(r.min_pct()),
+            pct(true_pct),
+            pct(r.max_pct()),
+            pct(r.max_pct() - r.min_pct()),
+        ]);
+    }
+    Series {
+        id: "extra-nic-timestamps",
+        title: "Host-side bounds vs NIC-timestamp ground truth (1 MB direct RDMA sender)"
+            .to_string(),
+        columns: ["compute_us", "min%", "TRUE%", "max%", "uncertainty%"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
+/// All ablations.
+pub fn all() -> Vec<(&'static str, crate::HarnessFn)> {
+    vec![
+        ("ablation-eager", ablation_eager_threshold as crate::HarnessFn),
+        ("ablation-frag", ablation_fragment_size),
+        ("ablation-iprobe", ablation_iprobe_count),
+        ("ablation-table", ablation_table_resolution),
+        ("ablation-queue", ablation_queue_capacity),
+        ("ablation-incast", ablation_incast),
+        ("ablation-bandwidth", ablation_bandwidth),
+        ("extra-bins", extra_nas_bins),
+        ("extra-nic-timestamps", extra_nic_timestamps),
+    ]
+}

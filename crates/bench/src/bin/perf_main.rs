@@ -1,0 +1,83 @@
+//! `perf_main` — the a-priori transfer-time table generator.
+//!
+//! The paper used Mellanox's `perf_main` utility "a priori to characterize
+//! data transfer times for various message sizes"; the resulting
+//! disk-resident file is read into memory at `MPI_Init`. This binary is the
+//! suite's equivalent: it *measures* transfer times on the simulated fabric
+//! with raw RDMA writes (no library protocol overhead) and writes the table
+//! as JSON.
+//!
+//! ```text
+//! cargo run -p bench --bin perf_main -- [output.json]
+//! ```
+
+use std::sync::{Arc, Mutex};
+
+use overlap_core::XferTimeTable;
+use simcore::SimOpts;
+use simnet::{Cluster, NetConfig, RegionId};
+
+fn measure(net: NetConfig, sizes: Vec<usize>) -> Vec<(u64, u64)> {
+    let results: Arc<Mutex<Vec<(u64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+    let results_in = Arc::clone(&results);
+    let sizes_target = sizes.clone();
+    let cluster = Cluster::new(2, net);
+    cluster
+        .run(SimOpts::default(), move |ctx, world| {
+            if ctx.rank() == 1 {
+                let mut w = world.lock();
+                for &sz in &sizes_target {
+                    w.register(1, vec![0u8; sz]);
+                }
+                return;
+            }
+            ctx.compute(1_000_000); // let the target register its regions
+            for (i, &sz) in sizes_target.iter().enumerate() {
+                let t0 = ctx.now();
+                {
+                    let mut w = world.lock();
+                    w.post_rdma_write(
+                        0,
+                        1,
+                        RegionId(i as u64),
+                        0,
+                        bytes::Bytes::from(vec![0u8; sz]),
+                        0,
+                        None,
+                        None,
+                    );
+                }
+                loop {
+                    if world.lock().poll_cq(0).is_some() {
+                        break;
+                    }
+                    ctx.park();
+                }
+                results_in.lock().unwrap().push((sz as u64, ctx.now() - t0));
+            }
+        })
+        .expect("measurement run failed");
+    Arc::try_unwrap(results).unwrap().into_inner().unwrap()
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "xfer_table.json".to_string());
+    let mut sizes: Vec<usize> = Vec::new();
+    let mut b = 1usize;
+    while b <= 8 << 20 {
+        sizes.push(b);
+        b *= 2;
+    }
+    let points = measure(NetConfig::default(), sizes);
+    println!("{:>10}  {:>12}", "bytes", "xfer_ns");
+    for &(sz, t) in &points {
+        println!("{sz:>10}  {t:>12}");
+    }
+    let table = XferTimeTable::from_points(points);
+    table
+        .save(std::path::Path::new(&out_path))
+        .expect("failed to write table");
+    println!("wrote {out_path}");
+}

@@ -1,0 +1,48 @@
+//! Figure-reproduction CLI.
+//!
+//! ```text
+//! repro               # run every figure and ablation
+//! repro fig05 fig18   # run selected harnesses
+//! repro ablations     # run only the ablation studies
+//! repro list          # list available harnesses
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let figures = bench::figures::all();
+    let ablations = bench::ablations::all();
+
+    if args.iter().any(|a| a == "list") {
+        println!("figures:");
+        for (id, _) in &figures {
+            println!("  {id}");
+        }
+        println!("ablations:");
+        for (id, _) in &ablations {
+            println!("  {id}");
+        }
+        return;
+    }
+
+    let only_ablations = args.iter().any(|a| a == "ablations");
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| *a != "ablations")
+        .map(String::as_str)
+        .collect();
+
+    if !only_ablations {
+        for (id, f) in &figures {
+            if wanted.is_empty() || wanted.contains(id) {
+                print!("{}", f().render());
+                println!();
+            }
+        }
+    }
+    for (id, f) in &ablations {
+        if (wanted.is_empty() && args.is_empty()) || only_ablations || wanted.contains(id) {
+            print!("{}", f().render());
+            println!();
+        }
+    }
+}

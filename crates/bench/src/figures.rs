@@ -1,0 +1,512 @@
+//! Reproduction harnesses for every figure in the paper's evaluation.
+
+use std::time::Instant;
+
+use nasbench::runner::{run_benchmark, summarize, NasBenchmark};
+use nasbench::sp::SP_OVERLAP_SECTION;
+use nasbench::Class;
+use overlap_core::RecorderOpts;
+use simmpi::MpiConfig;
+use simnet::NetConfig;
+
+use crate::micro::{overlap_sweep, MicroPoint, Pairing};
+use crate::{f_ms, f_us, pct, Series};
+
+/// Transfers per microbenchmark point (paper used 1000; percentages are
+/// per-transfer averages, so a few hundred suffice).
+const MICRO_REPS: usize = 200;
+
+fn micro_series(
+    id: &'static str,
+    title: &str,
+    cfg: MpiConfig,
+    bytes: usize,
+    computes_us: &[u64],
+    pairing: Pairing,
+    show: Side,
+) -> Series {
+    let computes_ns: Vec<u64> = computes_us.iter().map(|&c| c * 1_000).collect();
+    let points = overlap_sweep(cfg, bytes, MICRO_REPS, &computes_ns, pairing);
+    let mut columns = vec!["compute_us".to_string()];
+    match show {
+        Side::Sender => columns.extend(
+            ["snd_min%", "snd_max%", "snd_wait_us"].map(String::from),
+        ),
+        Side::Receiver => columns.extend(
+            ["rcv_min%", "rcv_max%", "rcv_wait_us"].map(String::from),
+        ),
+        Side::Both => columns.extend(
+            [
+                "snd_min%",
+                "snd_max%",
+                "snd_wait_us",
+                "rcv_min%",
+                "rcv_max%",
+                "rcv_wait_us",
+            ]
+            .map(String::from),
+        ),
+    }
+    let rows = points
+        .iter()
+        .map(|p: &MicroPoint| {
+            let mut row = vec![format!("{}", p.compute_ns / 1_000)];
+            match show {
+                Side::Sender => row.extend([pct(p.snd_min), pct(p.snd_max), f_us(p.snd_wait_ns)]),
+                Side::Receiver => row.extend([pct(p.rcv_min), pct(p.rcv_max), f_us(p.rcv_wait_ns)]),
+                Side::Both => row.extend([
+                    pct(p.snd_min),
+                    pct(p.snd_max),
+                    f_us(p.snd_wait_ns),
+                    pct(p.rcv_min),
+                    pct(p.rcv_max),
+                    f_us(p.rcv_wait_ns),
+                ]),
+            }
+            row
+        })
+        .collect();
+    Series {
+        id,
+        title: title.to_string(),
+        columns,
+        rows,
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Side {
+    Sender,
+    Receiver,
+    Both,
+}
+
+const LONG_COMPUTES_US: [u64; 8] = [0, 250, 500, 750, 1000, 1250, 1500, 1750];
+
+/// Fig. 3: eager exchange (10 KB), Isend–Irecv, both sides.
+pub fn fig03() -> Series {
+    micro_series(
+        "fig03",
+        "Isend-Irecv, eager protocol, 10 KB",
+        MpiConfig::open_mpi_pipelined(),
+        10 << 10,
+        &[0, 5, 10, 15, 20, 25, 30],
+        Pairing::IsendIrecv,
+        Side::Both,
+    )
+}
+
+/// Fig. 4: Isend–Recv under pipelined RDMA (1 MB), sender side.
+pub fn fig04() -> Series {
+    micro_series(
+        "fig04",
+        "Isend-Recv, pipelined RDMA, 1 MB (sender)",
+        MpiConfig::open_mpi_pipelined(),
+        1 << 20,
+        &LONG_COMPUTES_US,
+        Pairing::IsendRecv,
+        Side::Sender,
+    )
+}
+
+/// Fig. 5: Isend–Recv under direct RDMA (1 MB), sender side.
+pub fn fig05() -> Series {
+    micro_series(
+        "fig05",
+        "Isend-Recv, direct RDMA, 1 MB (sender)",
+        MpiConfig::open_mpi_leave_pinned(),
+        1 << 20,
+        &LONG_COMPUTES_US,
+        Pairing::IsendRecv,
+        Side::Sender,
+    )
+}
+
+/// Fig. 6: Send–Irecv under pipelined RDMA (1 MB), receiver side.
+pub fn fig06() -> Series {
+    micro_series(
+        "fig06",
+        "Send-Irecv, pipelined RDMA, 1 MB (receiver)",
+        MpiConfig::open_mpi_pipelined(),
+        1 << 20,
+        &LONG_COMPUTES_US,
+        Pairing::SendIrecv,
+        Side::Receiver,
+    )
+}
+
+/// Fig. 7: Send–Irecv under direct RDMA (1 MB), receiver side.
+pub fn fig07() -> Series {
+    micro_series(
+        "fig07",
+        "Send-Irecv, direct RDMA, 1 MB (receiver)",
+        MpiConfig::open_mpi_leave_pinned(),
+        1 << 20,
+        &LONG_COMPUTES_US,
+        Pairing::SendIrecv,
+        Side::Receiver,
+    )
+}
+
+/// Fig. 8: Isend–Irecv under pipelined RDMA (1 MB), both sides.
+pub fn fig08() -> Series {
+    micro_series(
+        "fig08",
+        "Isend-Irecv, pipelined RDMA, 1 MB",
+        MpiConfig::open_mpi_pipelined(),
+        1 << 20,
+        &LONG_COMPUTES_US,
+        Pairing::IsendIrecv,
+        Side::Both,
+    )
+}
+
+/// Fig. 9: Isend–Irecv under direct RDMA (1 MB), both sides.
+pub fn fig09() -> Series {
+    micro_series(
+        "fig09",
+        "Isend-Irecv, direct RDMA, 1 MB",
+        MpiConfig::open_mpi_leave_pinned(),
+        1 << 20,
+        &LONG_COMPUTES_US,
+        Pairing::IsendIrecv,
+        Side::Both,
+    )
+}
+
+fn nas_series(
+    id: &'static str,
+    title: &str,
+    bench: NasBenchmark,
+    cases: &[(Class, usize)],
+) -> Series {
+    let mut rows = Vec::new();
+    for &(class, np) in cases {
+        let art = run_benchmark(bench, class, np, NetConfig::default(), RecorderOpts::default());
+        let s = summarize(bench, class, np, &art);
+        rows.push(vec![
+            class.to_string(),
+            np.to_string(),
+            pct(s.min_pct),
+            pct(s.max_pct),
+            f_ms(s.data_transfer_ms),
+            f_ms(s.comm_call_ms),
+            s.transfers.to_string(),
+        ]);
+    }
+    Series {
+        id,
+        title: title.to_string(),
+        columns: [
+            "class",
+            "np",
+            "min_ovl%",
+            "max_ovl%",
+            "xfer_ms",
+            "mpi_ms",
+            "transfers",
+        ]
+        .map(String::from)
+        .to_vec(),
+        rows,
+    }
+}
+
+/// Fig. 10: NAS BT overlap characterization (Open MPI, pipelined).
+pub fn fig10() -> Series {
+    nas_series(
+        "fig10",
+        "NAS BT overlap (Open-MPI-like pipelined)",
+        NasBenchmark::Bt,
+        &[
+            (Class::A, 4),
+            (Class::A, 9),
+            (Class::A, 16),
+            (Class::B, 4),
+            (Class::B, 9),
+            (Class::B, 16),
+        ],
+    )
+}
+
+/// Fig. 11: NAS CG overlap characterization (Open MPI, pipelined).
+pub fn fig11() -> Series {
+    nas_series(
+        "fig11",
+        "NAS CG overlap (Open-MPI-like pipelined)",
+        NasBenchmark::Cg,
+        &[
+            (Class::A, 4),
+            (Class::A, 8),
+            (Class::A, 16),
+            (Class::B, 4),
+            (Class::B, 8),
+            (Class::B, 16),
+        ],
+    )
+}
+
+/// Fig. 12: NAS LU overlap characterization (MVAPICH2-like).
+pub fn fig12() -> Series {
+    nas_series(
+        "fig12",
+        "NAS LU overlap (MVAPICH2-like)",
+        NasBenchmark::Lu,
+        &[
+            (Class::A, 4),
+            (Class::A, 8),
+            (Class::A, 16),
+            (Class::B, 4),
+            (Class::B, 8),
+            (Class::B, 16),
+        ],
+    )
+}
+
+/// Fig. 13: NAS FT overlap characterization (MVAPICH2-like).
+pub fn fig13() -> Series {
+    nas_series(
+        "fig13",
+        "NAS FT overlap (MVAPICH2-like)",
+        NasBenchmark::Ft,
+        &[
+            (Class::A, 4),
+            (Class::A, 8),
+            (Class::A, 16),
+            (Class::B, 4),
+            (Class::B, 8),
+            (Class::B, 16),
+        ],
+    )
+}
+
+fn sp_compare(id: &'static str, title: &str, class: Class, whole_code: bool) -> Series {
+    let mut rows = Vec::new();
+    for np in [4usize, 9, 16] {
+        let orig = run_benchmark(NasBenchmark::Sp, class, np, NetConfig::default(), RecorderOpts::default());
+        let modi = run_benchmark(
+            NasBenchmark::SpModified,
+            class,
+            np,
+            NetConfig::default(),
+            RecorderOpts::default(),
+        );
+        let stats = |art: &nasbench::runner::RunArtifacts| {
+            let r = &art.reports()[0];
+            if whole_code {
+                (r.total.min_pct(), r.total.max_pct())
+            } else {
+                let s = &r.sections[SP_OVERLAP_SECTION];
+                (s.total.min_pct(), s.total.max_pct())
+            }
+        };
+        let (omin, omax) = stats(&orig);
+        let (mmin, mmax) = stats(&modi);
+        rows.push(vec![
+            np.to_string(),
+            pct(omin),
+            pct(omax),
+            pct(mmin),
+            pct(mmax),
+        ]);
+    }
+    Series {
+        id,
+        title: title.to_string(),
+        columns: ["np", "orig_min%", "orig_max%", "mod_min%", "mod_max%"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
+/// Fig. 14: SP overlap-section measurement, original vs modified, class A.
+pub fn fig14() -> Series {
+    sp_compare(
+        "fig14",
+        "SP overlapping section, original vs modified, class A",
+        Class::A,
+        false,
+    )
+}
+
+/// Fig. 15: same as fig 14 for class B.
+pub fn fig15() -> Series {
+    sp_compare(
+        "fig15",
+        "SP overlapping section, original vs modified, class B",
+        Class::B,
+        false,
+    )
+}
+
+/// Fig. 16: SP whole-code measurement, original vs modified, class A.
+pub fn fig16() -> Series {
+    sp_compare(
+        "fig16",
+        "SP complete code, original vs modified, class A",
+        Class::A,
+        true,
+    )
+}
+
+/// Fig. 17: same as fig 16 for class B.
+pub fn fig17() -> Series {
+    sp_compare(
+        "fig17",
+        "SP complete code, original vs modified, class B",
+        Class::B,
+        true,
+    )
+}
+
+/// Fig. 18: SP total MPI time, original vs modified.
+pub fn fig18() -> Series {
+    let mut rows = Vec::new();
+    for class in [Class::A, Class::B] {
+        for np in [4usize, 9, 16] {
+            let orig = run_benchmark(NasBenchmark::Sp, class, np, NetConfig::default(), RecorderOpts::default());
+            let modi = run_benchmark(
+                NasBenchmark::SpModified,
+                class,
+                np,
+                NetConfig::default(),
+                RecorderOpts::default(),
+            );
+            let o = orig.reports()[0].comm_call_time as f64 / 1e6;
+            let m = modi.reports()[0].comm_call_time as f64 / 1e6;
+            rows.push(vec![
+                class.to_string(),
+                np.to_string(),
+                f_ms(o),
+                f_ms(m),
+                pct(100.0 * (o - m) / o),
+            ]);
+        }
+    }
+    Series {
+        id: "fig18",
+        title: "SP total MPI time, original vs modified".to_string(),
+        columns: ["class", "np", "orig_mpi_ms", "mod_mpi_ms", "improvement%"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
+/// Fig. 19: MG over ARMCI, blocking vs non-blocking overlap, class B.
+pub fn fig19() -> Series {
+    let mut rows = Vec::new();
+    for np in [4usize, 8, 16] {
+        let bl = run_benchmark(
+            NasBenchmark::MgArmciBlocking,
+            Class::B,
+            np,
+            NetConfig::default(),
+            RecorderOpts::default(),
+        );
+        let nb = run_benchmark(
+            NasBenchmark::MgArmciNonBlocking,
+            Class::B,
+            np,
+            NetConfig::default(),
+            RecorderOpts::default(),
+        );
+        let b = &bl.reports()[0].total;
+        let n = &nb.reports()[0].total;
+        rows.push(vec![
+            np.to_string(),
+            pct(b.min_pct()),
+            pct(b.max_pct()),
+            pct(n.min_pct()),
+            pct(n.max_pct()),
+        ]);
+    }
+    Series {
+        id: "fig19",
+        title: "NAS MG over ARMCI, blocking vs non-blocking, class B".to_string(),
+        columns: ["np", "blk_min%", "blk_max%", "nb_min%", "nb_max%"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
+/// Fig. 20: instrumentation overhead — wall-clock run time with the
+/// recorder enabled vs disabled, per benchmark.
+pub fn fig20() -> Series {
+    let benches = [
+        NasBenchmark::Bt,
+        NasBenchmark::Cg,
+        NasBenchmark::Lu,
+        NasBenchmark::Ft,
+        NasBenchmark::Sp,
+        NasBenchmark::MgMpi,
+    ];
+    let mut rows = Vec::new();
+    for bench in benches {
+        // Warm up, then take the minimum of several runs — wall-clock noise
+        // on a shared host dwarfs the true instrumentation cost otherwise.
+        let wall = |enabled: bool| {
+            let rec = RecorderOpts {
+                enabled,
+                ..Default::default()
+            };
+            let t0 = Instant::now();
+            let art = run_benchmark(bench, Class::A, 4, NetConfig::default(), rec);
+            let dt = t0.elapsed().as_secs_f64();
+            (dt, art.end_time())
+        };
+        let _ = wall(false);
+        let _ = wall(true);
+        let mut off = f64::INFINITY;
+        let mut on = f64::INFINITY;
+        let mut vt = (0u64, 0u64);
+        for _ in 0..5 {
+            let (toff, voff) = wall(false);
+            let (ton, von) = wall(true);
+            off = off.min(toff);
+            on = on.min(ton);
+            vt = (voff, von);
+        }
+        assert_eq!(vt.0, vt.1, "instrumentation must not perturb virtual time");
+        rows.push(vec![
+            bench.name().to_string(),
+            format!("{:.1}", off * 1e3),
+            format!("{:.1}", on * 1e3),
+            format!("{:.2}", (100.0 * (on - off) / off).max(0.0)),
+        ]);
+    }
+    Series {
+        id: "fig20",
+        title: "Instrumentation overhead (wall-clock, class A, np=4)".to_string(),
+        columns: ["bench", "uninstr_ms", "instr_ms", "overhead%"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
+/// All figure harnesses in order.
+pub fn all() -> Vec<(&'static str, crate::HarnessFn)> {
+    vec![
+        ("fig03", fig03 as crate::HarnessFn),
+        ("fig04", fig04),
+        ("fig05", fig05),
+        ("fig06", fig06),
+        ("fig07", fig07),
+        ("fig08", fig08),
+        ("fig09", fig09),
+        ("fig10", fig10),
+        ("fig11", fig11),
+        ("fig12", fig12),
+        ("fig13", fig13),
+        ("fig14", fig14),
+        ("fig15", fig15),
+        ("fig16", fig16),
+        ("fig17", fig17),
+        ("fig18", fig18),
+        ("fig19", fig19),
+        ("fig20", fig20),
+    ]
+}

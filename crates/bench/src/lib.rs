@@ -1,0 +1,97 @@
+#![warn(missing_docs)]
+
+//! # bench — figure reproduction and micro-benchmarks
+//!
+//! One harness per figure of the paper's evaluation (Figures 3–20 — the
+//! paper has no numbered tables). Each `figNN()` returns a [`Series`] whose
+//! rows mirror the data series the corresponding figure plots; the
+//! `figures` bench target and the `repro` binary print them.
+//!
+//! Shape expectations (paper vs. this reproduction) are recorded in
+//! `EXPERIMENTS.md`.
+
+pub mod ablations;
+pub mod figures;
+pub mod micro;
+
+/// A named harness entry point producing one [`Series`].
+pub type HarnessFn = fn() -> Series;
+
+/// A printable data series: the reproduction of one figure.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Series {
+    /// Figure identifier, e.g. `"fig05"`.
+    pub id: &'static str,
+    /// What the paper's figure shows.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows, stringified.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Series {
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut s = String::new();
+        let _ = writeln!(s, "== {} — {} ==", self.id, self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        let _ = writeln!(s, "{}", header.join("  "));
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            let _ = writeln!(s, "{}", line.join("  "));
+        }
+        s
+    }
+}
+
+impl Series {
+    /// Write the series as JSON under `dir` (named `<id>.json`), for
+    /// archival/regression diffing. Errors are reported, not fatal.
+    pub fn save_json(&self, dir: &std::path::Path) {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {dir:?}: {e}");
+            return;
+        }
+        let path = dir.join(format!("{}.json", self.id));
+        match serde_json::to_string_pretty(self) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("cannot write {path:?}: {e}");
+                }
+            }
+            Err(e) => eprintln!("cannot serialize {}: {e}", self.id),
+        }
+    }
+}
+
+/// Format a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Format microseconds.
+pub fn f_us(ns: f64) -> String {
+    format!("{:.1}", ns / 1e3)
+}
+
+/// Format milliseconds.
+pub fn f_ms(v: f64) -> String {
+    format!("{v:.2}")
+}

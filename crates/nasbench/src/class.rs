@@ -1,0 +1,52 @@
+//! NPB problem classes.
+
+use serde::{Deserialize, Serialize};
+
+/// NAS problem class. Geometry per benchmark follows the NPB 3.x tables;
+/// see each kernel module for its sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Class {
+    /// Sample (tiny) size.
+    S,
+    /// Workstation size.
+    W,
+    /// Class A.
+    A,
+    /// Class B.
+    B,
+}
+
+impl Class {
+    /// One-letter label.
+    pub fn letter(&self) -> char {
+        match self {
+            Class::S => 'S',
+            Class::W => 'W',
+            Class::A => 'A',
+            Class::B => 'B',
+        }
+    }
+
+    /// All classes, smallest first.
+    pub fn all() -> [Class; 4] {
+        [Class::S, Class::W, Class::A, Class::B]
+    }
+}
+
+impl std::fmt::Display for Class {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn letters() {
+        assert_eq!(Class::A.letter(), 'A');
+        assert_eq!(format!("{}", Class::B), "B");
+        assert_eq!(Class::all().len(), 4);
+    }
+}

@@ -1,0 +1,263 @@
+//! Unified benchmark runner and result summaries.
+
+use overlap_core::{OverlapReport, RecorderOpts};
+use simarmci::{run_armci, ArmciRunOutcome};
+use simmpi::{run_mpi, MpiConfig, MpiRunOutcome};
+use simnet::NetConfig;
+
+use crate::class::Class;
+use crate::mg::MgVariant;
+
+/// Which benchmark/variant to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NasBenchmark {
+    /// Block tridiagonal (Open MPI pipelined in the paper).
+    Bt,
+    /// Conjugate gradient (Open MPI pipelined).
+    Cg,
+    /// SSOR solver (MVAPICH2-like).
+    Lu,
+    /// 3-D FFT (MVAPICH2-like).
+    Ft,
+    /// FT with the non-blocking transpose (`MPI_Ialltoall`).
+    FtNb,
+    /// Scalar pentadiagonal, original code (MVAPICH2-like).
+    Sp,
+    /// SP with the paper's Iprobe modification.
+    SpModified,
+    /// Multigrid over MPI.
+    MgMpi,
+    /// Multigrid over blocking ARMCI.
+    MgArmciBlocking,
+    /// Multigrid over non-blocking ARMCI.
+    MgArmciNonBlocking,
+    /// Embarrassingly parallel (negative control).
+    Ep,
+    /// Integer sort.
+    Is,
+}
+
+impl NasBenchmark {
+    /// Short name as used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NasBenchmark::Bt => "BT",
+            NasBenchmark::Cg => "CG",
+            NasBenchmark::Lu => "LU",
+            NasBenchmark::Ft => "FT",
+            NasBenchmark::FtNb => "FT-nb",
+            NasBenchmark::Sp => "SP",
+            NasBenchmark::SpModified => "SP-mod",
+            NasBenchmark::MgMpi => "MG-mpi",
+            NasBenchmark::MgArmciBlocking => "MG-armci-bl",
+            NasBenchmark::MgArmciNonBlocking => "MG-armci-nb",
+            NasBenchmark::Ep => "EP",
+            NasBenchmark::Is => "IS",
+        }
+    }
+
+    /// The communication environment the paper characterized this benchmark
+    /// in (Sec. 4): BT and CG under Open MPI's pipelined mode; LU, FT and SP
+    /// under MVAPICH2; MG under ARMCI.
+    pub fn paper_env(&self) -> MpiConfig {
+        match self {
+            NasBenchmark::Bt | NasBenchmark::Cg => MpiConfig::open_mpi_pipelined(),
+            _ => MpiConfig::mvapich2(),
+        }
+    }
+}
+
+/// Result artifacts from either library.
+pub enum RunArtifacts {
+    /// MPI-based benchmark output.
+    Mpi(MpiRunOutcome),
+    /// ARMCI-based benchmark output.
+    Armci(ArmciRunOutcome),
+}
+
+impl RunArtifacts {
+    /// Per-rank overlap reports.
+    pub fn reports(&self) -> &[OverlapReport] {
+        match self {
+            RunArtifacts::Mpi(o) => &o.reports,
+            RunArtifacts::Armci(o) => &o.reports,
+        }
+    }
+
+    /// Virtual end time of the run, ns.
+    pub fn end_time(&self) -> u64 {
+        match self {
+            RunArtifacts::Mpi(o) => o.end_time,
+            RunArtifacts::Armci(o) => o.end_time,
+        }
+    }
+}
+
+/// Run a benchmark in its paper environment.
+pub fn run_benchmark(
+    bench: NasBenchmark,
+    class: Class,
+    np: usize,
+    net: NetConfig,
+    rec: RecorderOpts,
+) -> RunArtifacts {
+    let mpi_cfg = bench.paper_env();
+    match bench {
+        NasBenchmark::Bt => {
+            let p = crate::bt::BtParams::new(class);
+            RunArtifacts::Mpi(
+                run_mpi(np, net, mpi_cfg, rec, move |mpi| crate::bt::run_bt(mpi, &p))
+                    .expect("BT run failed"),
+            )
+        }
+        NasBenchmark::Cg => {
+            let p = crate::cg::CgParams::new(class);
+            RunArtifacts::Mpi(
+                run_mpi(np, net, mpi_cfg, rec, move |mpi| crate::cg::run_cg(mpi, &p))
+                    .expect("CG run failed"),
+            )
+        }
+        NasBenchmark::Lu => {
+            let p = crate::lu::LuParams::new(class);
+            RunArtifacts::Mpi(
+                run_mpi(np, net, mpi_cfg, rec, move |mpi| crate::lu::run_lu(mpi, &p))
+                    .expect("LU run failed"),
+            )
+        }
+        NasBenchmark::Ft => {
+            let p = crate::ft::FtParams::new(class);
+            RunArtifacts::Mpi(
+                run_mpi(np, net, mpi_cfg, rec, move |mpi| crate::ft::run_ft(mpi, &p))
+                    .expect("FT run failed"),
+            )
+        }
+        NasBenchmark::FtNb => {
+            let p = crate::ft::FtParams::nonblocking(class);
+            RunArtifacts::Mpi(
+                run_mpi(np, net, mpi_cfg, rec, move |mpi| crate::ft::run_ft(mpi, &p))
+                    .expect("FT-nb run failed"),
+            )
+        }
+        NasBenchmark::Sp => {
+            let p = crate::sp::SpParams::original(class);
+            RunArtifacts::Mpi(
+                run_mpi(np, net, mpi_cfg, rec, move |mpi| crate::sp::run_sp(mpi, &p))
+                    .expect("SP run failed"),
+            )
+        }
+        NasBenchmark::SpModified => {
+            let p = crate::sp::SpParams::modified(class);
+            RunArtifacts::Mpi(
+                run_mpi(np, net, mpi_cfg, rec, move |mpi| crate::sp::run_sp(mpi, &p))
+                    .expect("SP-mod run failed"),
+            )
+        }
+        NasBenchmark::MgMpi => {
+            let p = crate::mg::MgParams::new(class);
+            RunArtifacts::Mpi(
+                run_mpi(np, net, mpi_cfg, rec, move |mpi| crate::mg::run_mg_mpi(mpi, &p))
+                    .expect("MG-mpi run failed"),
+            )
+        }
+        NasBenchmark::MgArmciBlocking => {
+            let p = crate::mg::MgParams::new(class);
+            RunArtifacts::Armci(
+                run_armci(np, net, rec, move |a| {
+                    crate::mg::run_mg_armci(a, &p, MgVariant::ArmciBlocking)
+                })
+                .expect("MG-armci-bl run failed"),
+            )
+        }
+        NasBenchmark::MgArmciNonBlocking => {
+            let p = crate::mg::MgParams::new(class);
+            RunArtifacts::Armci(
+                run_armci(np, net, rec, move |a| {
+                    crate::mg::run_mg_armci(a, &p, MgVariant::ArmciNonBlocking)
+                })
+                .expect("MG-armci-nb run failed"),
+            )
+        }
+        NasBenchmark::Ep => {
+            let p = crate::ep::EpParams::new(class);
+            RunArtifacts::Mpi(
+                run_mpi(np, net, mpi_cfg, rec, move |mpi| crate::ep::run_ep(mpi, &p))
+                    .expect("EP run failed"),
+            )
+        }
+        NasBenchmark::Is => {
+            let p = crate::is::IsParams::new(class);
+            RunArtifacts::Mpi(
+                run_mpi(np, net, mpi_cfg, rec, move |mpi| crate::is::run_is(mpi, &p))
+                    .expect("IS run failed"),
+            )
+        }
+    }
+}
+
+/// Summary of one monitored section for process 0.
+#[derive(Debug, Clone)]
+pub struct SectionSummary {
+    /// Section name.
+    pub name: String,
+    /// Minimum overlap percentage.
+    pub min_pct: f64,
+    /// Maximum overlap percentage.
+    pub max_pct: f64,
+    /// Transfers attributed to the section.
+    pub transfers: u64,
+}
+
+/// Headline numbers for one benchmark run (process 0, as the paper
+/// presents).
+#[derive(Debug, Clone)]
+pub struct NasSummary {
+    /// Benchmark name.
+    pub name: String,
+    /// Problem class.
+    pub class: Class,
+    /// Process count.
+    pub np: usize,
+    /// Minimum overlap percentage (process 0, whole run).
+    pub min_pct: f64,
+    /// Maximum overlap percentage.
+    pub max_pct: f64,
+    /// Total data transfer time, ms.
+    pub data_transfer_ms: f64,
+    /// Aggregate communication call time ("MPI time"), ms.
+    pub comm_call_ms: f64,
+    /// Aggregate user computation time, ms.
+    pub compute_ms: f64,
+    /// Elapsed virtual time, ms.
+    pub elapsed_ms: f64,
+    /// Data transfers counted.
+    pub transfers: u64,
+    /// Monitored sections.
+    pub sections: Vec<SectionSummary>,
+}
+
+/// Summarize process 0 of a run.
+pub fn summarize(bench: NasBenchmark, class: Class, np: usize, art: &RunArtifacts) -> NasSummary {
+    let r = &art.reports()[0];
+    NasSummary {
+        name: bench.name().to_string(),
+        class,
+        np,
+        min_pct: r.total.min_pct(),
+        max_pct: r.total.max_pct(),
+        data_transfer_ms: r.total.data_transfer_time as f64 / 1e6,
+        comm_call_ms: r.comm_call_time as f64 / 1e6,
+        compute_ms: r.user_compute_time as f64 / 1e6,
+        elapsed_ms: r.elapsed as f64 / 1e6,
+        transfers: r.total.transfers,
+        sections: r
+            .sections
+            .iter()
+            .map(|(name, s)| SectionSummary {
+                name: name.clone(),
+                min_pct: s.total.min_pct(),
+                max_pct: s.total.max_pct(),
+                transfers: s.total.transfers,
+            })
+            .collect(),
+    }
+}

@@ -1,0 +1,121 @@
+//! Kernel parameter and geometry unit tests (class tables, decompositions,
+//! variant wiring).
+
+use nasbench::bt::BtParams;
+use nasbench::cg::CgParams;
+use nasbench::ep::EpParams;
+use nasbench::ft::FtParams;
+use nasbench::is::IsParams;
+use nasbench::lu::LuParams;
+use nasbench::mg::MgParams;
+use nasbench::runner::NasBenchmark;
+use nasbench::sp::SpParams;
+use nasbench::Class;
+use simmpi::RndvMode;
+
+#[test]
+fn sp_class_geometry_matches_npb() {
+    assert_eq!(SpParams::original(Class::S).n(), 12);
+    assert_eq!(SpParams::original(Class::W).n(), 36);
+    assert_eq!(SpParams::original(Class::A).n(), 64);
+    assert_eq!(SpParams::original(Class::B).n(), 102);
+}
+
+#[test]
+fn sp_variants_differ_only_in_probes() {
+    let o = SpParams::original(Class::A);
+    let m = SpParams::modified(Class::A);
+    assert_eq!(o.iprobes, 0);
+    assert!(m.iprobes > 0);
+    assert_eq!(o.n(), m.n());
+    assert_eq!(o.iterations, m.iterations);
+}
+
+#[test]
+fn bt_class_geometry_matches_npb() {
+    assert_eq!(BtParams::new(Class::A).n(), 64);
+    assert_eq!(BtParams::new(Class::B).n(), 102);
+}
+
+#[test]
+fn cg_sizes_match_npb() {
+    let a = CgParams::new(Class::A);
+    assert_eq!(a.na(), 14000);
+    assert_eq!(a.nonzer(), 11);
+    let b = CgParams::new(Class::B);
+    assert_eq!(b.na(), 75000);
+    assert_eq!(b.nonzer(), 13);
+}
+
+#[test]
+fn lu_class_geometry_matches_npb() {
+    assert_eq!(LuParams::new(Class::W).n(), 33);
+    assert_eq!(LuParams::new(Class::A).n(), 64);
+}
+
+#[test]
+fn ft_dims_and_scaling() {
+    let a = FtParams::new(Class::A);
+    assert_eq!(a.dims(), (256, 256, 128));
+    assert_eq!(a.points(), 256 * 256 * 128);
+    let b = FtParams::new(Class::B);
+    assert_eq!(b.dims(), (512, 256, 256));
+    // Payload scaling preserves the class ordering of message sizes.
+    let block = |p: &FtParams, np: usize| (p.points() * 16) / (np * np * p.vol_scale);
+    assert!(block(&b, 4) > block(&a, 4));
+}
+
+#[test]
+fn mg_levels_reach_coarse_grid() {
+    let a = MgParams::new(Class::A);
+    assert_eq!(a.n(), 256);
+    assert_eq!(a.levels(), 7); // 256 -> 4 in factor-of-two steps
+    let s = MgParams::new(Class::S);
+    assert_eq!(s.n(), 32);
+    assert_eq!(s.levels(), 4);
+}
+
+#[test]
+fn ep_and_is_key_counts() {
+    assert_eq!(EpParams::new(Class::A).m(), 28);
+    assert_eq!(IsParams::new(Class::A).m(), 23);
+    assert_eq!(IsParams::new(Class::B).m(), 25);
+}
+
+#[test]
+fn paper_environments_match_section_4() {
+    // BT and CG ran under Open MPI's pipelined mode; LU, FT, SP under
+    // MVAPICH2 (direct read).
+    assert_eq!(
+        NasBenchmark::Bt.paper_env().rndv_mode,
+        RndvMode::PipelinedWrite
+    );
+    assert_eq!(
+        NasBenchmark::Cg.paper_env().rndv_mode,
+        RndvMode::PipelinedWrite
+    );
+    for b in [NasBenchmark::Lu, NasBenchmark::Ft, NasBenchmark::Sp, NasBenchmark::SpModified] {
+        assert_eq!(b.paper_env().rndv_mode, RndvMode::DirectRead);
+    }
+}
+
+#[test]
+fn benchmark_names_are_unique() {
+    let all = [
+        NasBenchmark::Bt,
+        NasBenchmark::Cg,
+        NasBenchmark::Lu,
+        NasBenchmark::Ft,
+        NasBenchmark::Sp,
+        NasBenchmark::SpModified,
+        NasBenchmark::MgMpi,
+        NasBenchmark::MgArmciBlocking,
+        NasBenchmark::MgArmciNonBlocking,
+        NasBenchmark::Ep,
+        NasBenchmark::Is,
+    ];
+    let mut names: Vec<_> = all.iter().map(|b| b.name()).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), all.len());
+}

@@ -1,0 +1,531 @@
+//! The data processing module (paper Figure 2).
+//!
+//! Consumes time-ordered instrumentation events and maintains *running*
+//! overlap aggregates plus a small table of currently active transfers — no
+//! trace is ever stored. The sweep works as follows: between consecutive
+//! events, the process was either in user computation (call depth 0) or
+//! inside the library (depth > 0); that interval is credited to the global
+//! compute/call aggregates, to the innermost monitored section, and to the
+//! `computation_time` / `noncomputation_time` accumulators of every transfer
+//! whose `XFER_BEGIN` has been seen but whose `XFER_END` has not.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::bins::SizeBins;
+use crate::bounds::OverlapBounds;
+use crate::event::{Event, EventKind};
+use crate::report::{CallStats, OverlapReport, OverlapStats, SectionReport};
+use crate::xfer_table::XferTimeTable;
+
+#[derive(Debug)]
+struct ActiveXfer {
+    bytes: u64,
+    /// Top-level call sequence number at `XFER_BEGIN`, if it was stamped
+    /// inside a call (used for case-1 detection).
+    begin_call: Option<u64>,
+    computation_time: u64,
+    noncomputation_time: u64,
+    section: Option<&'static str>,
+}
+
+#[derive(Debug, Default)]
+struct SectionAccum {
+    total: OverlapStats,
+    by_bin: Vec<OverlapStats>,
+    compute_time: u64,
+    call_time: u64,
+}
+
+/// Online overlap-bound processor.
+pub struct Processor {
+    table: XferTimeTable,
+    bins: SizeBins,
+    depth: u32,
+    call_seq: u64,
+    cursor: u64,
+    first_event: Option<u64>,
+    active: HashMap<u64, ActiveXfer>,
+    user_compute: u64,
+    comm_call: u64,
+    total: OverlapStats,
+    by_bin: Vec<OverlapStats>,
+    section_stack: Vec<&'static str>,
+    sections: BTreeMap<&'static str, SectionAccum>,
+    call_stack: Vec<(&'static str, u64)>,
+    calls: BTreeMap<&'static str, CallStats>,
+}
+
+impl Processor {
+    /// Create a processor using the a-priori transfer-time `table` and
+    /// message-size `bins`.
+    pub fn new(table: XferTimeTable, bins: SizeBins) -> Self {
+        let nbins = bins.count();
+        Processor {
+            table,
+            bins,
+            depth: 0,
+            call_seq: 0,
+            cursor: 0,
+            first_event: None,
+            active: HashMap::new(),
+            user_compute: 0,
+            comm_call: 0,
+            total: OverlapStats::default(),
+            by_bin: vec![OverlapStats::default(); nbins],
+            section_stack: Vec::new(),
+            sections: BTreeMap::new(),
+            call_stack: Vec::new(),
+            calls: BTreeMap::new(),
+        }
+    }
+
+    /// Number of transfers currently active (begun, not ended).
+    pub fn active_transfers(&self) -> usize {
+        self.active.len()
+    }
+
+    fn advance_to(&mut self, t: u64) {
+        if self.first_event.is_none() {
+            self.first_event = Some(t);
+            self.cursor = t;
+            return;
+        }
+        debug_assert!(t >= self.cursor, "events out of order");
+        let dt = t.saturating_sub(self.cursor);
+        if dt == 0 {
+            return;
+        }
+        let computing = self.depth == 0;
+        if computing {
+            self.user_compute += dt;
+        } else {
+            self.comm_call += dt;
+        }
+        for ax in self.active.values_mut() {
+            if computing {
+                ax.computation_time += dt;
+            } else {
+                ax.noncomputation_time += dt;
+            }
+        }
+        if let Some(&name) = self.section_stack.last() {
+            let acc = self.sections.entry(name).or_default();
+            if computing {
+                acc.compute_time += dt;
+            } else {
+                acc.call_time += dt;
+            }
+        }
+        self.cursor = t;
+    }
+
+    fn close_transfer(
+        &mut self,
+        bytes: u64,
+        bounds: OverlapBounds,
+        section: Option<&'static str>,
+    ) {
+        let xfer_time = self.table.lookup(bytes);
+        self.total.add_bounds(bytes, xfer_time, bounds);
+        let bin = self.bins.index(bytes);
+        self.by_bin[bin].add_bounds(bytes, xfer_time, bounds);
+        if let Some(name) = section {
+            let nbins = self.bins.count();
+            let acc = self.sections.entry(name).or_default();
+            if acc.by_bin.is_empty() {
+                acc.by_bin = vec![OverlapStats::default(); nbins];
+            }
+            acc.total.add_bounds(bytes, xfer_time, bounds);
+            acc.by_bin[bin].add_bounds(bytes, xfer_time, bounds);
+        }
+    }
+
+    /// Consume one event. Events must arrive in time order.
+    pub fn process(&mut self, e: Event) {
+        self.advance_to(e.t);
+        match e.kind {
+            EventKind::CallEnter { name } => {
+                if self.depth == 0 {
+                    self.call_seq += 1;
+                }
+                self.depth += 1;
+                self.call_stack.push((name, e.t));
+            }
+            EventKind::CallExit => {
+                debug_assert!(self.depth > 0, "CallExit without CallEnter");
+                self.depth = self.depth.saturating_sub(1);
+                if let Some((name, t0)) = self.call_stack.pop() {
+                    let c = self.calls.entry(name).or_default();
+                    c.count += 1;
+                    c.total_time += e.t.saturating_sub(t0);
+                }
+            }
+            EventKind::XferBegin { id, bytes } => {
+                let begin_call = (self.depth > 0).then_some(self.call_seq);
+                let section = self.section_stack.last().copied();
+                let prev = self.active.insert(
+                    id,
+                    ActiveXfer {
+                        bytes,
+                        begin_call,
+                        computation_time: 0,
+                        noncomputation_time: 0,
+                        section,
+                    },
+                );
+                debug_assert!(prev.is_none(), "duplicate XFER_BEGIN for id {id}");
+            }
+            EventKind::XferEnd { id, bytes } => {
+                if let Some(ax) = self.active.remove(&id) {
+                    let same_call =
+                        self.depth > 0 && ax.begin_call == Some(self.call_seq);
+                    let bounds = if same_call {
+                        OverlapBounds::same_call()
+                    } else {
+                        OverlapBounds::split_calls(
+                            self.table.lookup(ax.bytes),
+                            ax.computation_time,
+                            ax.noncomputation_time,
+                        )
+                    };
+                    self.close_transfer(ax.bytes, bounds, ax.section);
+                } else {
+                    // End-only stamp (case 3): e.g. the receive side of an
+                    // eager transfer, whose initiation this process never saw.
+                    let bounds = OverlapBounds::single_stamp(self.table.lookup(bytes));
+                    let section = self.section_stack.last().copied();
+                    self.close_transfer(bytes, bounds, section);
+                }
+            }
+            EventKind::SectionBegin { name } => {
+                self.section_stack.push(name);
+                self.sections.entry(name).or_default();
+            }
+            EventKind::SectionEnd => {
+                debug_assert!(!self.section_stack.is_empty(), "SectionEnd without begin");
+                self.section_stack.pop();
+            }
+        }
+    }
+
+    /// Finish processing at `end_time`: sweeps the final interval, closes
+    /// still-active transfers as single-stamp (case 3), and produces the
+    /// per-process report.
+    pub fn finish(
+        mut self,
+        end_time: u64,
+        rank: usize,
+        events_recorded: u64,
+        queue_flushes: u64,
+    ) -> OverlapReport {
+        self.advance_to(end_time);
+        let leftovers: Vec<(u64, Option<&'static str>)> = self
+            .active
+            .drain()
+            .map(|(_, ax)| (ax.bytes, ax.section))
+            .collect();
+        for (bytes, section) in leftovers {
+            let bounds = OverlapBounds::single_stamp(self.table.lookup(bytes));
+            self.close_transfer(bytes, bounds, section);
+        }
+        let elapsed = end_time.saturating_sub(self.first_event.unwrap_or(end_time));
+        OverlapReport {
+            rank,
+            elapsed,
+            user_compute_time: self.user_compute,
+            comm_call_time: self.comm_call,
+            total: self.total,
+            bin_labels: self.bins.labels(),
+            by_bin: self.by_bin,
+            sections: self
+                .sections
+                .into_iter()
+                .map(|(name, acc)| {
+                    (
+                        name.to_string(),
+                        SectionReport {
+                            total: acc.total,
+                            by_bin: acc.by_bin,
+                            compute_time: acc.compute_time,
+                            call_time: acc.call_time,
+                        },
+                    )
+                })
+                .collect(),
+            calls: self
+                .calls
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            events_recorded,
+            queue_flushes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_table(ns: u64) -> XferTimeTable {
+        XferTimeTable::from_points(vec![(1, ns)])
+    }
+
+    fn run(events: Vec<Event>, end: u64, table: XferTimeTable) -> OverlapReport {
+        let mut p = Processor::new(table, SizeBins::log_default());
+        for e in events {
+            p.process(e);
+        }
+        p.finish(end, 0, 0, 0)
+    }
+
+    fn ev(t: u64, kind: EventKind) -> Event {
+        Event::new(t, kind)
+    }
+
+    #[test]
+    fn case1_same_call_zero_bounds() {
+        // A blocking call containing both stamps.
+        let r = run(
+            vec![
+                ev(0, EventKind::CallEnter { name: "Send" }),
+                ev(10, EventKind::XferBegin { id: 1, bytes: 100 }),
+                ev(500, EventKind::XferEnd { id: 1, bytes: 100 }),
+                ev(510, EventKind::CallExit),
+            ],
+            510,
+            flat_table(400),
+        );
+        assert_eq!(r.total.transfers, 1);
+        assert_eq!(r.total.min_overlap, 0);
+        assert_eq!(r.total.max_overlap, 0);
+        assert_eq!(r.total.case_same_call, 1);
+        assert_eq!(r.comm_call_time, 510);
+        assert_eq!(r.user_compute_time, 0);
+    }
+
+    #[test]
+    fn case2_ample_computation_full_overlap_possible() {
+        // Isend ... compute 1000 ... Wait; xfer_time 400, library time 20.
+        let r = run(
+            vec![
+                ev(0, EventKind::CallEnter { name: "Isend" }),
+                ev(5, EventKind::XferBegin { id: 1, bytes: 100 }),
+                ev(10, EventKind::CallExit),
+                ev(1010, EventKind::CallEnter { name: "Wait" }),
+                ev(1025, EventKind::XferEnd { id: 1, bytes: 100 }),
+                ev(1030, EventKind::CallExit),
+            ],
+            1030,
+            flat_table(400),
+        );
+        // computation between stamps: 1000; noncomputation: 5 + 15 = 20.
+        assert_eq!(r.total.max_overlap, 400);
+        assert_eq!(r.total.min_overlap, 380);
+        assert_eq!(r.total.case_split_calls, 1);
+        assert_eq!(r.user_compute_time, 1000);
+        assert_eq!(r.comm_call_time, 30);
+    }
+
+    #[test]
+    fn case2_scarce_computation_caps_max() {
+        // Only 50 ns of computation between stamps; xfer_time 400.
+        let r = run(
+            vec![
+                ev(0, EventKind::CallEnter { name: "Isend" }),
+                ev(0, EventKind::XferBegin { id: 1, bytes: 100 }),
+                ev(0, EventKind::CallExit),
+                ev(50, EventKind::CallEnter { name: "Wait" }),
+                ev(450, EventKind::XferEnd { id: 1, bytes: 100 }),
+                ev(450, EventKind::CallExit),
+            ],
+            450,
+            flat_table(400),
+        );
+        assert_eq!(r.total.max_overlap, 50);
+        // noncomputation = 400 (the wait) => min = max(0, 400-400) = 0.
+        assert_eq!(r.total.min_overlap, 0);
+    }
+
+    #[test]
+    fn case3_end_only_single_stamp() {
+        // Receive side of an eager message: only XFER_END observed.
+        let r = run(
+            vec![
+                ev(0, EventKind::CallEnter { name: "Recv" }),
+                ev(100, EventKind::XferEnd { id: 9, bytes: 2048 }),
+                ev(110, EventKind::CallExit),
+            ],
+            110,
+            flat_table(400),
+        );
+        assert_eq!(r.total.case_single_stamp, 1);
+        assert_eq!(r.total.min_overlap, 0);
+        assert_eq!(r.total.max_overlap, 400);
+    }
+
+    #[test]
+    fn case3_begin_without_end_at_finish() {
+        let r = run(
+            vec![
+                ev(0, EventKind::CallEnter { name: "Isend" }),
+                ev(0, EventKind::XferBegin { id: 1, bytes: 100 }),
+                ev(10, EventKind::CallExit),
+            ],
+            1000,
+            flat_table(400),
+        );
+        assert_eq!(r.total.case_single_stamp, 1);
+        assert_eq!(r.total.max_overlap, 400);
+        assert_eq!(r.total.min_overlap, 0);
+    }
+
+    #[test]
+    fn reentering_same_call_name_is_still_split_calls() {
+        // Begin in one call, end in a *different* call with zero computation
+        // between: case 2 with comp=0 → both bounds characterise correctly.
+        let r = run(
+            vec![
+                ev(0, EventKind::CallEnter { name: "Isend" }),
+                ev(0, EventKind::XferBegin { id: 1, bytes: 100 }),
+                ev(10, EventKind::CallExit),
+                ev(10, EventKind::CallEnter { name: "Wait" }),
+                ev(500, EventKind::XferEnd { id: 1, bytes: 100 }),
+                ev(500, EventKind::CallExit),
+            ],
+            500,
+            flat_table(400),
+        );
+        assert_eq!(r.total.case_split_calls, 1);
+        assert_eq!(r.total.max_overlap, 0); // no computation existed
+        assert_eq!(r.total.min_overlap, 0);
+    }
+
+    #[test]
+    fn compute_and_call_time_partition_elapsed() {
+        let r = run(
+            vec![
+                ev(0, EventKind::CallEnter { name: "Init" }),
+                ev(10, EventKind::CallExit),
+                ev(110, EventKind::CallEnter { name: "Barrier" }),
+                ev(150, EventKind::CallExit),
+            ],
+            250,
+            flat_table(1),
+        );
+        assert_eq!(r.comm_call_time, 50);
+        assert_eq!(r.user_compute_time, 200); // 10..110 and 150..250
+        assert_eq!(r.elapsed, 250);
+        assert_eq!(r.user_compute_time + r.comm_call_time, r.elapsed);
+    }
+
+    #[test]
+    fn sections_attribute_transfers_and_time() {
+        let r = run(
+            vec![
+                ev(0, EventKind::SectionBegin { name: "solve" }),
+                ev(0, EventKind::CallEnter { name: "Isend" }),
+                ev(0, EventKind::XferBegin { id: 1, bytes: 100 }),
+                ev(10, EventKind::CallExit),
+                ev(1000, EventKind::CallEnter { name: "Wait" }),
+                ev(1010, EventKind::XferEnd { id: 1, bytes: 100 }),
+                ev(1010, EventKind::CallExit),
+                ev(1010, EventKind::SectionEnd),
+                // outside the section
+                ev(1010, EventKind::CallEnter { name: "Recv" }),
+                ev(1200, EventKind::XferEnd { id: 2, bytes: 50 }),
+                ev(1200, EventKind::CallExit),
+            ],
+            1200,
+            flat_table(400),
+        );
+        assert_eq!(r.total.transfers, 2);
+        let sec = &r.sections["solve"];
+        assert_eq!(sec.total.transfers, 1);
+        assert_eq!(sec.compute_time, 990);
+        assert_eq!(sec.call_time, 20);
+        assert_eq!(sec.total.max_overlap, 400);
+    }
+
+    #[test]
+    fn per_call_stats_track_wait_times() {
+        let r = run(
+            vec![
+                ev(0, EventKind::CallEnter { name: "Wait" }),
+                ev(100, EventKind::CallExit),
+                ev(200, EventKind::CallEnter { name: "Wait" }),
+                ev(500, EventKind::CallExit),
+            ],
+            500,
+            flat_table(1),
+        );
+        let w = &r.calls["Wait"];
+        assert_eq!(w.count, 2);
+        assert_eq!(w.total_time, 400);
+        assert_eq!(w.avg(), 200.0);
+    }
+
+    #[test]
+    fn nested_calls_count_inner_portion_as_library_time() {
+        // A collective implemented over point-to-point: nested enters.
+        let r = run(
+            vec![
+                ev(0, EventKind::CallEnter { name: "Bcast" }),
+                ev(10, EventKind::CallEnter { name: "Send" }),
+                ev(30, EventKind::CallExit),
+                ev(40, EventKind::CallExit),
+            ],
+            100,
+            flat_table(1),
+        );
+        assert_eq!(r.comm_call_time, 40);
+        assert_eq!(r.user_compute_time, 60);
+        assert_eq!(r.calls["Bcast"].total_time, 40);
+        assert_eq!(r.calls["Send"].total_time, 20);
+    }
+
+    #[test]
+    fn figure1_rdma_read_receiver_timeline() {
+        // Paper Figure 1, receiver side: Irecv posts nothing observable;
+        // the RDMA Read begins inside Irecv (library saw the RTS there in
+        // this variant), computation happens, Wait observes the end.
+        let xfer_time = 10_000;
+        let r = run(
+            vec![
+                ev(0, EventKind::CallEnter { name: "MPI_Irecv" }),
+                ev(200, EventKind::XferBegin { id: 1, bytes: 1 << 20 }),
+                ev(300, EventKind::CallExit),
+                ev(8_300, EventKind::CallEnter { name: "MPI_Wait" }),
+                ev(10_500, EventKind::XferEnd { id: 1, bytes: 1 << 20 }),
+                ev(10_500, EventKind::CallExit),
+            ],
+            10_500,
+            flat_table(xfer_time),
+        );
+        // computation between stamps = 8000; noncomputation = 100 + 2200.
+        assert_eq!(r.total.max_overlap, 8_000);
+        assert_eq!(r.total.min_overlap, xfer_time - 2_300);
+        assert_eq!(r.total.case_split_calls, 1);
+        assert!(r.total.min_overlap <= r.total.max_overlap);
+    }
+
+    #[test]
+    fn bin_breakdown_separates_sizes() {
+        let table = XferTimeTable::from_points(vec![(1, 100), (1 << 20, 1_000_000)]);
+        let r = run(
+            vec![
+                ev(0, EventKind::CallEnter { name: "Recv" }),
+                ev(10, EventKind::XferEnd { id: 1, bytes: 512 }),
+                ev(20, EventKind::XferEnd { id: 2, bytes: 2 << 20 }),
+                ev(30, EventKind::CallExit),
+            ],
+            30,
+            table,
+        );
+        let small_bin = SizeBins::log_default().index(512);
+        let large_bin = SizeBins::log_default().index(2 << 20);
+        assert_eq!(r.by_bin[small_bin].transfers, 1);
+        assert_eq!(r.by_bin[large_bin].transfers, 1);
+        assert_ne!(small_bin, large_bin);
+    }
+}

@@ -1,0 +1,105 @@
+//! The fixed-size circular event queue (paper Figure 2, data collection
+//! module).
+//!
+//! Events are logged into a statically sized ring; when it fills, the data
+//! processing module drains it and the head pointer resets. No tracing is
+//! performed and memory use is constant regardless of run length — the
+//! property that makes the approach scalable and low-overhead.
+
+use crate::event::Event;
+
+/// Fixed-capacity event ring.
+#[derive(Debug)]
+pub struct EventRing {
+    buf: Vec<Event>,
+    capacity: usize,
+}
+
+impl EventRing {
+    /// Create a ring holding at most `capacity` events (min 2: a call-enter /
+    /// call-exit pair must fit).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(2);
+        EventRing {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of events currently queued.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// True if the next push would overflow.
+    pub fn is_full(&self) -> bool {
+        self.buf.len() == self.capacity
+    }
+
+    /// Append an event. Caller must drain when full (debug-asserted).
+    #[inline]
+    pub fn push(&mut self, e: Event) {
+        debug_assert!(!self.is_full(), "EventRing overflow: drain before push");
+        self.buf.push(e);
+    }
+
+    /// Drain all queued events in insertion order, resetting the head
+    /// pointer. The allocation is retained.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, Event> {
+        self.buf.drain(..)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(t: u64) -> Event {
+        Event::new(t, EventKind::CallExit)
+    }
+
+    #[test]
+    fn fills_and_drains_in_order() {
+        let mut q = EventRing::new(3);
+        q.push(ev(1));
+        q.push(ev(2));
+        q.push(ev(3));
+        assert!(q.is_full());
+        let times: Vec<u64> = q.drain().map(|e| e.t).collect();
+        assert_eq!(times, vec![1, 2, 3]);
+        assert!(q.is_empty());
+        // Reusable after drain.
+        q.push(ev(4));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn minimum_capacity_is_two() {
+        let q = EventRing::new(0);
+        assert_eq!(q.capacity(), 2);
+    }
+
+    #[test]
+    fn capacity_is_stable_across_drains() {
+        let mut q = EventRing::new(8);
+        for round in 0..5 {
+            for i in 0..8 {
+                q.push(ev(round * 8 + i));
+            }
+            assert!(q.is_full());
+            assert_eq!(q.drain().count(), 8);
+        }
+        assert_eq!(q.capacity(), 8);
+    }
+}

@@ -1,0 +1,349 @@
+//! The per-process instrumentation facade.
+//!
+//! A communication library owns one [`Recorder`] per process and calls into
+//! it from its instrumented entry points. The recorder stamps events with its
+//! [`Clock`], logs them into the fixed-size [`crate::queue::EventRing`], and
+//! folds the ring into the [`crate::processor::Processor`] whenever it fills
+//! — mirroring the paper's data collection / data processing split. With
+//! `enabled = false` every operation is a branch-and-return, which is how the
+//! instrumentation-overhead experiment (paper Figure 20) compares runs.
+
+use crate::bins::SizeBins;
+use crate::clock::Clock;
+use crate::event::{Event, EventKind};
+use crate::observer::EventObserver;
+use crate::processor::Processor;
+use crate::queue::EventRing;
+use crate::report::OverlapReport;
+use crate::xfer_table::XferTimeTable;
+
+/// Recorder configuration.
+#[derive(Debug, Clone)]
+pub struct RecorderOpts {
+    /// Capacity of the circular event queue.
+    pub queue_capacity: usize,
+    /// Message-size bins for the breakdown report.
+    pub bins: SizeBins,
+    /// Master switch; when false the recorder is a no-op.
+    pub enabled: bool,
+}
+
+impl Default for RecorderOpts {
+    fn default() -> Self {
+        RecorderOpts {
+            queue_capacity: 4096,
+            bins: SizeBins::default(),
+            enabled: true,
+        }
+    }
+}
+
+/// Per-process overlap instrumentation.
+pub struct Recorder {
+    clock: Box<dyn Clock>,
+    ring: EventRing,
+    proc: Processor,
+    enabled: bool,
+    rank: usize,
+    events: u64,
+    flushes: u64,
+    observer: Option<Box<dyn EventObserver>>,
+}
+
+impl Recorder {
+    /// Create a recorder for `rank` with the given clock, a-priori transfer
+    /// time table, and options.
+    pub fn new(
+        rank: usize,
+        clock: Box<dyn Clock>,
+        table: XferTimeTable,
+        opts: RecorderOpts,
+    ) -> Self {
+        Recorder {
+            clock,
+            ring: EventRing::new(opts.queue_capacity),
+            proc: Processor::new(table, opts.bins),
+            enabled: opts.enabled,
+            rank,
+            events: 0,
+            flushes: 0,
+            observer: None,
+        }
+    }
+
+    /// Subscribe an external observer to the raw event stream (PERUSE-style;
+    /// see [`crate::observer`]). At most one observer; replaces any prior.
+    pub fn set_observer(&mut self, obs: Box<dyn EventObserver>) {
+        self.observer = Some(obs);
+    }
+
+    /// Remove and return the observer (e.g. to recover a `TraceSink`).
+    pub fn take_observer(&mut self) -> Option<Box<dyn EventObserver>> {
+        self.observer.take()
+    }
+
+    /// Whether instrumentation is active.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Suspend event recording (the paper's application-level control over
+    /// which code regions are monitored). While paused, the gap in the event
+    /// stream is indistinguishable from user computation, so pause/resume
+    /// must bracket whole call-free regions — pausing *inside* a library
+    /// call would corrupt depth tracking (debug-asserted by the processor on
+    /// the next event).
+    pub fn pause(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Resume event recording after [`Recorder::pause`].
+    pub fn resume(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Current time from the recorder's clock.
+    pub fn now(&self) -> u64 {
+        self.clock.now()
+    }
+
+    #[inline]
+    fn push(&mut self, kind: EventKind) {
+        if !self.enabled {
+            return;
+        }
+        let t = self.clock.now();
+        if self.ring.is_full() {
+            self.flush();
+        }
+        let e = Event::new(t, kind);
+        if let Some(obs) = &mut self.observer {
+            obs.on_event(&e);
+        }
+        self.ring.push(e);
+        self.events += 1;
+    }
+
+    fn flush(&mut self) {
+        for e in self.ring.drain() {
+            self.proc.process(e);
+        }
+        self.flushes += 1;
+    }
+
+    /// Application entered the communication library.
+    pub fn call_enter(&mut self, name: &'static str) {
+        self.push(EventKind::CallEnter { name });
+    }
+
+    /// Application left the communication library.
+    pub fn call_exit(&mut self) {
+        self.push(EventKind::CallExit);
+    }
+
+    /// The library posted the operation that approximately starts the
+    /// physical transfer of user message `id` (`bytes` payload).
+    pub fn xfer_begin(&mut self, id: u64, bytes: u64) {
+        self.push(EventKind::XferBegin { id, bytes });
+    }
+
+    /// The library observed completion of transfer `id`. For transfers with
+    /// no observable begin (e.g. eager receives) this is the only stamp.
+    pub fn xfer_end(&mut self, id: u64, bytes: u64) {
+        self.push(EventKind::XferEnd { id, bytes });
+    }
+
+    /// Application-level begin of a monitored code section.
+    pub fn section_begin(&mut self, name: &'static str) {
+        self.push(EventKind::SectionBegin { name });
+    }
+
+    /// Application-level end of the innermost monitored section.
+    pub fn section_end(&mut self) {
+        self.push(EventKind::SectionEnd);
+    }
+
+    /// Finish instrumentation and produce the per-process report (written to
+    /// the per-process output file by the caller if desired).
+    pub fn finish(mut self) -> OverlapReport {
+        let end = self.clock.now();
+        self.flush();
+        self.proc.finish(end, self.rank, self.events, self.flushes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    fn recorder(clock: &ManualClock, capacity: usize) -> Recorder {
+        let table = XferTimeTable::from_points(vec![(1, 400)]);
+        Recorder::new(
+            0,
+            Box::new(clock.clone()),
+            table,
+            RecorderOpts {
+                queue_capacity: capacity,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn end_to_end_isend_wait_pattern() {
+        let clock = ManualClock::new();
+        let mut r = recorder(&clock, 64);
+        r.call_enter("Isend");
+        r.xfer_begin(1, 100);
+        clock.advance(10);
+        r.call_exit();
+        clock.advance(1000);
+        r.call_enter("Wait");
+        clock.advance(20);
+        r.xfer_end(1, 100);
+        r.call_exit();
+        let report = r.finish();
+        assert_eq!(report.total.transfers, 1);
+        assert_eq!(report.total.max_overlap, 400);
+        assert_eq!(report.total.min_overlap, 400 - 30);
+        assert_eq!(report.user_compute_time, 1000);
+        assert_eq!(report.comm_call_time, 30);
+        assert_eq!(report.events_recorded, 6);
+    }
+
+    #[test]
+    fn queue_flushes_preserve_results() {
+        // Force many flushes with a tiny ring; aggregates must match a run
+        // with a huge ring.
+        let run = |capacity: usize| {
+            let clock = ManualClock::new();
+            let mut r = recorder(&clock, capacity);
+            for i in 0..100u64 {
+                r.call_enter("Isend");
+                r.xfer_begin(i, 100);
+                clock.advance(5);
+                r.call_exit();
+                clock.advance(500);
+                r.call_enter("Wait");
+                clock.advance(10);
+                r.xfer_end(i, 100);
+                r.call_exit();
+                clock.advance(50);
+            }
+            r.finish()
+        };
+        let small = run(2);
+        let large = run(1 << 16);
+        assert!(small.queue_flushes > large.queue_flushes);
+        assert_eq!(small.total, large.total);
+        assert_eq!(small.user_compute_time, large.user_compute_time);
+        assert_eq!(small.comm_call_time, large.comm_call_time);
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let clock = ManualClock::new();
+        let table = XferTimeTable::from_points(vec![(1, 400)]);
+        let mut r = Recorder::new(
+            0,
+            Box::new(clock.clone()),
+            table,
+            RecorderOpts {
+                enabled: false,
+                ..Default::default()
+            },
+        );
+        r.call_enter("Isend");
+        r.xfer_begin(1, 100);
+        clock.advance(100);
+        r.xfer_end(1, 100);
+        r.call_exit();
+        let report = r.finish();
+        assert_eq!(report.events_recorded, 0);
+        assert_eq!(report.total.transfers, 0);
+    }
+
+    #[test]
+    fn pause_excludes_a_region_from_monitoring() {
+        let clock = ManualClock::new();
+        let mut r = recorder(&clock, 64);
+        // Monitored exchange.
+        r.call_enter("Recv");
+        clock.advance(10);
+        r.xfer_end(1, 100);
+        r.call_exit();
+        // Unmonitored exchange.
+        r.pause();
+        r.call_enter("Recv");
+        clock.advance(10);
+        r.xfer_end(2, 100);
+        r.call_exit();
+        r.resume();
+        // Monitored again.
+        r.call_enter("Recv");
+        clock.advance(10);
+        r.xfer_end(3, 100);
+        r.call_exit();
+        let report = r.finish();
+        assert_eq!(report.total.transfers, 2, "paused transfer must not count");
+        assert_eq!(report.calls["Recv"].count, 2);
+    }
+
+    #[test]
+    fn sections_flow_through_recorder() {
+        let clock = ManualClock::new();
+        let mut r = recorder(&clock, 8);
+        r.section_begin("x_solve");
+        r.call_enter("Recv");
+        clock.advance(100);
+        r.xfer_end(1, 64);
+        r.call_exit();
+        r.section_end();
+        let report = r.finish();
+        assert_eq!(report.sections["x_solve"].total.transfers, 1);
+    }
+}
+
+#[cfg(test)]
+mod observer_tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use crate::observer::TraceSink;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn observer_sees_events_in_order() {
+        let clock = ManualClock::new();
+        let table = XferTimeTable::from_points(vec![(1, 100)]);
+        let mut rec = Recorder::new(0, Box::new(clock.clone()), table, RecorderOpts::default());
+        let seen: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+        let seen_in = Rc::clone(&seen);
+        rec.set_observer(Box::new(move |e: &crate::event::Event| {
+            seen_in.borrow_mut().push(e.t);
+        }));
+        rec.call_enter("X");
+        clock.advance(5);
+        rec.xfer_end(1, 10);
+        clock.advance(5);
+        rec.call_exit();
+        let _ = rec.finish();
+        assert_eq!(&*seen.borrow(), &[0, 5, 10]);
+    }
+
+    #[test]
+    fn trace_sink_recoverable_after_run() {
+        let clock = ManualClock::new();
+        let table = XferTimeTable::from_points(vec![(1, 100)]);
+        let mut rec = Recorder::new(0, Box::new(clock.clone()), table, RecorderOpts::default());
+        rec.set_observer(Box::new(TraceSink::new(Vec::new())));
+        rec.call_enter("Y");
+        rec.call_exit();
+        let obs = rec.take_observer().unwrap();
+        // The report still aggregates normally alongside the trace.
+        let report = rec.finish();
+        assert_eq!(report.events_recorded, 2);
+        drop(obs);
+    }
+}

@@ -1,0 +1,43 @@
+//! Bin-partition property tests: every size lands in exactly one bin, labels
+//! are consistent, and custom edges behave.
+
+use overlap_core::SizeBins;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn every_size_maps_to_a_valid_bin(bytes in 0u64..100_000_000) {
+        let b = SizeBins::log_default();
+        let i = b.index(bytes);
+        prop_assert!(i < b.count());
+        prop_assert_eq!(b.labels().len(), b.count());
+    }
+
+    #[test]
+    fn index_is_monotonic_in_size(a in 0u64..100_000_000, d in 0u64..100_000_000) {
+        let b = SizeBins::log_default();
+        prop_assert!(b.index(a) <= b.index(a.saturating_add(d)));
+    }
+
+    #[test]
+    fn custom_edges_partition_exactly(
+        mut edges in prop::collection::vec(1u64..1_000_000, 1..8),
+        bytes in 0u64..2_000_000,
+    ) {
+        edges.sort_unstable();
+        edges.dedup();
+        let b = SizeBins::from_edges(edges.clone());
+        let i = b.index(bytes);
+        // The bin's implied range actually contains `bytes`.
+        let lo = if i == 0 { 0 } else { edges[i - 1] };
+        let hi = edges.get(i).copied().unwrap_or(u64::MAX);
+        prop_assert!(bytes >= lo && bytes < hi, "bytes {bytes} in bin {i} [{lo},{hi})");
+    }
+
+    #[test]
+    fn short_long_split_is_binary(threshold in 1u64..10_000_000, bytes in 0u64..20_000_000) {
+        let b = SizeBins::short_long(threshold);
+        prop_assert_eq!(b.count(), 2);
+        prop_assert_eq!(b.index(bytes), usize::from(bytes >= threshold));
+    }
+}

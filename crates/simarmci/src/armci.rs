@@ -1,0 +1,583 @@
+//! The per-rank ARMCI endpoint.
+
+use std::collections::{HashMap, VecDeque};
+
+use bytes::Bytes;
+use overlap_core::{OverlapReport, Recorder, RecorderOpts, XferTimeTable};
+use simcore::{Activity, Duration, RankCtx, Time};
+use simnet::{Completion, NetConfig, Packet, RegionId, SharedWorld};
+
+/// Internal message packet (setup / sync / tiny collectives).
+const PT_MSG: u16 = 20;
+
+/// Completion correlation kinds.
+const WK_IGNORE: u64 = 0;
+const WK_PUT: u64 = 1;
+const WK_GET: u64 = 2;
+const WK_RMW: u64 = 3;
+
+fn pack(kind: u64, h: u64) -> u64 {
+    (kind << 56) | h
+}
+fn unpack(user: u64) -> (u64, u64) {
+    (user >> 56, user & ((1 << 56) - 1))
+}
+
+/// Handle to a non-blocking one-sided operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NbHandle(u64);
+
+/// Collectively allocated global memory: one equally sized, registered
+/// segment per rank (the result of `ARMCI_Malloc`).
+#[derive(Debug, Clone)]
+pub struct GlobalMem {
+    regions: Vec<RegionId>,
+    /// Per-rank segment size in bytes.
+    pub seg_len: usize,
+}
+
+struct HandleState {
+    done: bool,
+    /// (xfer id, len) for the END stamp at completion.
+    stamp: (u64, u64),
+    /// Fetched data for gets.
+    data: Option<Bytes>,
+    is_put: bool,
+}
+
+/// The per-rank ARMCI library endpoint.
+pub struct Armci<'a> {
+    ctx: &'a mut RankCtx,
+    world: SharedWorld,
+    net: NetConfig,
+    rec: Recorder,
+    rank: usize,
+    nranks: usize,
+    handles: HashMap<u64, HandleState>,
+    next_handle: u64,
+    /// Implicit-handle puts not yet fenced.
+    outstanding_puts: Vec<NbHandle>,
+    /// Internal message layer receive buffer.
+    msgs: VecDeque<(usize, u64, Bytes)>,
+    coll_seq: u64,
+}
+
+impl<'a> Armci<'a> {
+    /// Initialize ARMCI on this rank and synchronize.
+    pub fn init(
+        ctx: &'a mut RankCtx,
+        world: SharedWorld,
+        table: XferTimeTable,
+        rec_opts: RecorderOpts,
+    ) -> Self {
+        let rank = ctx.rank();
+        let nranks = ctx.nranks();
+        let handle = ctx.handle();
+        let clock = move || handle.now();
+        let rec = Recorder::new(rank, Box::new(clock), table, rec_opts);
+        let net = world.lock().cfg().clone();
+        let mut a = Armci {
+            ctx,
+            world,
+            net,
+            rec,
+            rank,
+            nranks,
+            handles: HashMap::new(),
+            next_handle: 0,
+            outstanding_puts: Vec::new(),
+            msgs: VecDeque::new(),
+            coll_seq: 0,
+        };
+        a.rec.call_enter("ARMCI_Init");
+        a.barrier_inner();
+        a.rec.call_exit();
+        a
+    }
+
+    /// This rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Current virtual time, ns.
+    pub fn now(&self) -> Time {
+        self.ctx.now()
+    }
+
+    /// User computation for `d` ns.
+    pub fn compute(&mut self, d: Duration) {
+        self.ctx.compute(d);
+    }
+
+    /// Begin a monitored section.
+    pub fn section_begin(&mut self, name: &'static str) {
+        self.rec.section_begin(name);
+    }
+
+    /// End the innermost monitored section.
+    pub fn section_end(&mut self) {
+        self.rec.section_end();
+    }
+
+    /// Shut down and emit the per-process overlap report.
+    pub fn finalize(mut self) -> OverlapReport {
+        self.rec.call_enter("ARMCI_Finalize");
+        self.barrier_inner();
+        self.rec.call_exit();
+        self.rec.finish()
+    }
+
+    /// Collectively allocate `seg_len` bytes of global memory on every rank
+    /// (`ARMCI_Malloc`): registers a local segment and exchanges segment
+    /// addresses.
+    pub fn malloc(&mut self, seg_len: usize) -> GlobalMem {
+        self.rec.call_enter("ARMCI_Malloc");
+        self.lib_busy(self.net.reg_cost(seg_len));
+        let my_region = {
+            let mut w = self.world.lock();
+            w.register(self.rank, vec![0u8; seg_len])
+        };
+        // Exchange region ids (setup metadata, not data transfers).
+        let tag = self.alloc_coll_tag();
+        for dst in 0..self.nranks {
+            if dst != self.rank {
+                self.msg_send(dst, tag, &my_region.0.to_le_bytes());
+            }
+        }
+        let mut regions = vec![RegionId(0); self.nranks];
+        regions[self.rank] = my_region;
+        for _ in 0..self.nranks - 1 {
+            let (src, _, data) = self.msg_recv_tag(tag);
+            regions[src] = RegionId(u64::from_le_bytes(data[..8].try_into().unwrap()));
+        }
+        self.rec.call_exit();
+        GlobalMem { regions, seg_len }
+    }
+
+    /// Direct access to this rank's own segment (local load/store).
+    pub fn local_read(&mut self, mem: &GlobalMem, off: usize, len: usize) -> Vec<u8> {
+        let w = self.world.lock();
+        w.mem(self.rank).get(mem.regions[self.rank]).expect("segment")[off..off + len].to_vec()
+    }
+
+    /// Write into this rank's own segment.
+    pub fn local_write(&mut self, mem: &GlobalMem, off: usize, data: &[u8]) {
+        let mut w = self.world.lock();
+        let seg = w.mem_mut(self.rank).get_mut(mem.regions[self.rank]).expect("segment");
+        seg[off..off + data.len()].copy_from_slice(data);
+    }
+
+    /// Non-blocking one-sided put: RDMA Write `data` into `dst`'s segment at
+    /// `off`. Returns a handle for [`Armci::wait`].
+    pub fn nb_put(&mut self, mem: &GlobalMem, dst: usize, off: usize, data: &[u8]) -> NbHandle {
+        self.rec.call_enter("ARMCI_NbPut");
+        let h = self.put_inner(mem, dst, off, data);
+        self.rec.call_exit();
+        h
+    }
+
+    /// Blocking one-sided put (initiate + wait inside one call).
+    pub fn put(&mut self, mem: &GlobalMem, dst: usize, off: usize, data: &[u8]) {
+        self.rec.call_enter("ARMCI_Put");
+        let h = self.put_inner(mem, dst, off, data);
+        self.wait_inner(h);
+        self.rec.call_exit();
+    }
+
+    /// Non-blocking one-sided get: RDMA Read `len` bytes from `src`'s
+    /// segment at `off`. Data is returned by [`Armci::wait`].
+    pub fn nb_get(&mut self, mem: &GlobalMem, src: usize, off: usize, len: usize) -> NbHandle {
+        self.rec.call_enter("ARMCI_NbGet");
+        let h = self.get_inner(mem, src, off, len);
+        self.rec.call_exit();
+        h
+    }
+
+    /// Blocking one-sided get.
+    pub fn get(&mut self, mem: &GlobalMem, src: usize, off: usize, len: usize) -> Bytes {
+        self.rec.call_enter("ARMCI_Get");
+        let h = self.get_inner(mem, src, off, len);
+        let data = self.wait_inner(h);
+        self.rec.call_exit();
+        data.expect("get returns data")
+    }
+
+    /// One-sided accumulate: elementwise `f64` addition into `dst`'s
+    /// segment (`ARMCI_Acc` with `ARMCI_ACC_DBL`). Blocking.
+    pub fn acc(&mut self, mem: &GlobalMem, dst: usize, off: usize, vals: &[f64]) {
+        self.rec.call_enter("ARMCI_Acc");
+        let h = self.acc_inner(mem, dst, off, vals);
+        self.wait_inner(h);
+        self.rec.call_exit();
+    }
+
+    /// Non-blocking accumulate.
+    pub fn nb_acc(&mut self, mem: &GlobalMem, dst: usize, off: usize, vals: &[f64]) -> NbHandle {
+        self.rec.call_enter("ARMCI_NbAcc");
+        let h = self.acc_inner(mem, dst, off, vals);
+        self.rec.call_exit();
+        h
+    }
+
+    /// Atomic fetch-and-add on a `u64` in `dst`'s segment (`ARMCI_Rmw`
+    /// with `ARMCI_FETCH_AND_ADD_LONG`): adds `delta` and returns the
+    /// previous value. Blocking; the update is performed at the target NIC
+    /// without host involvement.
+    pub fn rmw_fetch_add(&mut self, mem: &GlobalMem, dst: usize, off: usize, delta: u64) -> u64 {
+        self.rec.call_enter("ARMCI_Rmw");
+        self.progress();
+        assert!(off + 8 <= mem.seg_len, "rmw out of segment bounds");
+        assert!(off.is_multiple_of(8), "rmw offset must be 8-aligned");
+        self.lib_busy(self.net.post_cost);
+        let h = self.alloc_handle();
+        {
+            let mut w = self.world.lock();
+            w.post_rdma_fetch_add(self.rank, dst, mem.regions[dst], off, delta, pack(WK_RMW, h));
+        }
+        self.handles.insert(
+            h,
+            HandleState {
+                done: false,
+                stamp: (u64::MAX, 0),
+                data: None,
+                is_put: false,
+            },
+        );
+        let data = self.wait_inner(NbHandle(h)).expect("rmw returns the old value");
+        self.rec.call_exit();
+        u64::from_le_bytes(data[..8].try_into().unwrap())
+    }
+
+    /// Wait for one non-blocking operation; returns fetched data for gets.
+    pub fn wait(&mut self, h: NbHandle) -> Option<Bytes> {
+        self.rec.call_enter("ARMCI_Wait");
+        let d = self.wait_inner(h);
+        self.rec.call_exit();
+        d
+    }
+
+    /// Complete every outstanding put to every target (`ARMCI_AllFence`).
+    pub fn all_fence(&mut self) {
+        self.rec.call_enter("ARMCI_AllFence");
+        let pending = std::mem::take(&mut self.outstanding_puts);
+        for h in pending {
+            if self.handles.contains_key(&h.0) {
+                self.wait_inner(h);
+            }
+        }
+        self.rec.call_exit();
+    }
+
+    /// Global synchronization (`armci_msg_barrier`).
+    pub fn barrier(&mut self) {
+        self.rec.call_enter("ARMCI_Barrier");
+        self.barrier_inner();
+        self.rec.call_exit();
+    }
+
+    /// Small global sum over the message layer (MG's norm reductions).
+    pub fn allreduce_sum(&mut self, vals: &[f64]) -> Vec<f64> {
+        self.rec.call_enter("armci_msg_dgop");
+        let n = self.nranks;
+        let me = self.rank;
+        let mut acc = vals.to_vec();
+        if n > 1 {
+            let tag = self.alloc_coll_tag();
+            // Binomial reduce to 0.
+            let mut mask = 1usize;
+            while mask < n {
+                if me & mask == 0 {
+                    let src = me | mask;
+                    if src < n {
+                        let (_, _, data) = self.msg_recv_tag(tag);
+                        let other: Vec<f64> = data
+                            .chunks_exact(8)
+                            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                            .collect();
+                        acc.iter_mut().zip(&other).for_each(|(a, b)| *a += b);
+                    }
+                } else {
+                    let dst = me & !mask;
+                    let bytes: Vec<u8> = acc.iter().flat_map(|x| x.to_le_bytes()).collect();
+                    self.msg_send(dst, tag, &bytes);
+                    break;
+                }
+                mask <<= 1;
+            }
+            // Binomial bcast from 0.
+            let tag2 = self.alloc_coll_tag();
+            let mut mask = 1usize;
+            while mask < n {
+                if me & mask != 0 {
+                    let (_, _, data) = self.msg_recv_tag(tag2);
+                    acc = data
+                        .chunks_exact(8)
+                        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                        .collect();
+                    break;
+                }
+                mask <<= 1;
+            }
+            mask >>= 1;
+            while mask > 0 {
+                if me + mask < n {
+                    let bytes: Vec<u8> = acc.iter().flat_map(|x| x.to_le_bytes()).collect();
+                    self.msg_send(me + mask, tag2, &bytes);
+                }
+                mask >>= 1;
+            }
+        }
+        self.rec.call_exit();
+        acc
+    }
+
+    // ---- internals --------------------------------------------------------
+
+    fn lib_busy(&mut self, d: Duration) {
+        self.ctx.busy(d, Activity::Library);
+    }
+
+    fn alloc_handle(&mut self) -> u64 {
+        let h = self.next_handle;
+        self.next_handle += 1;
+        h
+    }
+
+    fn alloc_coll_tag(&mut self) -> u64 {
+        let t = self.coll_seq;
+        self.coll_seq += 1;
+        t
+    }
+
+    fn put_inner(&mut self, mem: &GlobalMem, dst: usize, off: usize, data: &[u8]) -> NbHandle {
+        self.progress();
+        assert!(off + data.len() <= mem.seg_len, "put out of segment bounds");
+        self.lib_busy(self.net.post_cost);
+        let h = self.alloc_handle();
+        let xfer;
+        {
+            let mut w = self.world.lock();
+            let x = w.alloc_xfer_id();
+            xfer = x.0;
+            w.post_rdma_write(
+                self.rank,
+                dst,
+                mem.regions[dst],
+                off,
+                Bytes::copy_from_slice(data),
+                pack(WK_PUT, h),
+                None,
+                Some(x),
+            );
+        }
+        self.rec.xfer_begin(xfer, data.len() as u64);
+        self.handles.insert(
+            h,
+            HandleState {
+                done: false,
+                stamp: (xfer, data.len() as u64),
+                data: None,
+                is_put: true,
+            },
+        );
+        self.outstanding_puts.push(NbHandle(h));
+        NbHandle(h)
+    }
+
+    fn acc_inner(&mut self, mem: &GlobalMem, dst: usize, off: usize, vals: &[f64]) -> NbHandle {
+        self.progress();
+        assert!(off + vals.len() * 8 <= mem.seg_len, "acc out of segment bounds");
+        self.lib_busy(self.net.post_cost);
+        let h = self.alloc_handle();
+        let xfer;
+        {
+            let mut w = self.world.lock();
+            let x = w.alloc_xfer_id();
+            xfer = x.0;
+            w.post_rdma_acc_f64(
+                self.rank,
+                dst,
+                mem.regions[dst],
+                off,
+                vals.to_vec(),
+                pack(WK_PUT, h),
+                Some(x),
+            );
+        }
+        self.rec.xfer_begin(xfer, (vals.len() * 8) as u64);
+        self.handles.insert(
+            h,
+            HandleState {
+                done: false,
+                stamp: (xfer, (vals.len() * 8) as u64),
+                data: None,
+                is_put: true,
+            },
+        );
+        self.outstanding_puts.push(NbHandle(h));
+        NbHandle(h)
+    }
+
+    fn get_inner(&mut self, mem: &GlobalMem, src: usize, off: usize, len: usize) -> NbHandle {
+        self.progress();
+        assert!(off + len <= mem.seg_len, "get out of segment bounds");
+        self.lib_busy(self.net.post_cost);
+        let h = self.alloc_handle();
+        let xfer;
+        {
+            let mut w = self.world.lock();
+            let x = w.alloc_xfer_id();
+            xfer = x.0;
+            w.post_rdma_read(
+                self.rank,
+                src,
+                mem.regions[src],
+                off,
+                len,
+                pack(WK_GET, h),
+                None,
+                Some(x),
+            );
+        }
+        self.rec.xfer_begin(xfer, len as u64);
+        self.handles.insert(
+            h,
+            HandleState {
+                done: false,
+                stamp: (xfer, len as u64),
+                data: None,
+                is_put: false,
+            },
+        );
+        NbHandle(h)
+    }
+
+    fn wait_inner(&mut self, h: NbHandle) -> Option<Bytes> {
+        loop {
+            self.progress();
+            if self.handles.get(&h.0).expect("unknown handle").done {
+                let st = self.handles.remove(&h.0).unwrap();
+                if st.is_put {
+                    self.outstanding_puts.retain(|&p| p != h);
+                }
+                return st.data;
+            }
+            self.wait_for_event();
+        }
+    }
+
+    fn wait_for_event(&mut self) {
+        let has = self.world.lock().has_host_events(self.rank);
+        if !has {
+            self.ctx.park();
+        }
+    }
+
+    fn progress(&mut self) {
+        self.lib_busy(self.net.poll_cost);
+        loop {
+            enum Item {
+                C(Completion),
+                P(Packet),
+            }
+            let item = {
+                let mut w = self.world.lock();
+                if let Some(c) = w.poll_cq(self.rank) {
+                    Some(Item::C(c))
+                } else {
+                    w.poll_rx(self.rank).map(Item::P)
+                }
+            };
+            match item {
+                None => break,
+                Some(Item::C(c)) => {
+                    let (kind, h) = unpack(c.user);
+                    match kind {
+                        WK_IGNORE => {}
+                        WK_PUT | WK_GET => {
+                            let st = self.handles.get_mut(&h).expect("completion for unknown handle");
+                            st.done = true;
+                            st.data = c.data;
+                            let (xfer, len) = st.stamp;
+                            self.rec.xfer_end(xfer, len);
+                        }
+                        WK_RMW => {
+                            // Synchronization primitive, not a data
+                            // transfer: no overlap stamps.
+                            let st = self.handles.get_mut(&h).expect("completion for unknown handle");
+                            st.done = true;
+                            st.data = c.data;
+                        }
+                        other => panic!("unknown ARMCI completion kind {other}"),
+                    }
+                }
+                Some(Item::P(p)) => {
+                    assert_eq!(p.ty, PT_MSG, "unexpected packet type {}", p.ty);
+                    self.msgs
+                        .push_back((p.src, p.h[0], p.data.unwrap_or_else(Bytes::new)));
+                }
+            }
+        }
+    }
+
+    // ---- internal message layer (setup + sync, not data transfers) -------
+
+    fn msg_send(&mut self, dst: usize, tag: u64, data: &[u8]) {
+        self.progress();
+        self.lib_busy(self.net.post_cost);
+        let mut w = self.world.lock();
+        let pkt = Packet::with_data(
+            self.rank,
+            data.len() + self.net.ctrl_packet_bytes,
+            PT_MSG,
+            [tag, 0, 0, 0, 0, 0],
+            Bytes::copy_from_slice(data),
+        );
+        w.post_send(self.rank, dst, pkt, pack(WK_IGNORE, 0), None);
+    }
+
+    fn msg_recv_tag(&mut self, tag: u64) -> (usize, u64, Bytes) {
+        loop {
+            self.progress();
+            if let Some(pos) = self.msgs.iter().position(|&(_, t, _)| t == tag) {
+                return self.msgs.remove(pos).unwrap();
+            }
+            self.wait_for_event();
+        }
+    }
+
+    fn barrier_inner(&mut self) {
+        let n = self.nranks;
+        if n == 1 {
+            return;
+        }
+        let base = self.alloc_coll_tag() | (1 << 48);
+        let mut dist = 1;
+        let mut round = 0u64;
+        while dist < n {
+            let to = (self.rank + dist) % n;
+            let from = (self.rank + n - dist) % n;
+            self.msg_send(to, base + (round << 32), &[]);
+            loop {
+                self.progress();
+                if let Some(pos) = self
+                    .msgs
+                    .iter()
+                    .position(|&(s, t, _)| s == from && t == base + (round << 32))
+                {
+                    self.msgs.remove(pos);
+                    break;
+                }
+                self.wait_for_event();
+            }
+            dist *= 2;
+            round += 1;
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! ARMCI semantics: one-sided data movement, handles, fences, and the
+//! blocking-vs-nonblocking overlap contrast of paper Figure 19.
+
+use overlap_core::RecorderOpts;
+use simarmci::{run_armci, ArmciRunOutcome};
+use simnet::NetConfig;
+
+fn run(nranks: usize, body: impl Fn(&mut simarmci::Armci) + Send + Sync + 'static) -> ArmciRunOutcome {
+    run_armci(nranks, NetConfig::default(), RecorderOpts::default(), body).expect("run failed")
+}
+
+#[test]
+fn put_places_data_in_remote_segment() {
+    run(2, |a| {
+        let mem = a.malloc(1024);
+        if a.rank() == 0 {
+            a.put(&mem, 1, 100, &[7u8; 64]);
+            a.barrier();
+        } else {
+            a.barrier();
+            let local = a.local_read(&mem, 100, 64);
+            assert_eq!(local, vec![7u8; 64]);
+            assert_eq!(a.local_read(&mem, 0, 1)[0], 0);
+        }
+    });
+}
+
+#[test]
+fn get_fetches_remote_segment() {
+    run(2, |a| {
+        let mem = a.malloc(4096);
+        if a.rank() == 1 {
+            a.local_write(&mem, 0, &(0u8..=255).collect::<Vec<_>>());
+        }
+        a.barrier();
+        if a.rank() == 0 {
+            let data = a.get(&mem, 1, 10, 20);
+            assert_eq!(&data[..], &(10u8..30).collect::<Vec<_>>()[..]);
+        }
+    });
+}
+
+#[test]
+fn nb_put_wait_and_fence() {
+    run(3, |a| {
+        let mem = a.malloc(256);
+        if a.rank() == 0 {
+            let h1 = a.nb_put(&mem, 1, 0, &[1u8; 128]);
+            let h2 = a.nb_put(&mem, 2, 0, &[2u8; 128]);
+            a.compute(50_000);
+            a.wait(h1);
+            a.wait(h2);
+            a.barrier();
+        } else {
+            a.barrier();
+            let v = a.local_read(&mem, 0, 128);
+            assert_eq!(v, vec![a.rank() as u8; 128]);
+        }
+    });
+}
+
+#[test]
+fn all_fence_completes_implicit_puts() {
+    run(2, |a| {
+        let mem = a.malloc(64);
+        if a.rank() == 0 {
+            for i in 0..5u8 {
+                a.nb_put(&mem, 1, i as usize * 8, &[i + 1; 8]);
+            }
+            a.all_fence();
+            a.barrier();
+        } else {
+            a.barrier();
+            for i in 0..5u8 {
+                assert_eq!(a.local_read(&mem, i as usize * 8, 8), vec![i + 1; 8]);
+            }
+        }
+    });
+}
+
+#[test]
+fn allreduce_sums_across_ranks() {
+    run(4, |a| {
+        let out = a.allreduce_sum(&[1.0, a.rank() as f64]);
+        assert_eq!(out, vec![4.0, 6.0]);
+    });
+}
+
+#[test]
+fn blocking_put_is_case1_zero_overlap() {
+    let out = run(2, |a| {
+        let mem = a.malloc(1 << 20);
+        a.barrier();
+        if a.rank() == 0 {
+            for _ in 0..10 {
+                a.put(&mem, 1, 0, &vec![1u8; 512 << 10]);
+                a.compute(1_000_000);
+            }
+        } else {
+            a.compute(20_000_000);
+        }
+        a.barrier();
+    });
+    let r0 = &out.reports[0];
+    assert_eq!(r0.total.transfers, 10);
+    assert_eq!(r0.total.max_overlap, 0, "blocking puts must show zero overlap");
+    assert_eq!(r0.total.case_same_call, 10);
+}
+
+#[test]
+fn nonblocking_put_overlaps_computation() {
+    let out = run(2, |a| {
+        let mem = a.malloc(1 << 20);
+        a.barrier();
+        if a.rank() == 0 {
+            for _ in 0..10 {
+                let h = a.nb_put(&mem, 1, 0, &vec![1u8; 512 << 10]);
+                a.compute(1_000_000); // > transfer time (~529 us)
+                a.wait(h);
+            }
+        } else {
+            a.compute(20_000_000);
+        }
+        a.barrier();
+    });
+    let r0 = &out.reports[0];
+    assert!(
+        r0.total.max_pct() > 95.0,
+        "non-blocking puts should overlap nearly fully: {}",
+        r0.total.max_pct()
+    );
+    assert!(r0.total.min_pct() > 90.0);
+    // Validate against ground truth.
+    let truth = out.true_overlap(0);
+    assert!(r0.total.min_overlap <= truth);
+}
+
+#[test]
+fn nb_get_returns_data_after_overlapped_wait() {
+    run(2, |a| {
+        let mem = a.malloc(8192);
+        if a.rank() == 1 {
+            a.local_write(&mem, 0, &[42u8; 8192]);
+        }
+        a.barrier();
+        if a.rank() == 0 {
+            let h = a.nb_get(&mem, 1, 0, 8192);
+            a.compute(100_000);
+            let data = a.wait(h).expect("get data");
+            assert_eq!(&data[..], &[42u8; 8192][..]);
+        }
+    });
+}
+
+#[test]
+fn one_sided_ops_record_ground_truth() {
+    let out = run(2, |a| {
+        let mem = a.malloc(4096);
+        a.barrier();
+        if a.rank() == 0 {
+            a.put(&mem, 1, 0, &[1u8; 4096]);
+            let _ = a.get(&mem, 1, 0, 4096);
+        }
+        a.barrier();
+    });
+    assert_eq!(out.transfers.len(), 2);
+    let kinds: Vec<_> = out.transfers.iter().map(|t| t.kind).collect();
+    assert!(kinds.contains(&simnet::TransferKind::RdmaWrite));
+    assert!(kinds.contains(&simnet::TransferKind::RdmaRead));
+}
+
+#[test]
+fn malloc_segments_are_independent_per_rank() {
+    run(4, |a| {
+        let mem = a.malloc(128);
+        let me = a.rank() as u8;
+        a.local_write(&mem, 0, &[me; 128]);
+        a.barrier();
+        // Everyone reads everyone: segment r must hold r everywhere.
+        for r in 0..a.nranks() {
+            let data = if r == a.rank() {
+                a.local_read(&mem, 0, 128).into()
+            } else {
+                a.get(&mem, r, 0, 128)
+            };
+            assert_eq!(&data[..], &[r as u8; 128][..]);
+        }
+    });
+}
+
+#[test]
+fn accumulate_adds_elementwise_at_target() {
+    run(3, |a| {
+        let mem = a.malloc(64);
+        if a.rank() == 1 {
+            // Seed the target values.
+            let seed: Vec<u8> = [1.0f64, 2.0, 3.0].iter().flat_map(|v| v.to_le_bytes()).collect();
+            a.local_write(&mem, 0, &seed);
+        }
+        a.barrier();
+        if a.rank() != 1 {
+            // Both other ranks accumulate concurrently; sums must compose.
+            a.acc(&mem, 1, 0, &[10.0, 20.0, 30.0]);
+        }
+        a.barrier();
+        if a.rank() == 1 {
+            let raw = a.local_read(&mem, 0, 24);
+            let vals: Vec<f64> = raw
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            assert_eq!(vals, vec![21.0, 42.0, 63.0]);
+        }
+    });
+}
+
+#[test]
+fn nb_acc_overlaps_and_counts_as_transfer() {
+    let out = run(2, |a| {
+        let mem = a.malloc(8192);
+        a.barrier();
+        if a.rank() == 0 {
+            for _ in 0..5 {
+                let h = a.nb_acc(&mem, 1, 0, &vec![1.0f64; 1024]);
+                a.compute(100_000);
+                a.wait(h);
+            }
+        } else {
+            a.compute(1_000_000);
+        }
+        a.barrier();
+    });
+    assert_eq!(out.reports[0].total.transfers, 5);
+    assert!(out.reports[0].total.max_pct() > 90.0, "nb_acc should overlap");
+    let w = out.transfers.iter().filter(|t| t.bytes == 8192).count();
+    assert_eq!(w, 5);
+    // Target sees the accumulated sum.
+}
+
+#[test]
+fn rmw_fetch_add_is_atomic_across_ranks() {
+    // All ranks increment a shared counter concurrently; the final value and
+    // the set of observed "old" values must both be exact.
+    use std::sync::Mutex;
+    static OLDS: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    OLDS.lock().unwrap().clear();
+    run(4, |a| {
+        let mem = a.malloc(64);
+        a.barrier();
+        for _ in 0..5 {
+            let old = a.rmw_fetch_add(&mem, 0, 0, 1);
+            OLDS.lock().unwrap().push(old);
+        }
+        a.barrier();
+        if a.rank() == 0 {
+            let raw = a.local_read(&mem, 0, 8);
+            let total = u64::from_le_bytes(raw.try_into().unwrap());
+            assert_eq!(total, 20, "4 ranks x 5 increments");
+        }
+    });
+    let mut olds = OLDS.lock().unwrap().clone();
+    olds.sort_unstable();
+    assert_eq!(olds, (0..20).collect::<Vec<u64>>(), "each ticket issued once");
+}
+
+#[test]
+fn rmw_serves_as_a_ticket_lock() {
+    run(3, |a| {
+        let mem = a.malloc(16);
+        a.barrier();
+        let ticket = a.rmw_fetch_add(&mem, 0, 0, 1);
+        assert!(ticket < 3);
+        a.barrier();
+    });
+}

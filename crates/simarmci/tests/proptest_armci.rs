@@ -1,0 +1,120 @@
+//! Property tests: random one-sided operation sequences against a local
+//! model of the global memory, plus bound validation.
+
+use proptest::prelude::*;
+
+use overlap_core::RecorderOpts;
+use simarmci::run_armci;
+use simnet::NetConfig;
+
+#[derive(Debug, Clone, Copy)]
+enum OneSided {
+    Put { dst: usize, off: usize, len: usize, val: u8 },
+    Get { src: usize, off: usize, len: usize },
+    AccOne { dst: usize, slot: usize, val: u8 },
+    Fence,
+    Barrier,
+}
+
+const SEG: usize = 4096;
+
+fn arb_op(nranks: usize) -> impl Strategy<Value = OneSided> {
+    // Puts stay in the lower half; accumulate slots own the upper half
+    // (mixing raw-byte puts into f64 accumulate slots would make the local
+    // model meaningless).
+    prop_oneof![
+        (0..nranks, 0usize..SEG / 2, 1usize..SEG / 2, any::<u8>())
+            .prop_map(|(dst, off, len, val)| OneSided::Put {
+                dst,
+                off,
+                len: len.min(SEG / 2 - off),
+                val
+            }),
+        (0..nranks, 0usize..SEG / 2, 1usize..SEG / 2)
+            .prop_map(|(src, off, len)| OneSided::Get {
+                src,
+                off,
+                len: len.min(SEG / 2 - off)
+            }),
+        (0..nranks, 0usize..8, 1u8..10)
+            .prop_map(|(dst, slot, val)| OneSided::AccOne { dst, slot, val }),
+        Just(OneSided::Fence),
+        Just(OneSided::Barrier),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Rank 0 drives a random op sequence against idle targets while
+    /// maintaining a local model of every segment; gets must always return
+    /// exactly the modeled contents (single-writer semantics).
+    #[test]
+    fn single_writer_sequences_match_model(ops in prop::collection::vec(arb_op(3), 1..25)) {
+        let ops_in = ops.clone();
+        run_armci(3, NetConfig::default(), RecorderOpts::default(), move |a| {
+            // Accumulate slots live in the upper half of each segment.
+            let acc_base = SEG / 2;
+            let mem = a.malloc(SEG);
+            a.barrier();
+            if a.rank() == 0 {
+                let mut model = vec![vec![0u8; SEG]; a.nranks()];
+                let mut accs = vec![[0f64; 8]; a.nranks()];
+                for op in &ops_in {
+                    match *op {
+                        OneSided::Put { dst, off, len, val } => {
+                            let data = vec![val; len];
+                            a.put(&mem, dst, off, &data);
+                            model[dst][off..off + len].copy_from_slice(&data);
+                        }
+                        OneSided::Get { src, off, len } => {
+                            let got = a.get(&mem, src, off, len);
+                            assert_eq!(&got[..], &model[src][off..off + len], "get mismatch");
+                        }
+                        OneSided::AccOne { dst, slot, val } => {
+                            a.acc(&mem, dst, acc_base + slot * 8, &[val as f64]);
+                            accs[dst][slot] += val as f64;
+                            model[dst][acc_base + slot * 8..acc_base + slot * 8 + 8]
+                                .copy_from_slice(&accs[dst][slot].to_le_bytes());
+                        }
+                        OneSided::Fence => a.all_fence(),
+                        OneSided::Barrier => {}
+                    }
+                }
+            }
+            a.barrier();
+        })
+        .expect("run failed");
+    }
+
+    /// Bounds bracket truth for random non-blocking pipelines.
+    #[test]
+    fn nb_pipelines_respect_bounds(
+        lens in prop::collection::vec(1usize..400_000, 1..10),
+        computes in prop::collection::vec(0u64..800_000, 1..10),
+    ) {
+        let lens_in = lens.clone();
+        let computes_in = computes.clone();
+        let net = NetConfig::default();
+        let out = run_armci(2, net.clone(), RecorderOpts::default(), move |a| {
+            let mem = a.malloc(400_000);
+            a.barrier();
+            if a.rank() == 0 {
+                for (i, &len) in lens_in.iter().enumerate() {
+                    let h = a.nb_put(&mem, 1, 0, &vec![i as u8; len]);
+                    a.compute(computes_in[i % computes_in.len()]);
+                    a.wait(h);
+                }
+            }
+            a.barrier();
+        })
+        .expect("run failed");
+        let table = simmpi::default_xfer_table(&net);
+        let r = &out.reports[0].total;
+        let truth = out.true_overlap(0);
+        let slack = out.congestion_excess(0, &table);
+        prop_assert!(r.min_overlap <= truth, "min {} > truth {}", r.min_overlap, truth);
+        prop_assert!(truth <= r.max_overlap + slack);
+        prop_assert_eq!(r.transfers as usize, lens.len());
+    }
+}

@@ -1,0 +1,558 @@
+//! The discrete-event engine and cooperative rank scheduler.
+//!
+//! The engine owns a time-ordered queue of entries, each either a
+//! state-mutating callback (used by the network model) or a rank wake-up.
+//! Ranks execute on dedicated OS threads but the engine hands control to at
+//! most one of them at a time through a rendezvous channel pair, so the whole
+//! simulation is logically single-threaded and deterministic: entries are
+//! ordered by `(time, sequence-number)`.
+
+use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::error::SimError;
+use crate::rank::RankCtx;
+use crate::time::{Duration, Time};
+use crate::truth::ActivityLog;
+
+/// A scheduled callback: runs at its time with access to the engine handle so
+/// it can schedule follow-up events and wake ranks.
+type Callback = Box<dyn FnOnce(&EngineHandle) + Send>;
+
+pub(crate) enum Action {
+    WakeRank(usize),
+    Call(Callback),
+}
+
+pub(crate) struct Entry {
+    time: Time,
+    seq: u64,
+    action: Action,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    // Reversed so that `BinaryHeap` (a max-heap) pops the smallest
+    // `(time, seq)` first.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    NotStarted,
+    Running,
+    Sleeping,
+    Parked,
+    Done,
+}
+
+struct RankSlot {
+    phase: Phase,
+    wake_pending: bool,
+}
+
+pub(crate) struct EngineShared {
+    queue: Mutex<BinaryHeap<Entry>>,
+    now: AtomicU64,
+    seq: AtomicU64,
+    slots: Mutex<Vec<RankSlot>>,
+}
+
+impl EngineShared {
+    fn push(&self, time: Time, action: Action) {
+        let seq = self.seq.fetch_add(1, AtomicOrdering::Relaxed);
+        self.queue.lock().push(Entry { time, seq, action });
+    }
+}
+
+/// Cloneable handle into a running (or not-yet-run) simulation. Event
+/// callbacks and library code use it to read the clock, schedule future
+/// events, and wake parked ranks.
+#[derive(Clone)]
+pub struct EngineHandle {
+    pub(crate) shared: Arc<EngineShared>,
+}
+
+impl EngineHandle {
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.shared.now.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Schedule `f` to run at absolute virtual time `t` (clamped to `now`).
+    pub fn schedule_at<F>(&self, t: Time, f: F)
+    where
+        F: FnOnce(&EngineHandle) + Send + 'static,
+    {
+        let t = t.max(self.now());
+        self.shared.push(t, Action::Call(Box::new(f)));
+    }
+
+    /// Schedule `f` to run `delay` nanoseconds from now.
+    pub fn schedule_in<F>(&self, delay: Duration, f: F)
+    where
+        F: FnOnce(&EngineHandle) + Send + 'static,
+    {
+        self.schedule_at(self.now().saturating_add(delay), f);
+    }
+
+    /// Wake rank `r` if it is parked. No-op for running, sleeping (a rank
+    /// that is mid-`compute` is uninterruptible — it discovers new state at
+    /// its next library call), or finished ranks. Idempotent: at most one
+    /// wake-up entry is outstanding per parked rank.
+    pub fn wake_rank(&self, r: usize) {
+        let mut slots = self.shared.slots.lock();
+        let slot = &mut slots[r];
+        if slot.phase == Phase::Parked && !slot.wake_pending {
+            slot.wake_pending = true;
+            drop(slots);
+            self.shared
+                .push(self.now(), Action::WakeRank(r));
+        }
+    }
+}
+
+/// Resource limits for a simulation run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimOpts {
+    /// Abort with [`SimError::TimeLimitExceeded`] if virtual time passes this.
+    pub max_time: Option<Time>,
+    /// Abort with [`SimError::EventLimitExceeded`] after this many entries.
+    pub max_events: Option<u64>,
+}
+
+/// Successful simulation result.
+#[derive(Debug)]
+pub struct SimOutcome {
+    /// Virtual time when the last entry was processed.
+    pub end_time: Time,
+    /// Per-rank ground-truth activity logs.
+    pub activity: Vec<ActivityLog>,
+    /// Number of queue entries processed (events + wake-ups).
+    pub events_processed: u64,
+}
+
+pub(crate) enum YieldMsg {
+    Sleep(Time),
+    Park,
+    Done(ActivityLog),
+    Panicked(String),
+}
+
+/// A simulation: `nranks` cooperative processes over one virtual clock.
+pub struct Simulation {
+    shared: Arc<EngineShared>,
+    nranks: usize,
+}
+
+impl Simulation {
+    /// Create a simulation with `nranks` ranks. The engine handle is
+    /// available immediately (e.g. to build the network model) even before
+    /// [`Simulation::run`] is called.
+    pub fn new(nranks: usize) -> Self {
+        assert!(nranks > 0, "simulation needs at least one rank");
+        let slots = (0..nranks)
+            .map(|_| RankSlot {
+                phase: Phase::NotStarted,
+                wake_pending: false,
+            })
+            .collect();
+        Simulation {
+            shared: Arc::new(EngineShared {
+                queue: Mutex::new(BinaryHeap::new()),
+                now: AtomicU64::new(0),
+                seq: AtomicU64::new(0),
+                slots: Mutex::new(slots),
+            }),
+            nranks,
+        }
+    }
+
+    /// Handle for scheduling events and waking ranks.
+    pub fn handle(&self) -> EngineHandle {
+        EngineHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Run `body` once per rank to completion. Returns the outcome or the
+    /// first terminal error (deadlock, rank panic, resource limit).
+    pub fn run<F>(self, opts: SimOpts, body: F) -> Result<SimOutcome, SimError>
+    where
+        F: Fn(&mut RankCtx) + Send + Sync + 'static,
+    {
+        let body = Arc::new(body);
+        let n = self.nranks;
+        let mut resume_txs: Vec<Sender<()>> = Vec::with_capacity(n);
+        let mut yield_rxs: Vec<Receiver<YieldMsg>> = Vec::with_capacity(n);
+        let mut joins = Vec::with_capacity(n);
+
+        for r in 0..n {
+            let (resume_tx, resume_rx) = bounded::<()>(1);
+            let (yield_tx, yield_rx) = bounded::<YieldMsg>(1);
+            resume_txs.push(resume_tx);
+            yield_rxs.push(yield_rx);
+            let body = Arc::clone(&body);
+            let shared = Arc::clone(&self.shared);
+            joins.push(
+                std::thread::Builder::new()
+                    .name(format!("sim-rank-{r}"))
+                    .spawn(move || {
+                        // Wait for the first wake-up; if the engine aborted
+                        // before starting us, just exit.
+                        if resume_rx.recv().is_err() {
+                            return;
+                        }
+                        let mut ctx =
+                            RankCtx::new(r, n, shared, yield_tx.clone(), resume_rx);
+                        let result = catch_unwind(AssertUnwindSafe(|| body(&mut ctx)));
+                        match result {
+                            Ok(()) => {
+                                let log = ctx.take_log();
+                                let _ = yield_tx.send(YieldMsg::Done(log));
+                            }
+                            Err(payload) => {
+                                let msg = panic_message(payload.as_ref());
+                                let _ = yield_tx.send(YieldMsg::Panicked(msg));
+                            }
+                        }
+                    })
+                    .expect("failed to spawn rank thread"),
+            );
+        }
+
+        // Kick off every rank at t = 0.
+        for r in 0..n {
+            self.shared.push(0, Action::WakeRank(r));
+        }
+
+        let handle = self.handle();
+        let mut logs: Vec<Option<ActivityLog>> = (0..n).map(|_| None).collect();
+        let mut events: u64 = 0;
+        let result = 'main: loop {
+            let entry = self.shared.queue.lock().pop();
+            let Some(entry) = entry else {
+                let slots = self.shared.slots.lock();
+                let stuck: Vec<usize> = slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.phase != Phase::Done)
+                    .map(|(i, _)| i)
+                    .collect();
+                if stuck.is_empty() {
+                    break Ok(());
+                }
+                break Err(SimError::Deadlock {
+                    parked: stuck,
+                    at: handle.now(),
+                });
+            };
+            events += 1;
+            if let Some(limit) = opts.max_events {
+                if events > limit {
+                    break Err(SimError::EventLimitExceeded { limit });
+                }
+            }
+            if let Some(limit) = opts.max_time {
+                if entry.time > limit {
+                    break Err(SimError::TimeLimitExceeded { limit });
+                }
+            }
+            debug_assert!(entry.time >= handle.now(), "time went backwards");
+            self.shared.now.store(entry.time, AtomicOrdering::Relaxed);
+
+            match entry.action {
+                Action::Call(f) => f(&handle),
+                Action::WakeRank(r) => {
+                    let should_run = {
+                        let mut slots = self.shared.slots.lock();
+                        let slot = &mut slots[r];
+                        slot.wake_pending = false;
+                        match slot.phase {
+                            Phase::NotStarted | Phase::Sleeping | Phase::Parked => {
+                                slot.phase = Phase::Running;
+                                true
+                            }
+                            Phase::Done => false,
+                            Phase::Running => unreachable!("rank {r} woken while running"),
+                        }
+                    };
+                    if !should_run {
+                        continue;
+                    }
+                    if resume_txs[r].send(()).is_err() {
+                        break Err(SimError::RankPanic {
+                            rank: r,
+                            message: "rank thread exited unexpectedly".into(),
+                        });
+                    }
+                    match yield_rxs[r].recv() {
+                        Ok(YieldMsg::Sleep(t)) => {
+                            self.shared.slots.lock()[r].phase = Phase::Sleeping;
+                            self.shared
+                                .push(t.max(handle.now()), Action::WakeRank(r));
+                        }
+                        Ok(YieldMsg::Park) => {
+                            self.shared.slots.lock()[r].phase = Phase::Parked;
+                        }
+                        Ok(YieldMsg::Done(log)) => {
+                            self.shared.slots.lock()[r].phase = Phase::Done;
+                            logs[r] = Some(log);
+                        }
+                        Ok(YieldMsg::Panicked(message)) => {
+                            break 'main Err(SimError::RankPanic { rank: r, message });
+                        }
+                        Err(_) => {
+                            break Err(SimError::RankPanic {
+                                rank: r,
+                                message: "rank thread dropped its yield channel".into(),
+                            });
+                        }
+                    }
+                }
+            }
+        };
+
+        // Teardown: dropping the resume senders unblocks any waiting threads
+        // (their recv errors and they unwind out of the rank body).
+        drop(resume_txs);
+        for j in joins {
+            let _ = j.join();
+        }
+
+        result.map(|()| SimOutcome {
+            end_time: handle.now(),
+            activity: logs
+                .into_iter()
+                .map(|l| l.expect("every rank finished with a log"))
+                .collect(),
+            events_processed: events,
+        })
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truth::Activity;
+
+    #[test]
+    fn single_rank_computes_and_finishes() {
+        let sim = Simulation::new(1);
+        let out = sim
+            .run(SimOpts::default(), |ctx| {
+                ctx.compute(100);
+                ctx.compute(50);
+            })
+            .unwrap();
+        assert_eq!(out.end_time, 150);
+        assert_eq!(out.activity[0].total(Activity::Compute), 150);
+    }
+
+    #[test]
+    fn ranks_advance_independently() {
+        let sim = Simulation::new(3);
+        let out = sim
+            .run(SimOpts::default(), |ctx| {
+                let d = (ctx.rank() as u64 + 1) * 10;
+                ctx.compute(d);
+            })
+            .unwrap();
+        assert_eq!(out.end_time, 30);
+        for r in 0..3 {
+            assert_eq!(out.activity[r].total(Activity::Compute), (r as u64 + 1) * 10);
+        }
+    }
+
+    #[test]
+    fn callback_wakes_parked_rank() {
+        let sim = Simulation::new(1);
+        let handle = sim.handle();
+        handle.schedule_at(500, |h| h.wake_rank(0));
+        let out = sim
+            .run(SimOpts::default(), |ctx| {
+                ctx.park();
+                assert_eq!(ctx.now(), 500);
+            })
+            .unwrap();
+        assert_eq!(out.end_time, 500);
+    }
+
+    #[test]
+    fn park_records_library_wait() {
+        let sim = Simulation::new(1);
+        let handle = sim.handle();
+        handle.schedule_at(200, |h| h.wake_rank(0));
+        let out = sim
+            .run(SimOpts::default(), |ctx| {
+                ctx.park();
+            })
+            .unwrap();
+        assert_eq!(out.activity[0].total(Activity::LibraryWait), 200);
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let sim = Simulation::new(2);
+        let err = sim
+            .run(SimOpts::default(), |ctx| {
+                if ctx.rank() == 0 {
+                    ctx.park(); // nobody will ever wake rank 0
+                }
+            })
+            .unwrap_err();
+        match err {
+            SimError::Deadlock { parked, .. } => assert_eq!(parked, vec![0]),
+            other => panic!("expected deadlock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rank_panic_propagates() {
+        let sim = Simulation::new(2);
+        let err = sim
+            .run(SimOpts::default(), |ctx| {
+                if ctx.rank() == 1 {
+                    panic!("boom");
+                }
+                ctx.compute(10);
+            })
+            .unwrap_err();
+        match err {
+            SimError::RankPanic { rank, message } => {
+                assert_eq!(rank, 1);
+                assert!(message.contains("boom"));
+            }
+            other => panic!("expected rank panic, got {other}"),
+        }
+    }
+
+    #[test]
+    fn chained_callbacks_keep_time_order() {
+        let sim = Simulation::new(1);
+        let handle = sim.handle();
+        handle.schedule_at(10, |h| {
+            assert_eq!(h.now(), 10);
+            h.schedule_in(5, |h2| {
+                assert_eq!(h2.now(), 15);
+                h2.wake_rank(0);
+            });
+        });
+        let out = sim
+            .run(SimOpts::default(), |ctx| {
+                ctx.park();
+                assert_eq!(ctx.now(), 15);
+            })
+            .unwrap();
+        assert_eq!(out.end_time, 15);
+    }
+
+    #[test]
+    fn event_limit_enforced() {
+        let sim = Simulation::new(1);
+        let handle = sim.handle();
+        // Self-perpetuating callback chain.
+        fn again(h: &EngineHandle) {
+            h.schedule_in(1, again);
+        }
+        handle.schedule_at(0, again);
+        let err = sim
+            .run(
+                SimOpts {
+                    max_events: Some(100),
+                    ..Default::default()
+                },
+                |ctx| ctx.park(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, SimError::EventLimitExceeded { .. }));
+    }
+
+    #[test]
+    fn time_limit_enforced() {
+        let sim = Simulation::new(1);
+        let err = sim
+            .run(
+                SimOpts {
+                    max_time: Some(1_000),
+                    ..Default::default()
+                },
+                |ctx| {
+                    ctx.compute(10_000);
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, SimError::TimeLimitExceeded { .. }));
+    }
+
+    #[test]
+    fn wake_is_idempotent_for_parked_rank() {
+        let sim = Simulation::new(1);
+        let handle = sim.handle();
+        handle.schedule_at(100, |h| {
+            h.wake_rank(0);
+            h.wake_rank(0); // duplicate wake must not break anything
+        });
+        let out = sim
+            .run(SimOpts::default(), |ctx| {
+                ctx.park();
+                ctx.compute(1);
+            })
+            .unwrap();
+        assert_eq!(out.end_time, 101);
+    }
+
+    #[test]
+    fn deterministic_event_order_for_ties() {
+        // Two callbacks at the same time must run in scheduling order.
+        let sim = Simulation::new(1);
+        let handle = sim.handle();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..5 {
+            let seen = Arc::clone(&seen);
+            handle.schedule_at(42, move |h| {
+                seen.lock().push(i);
+                if i == 4 {
+                    h.wake_rank(0);
+                }
+            });
+        }
+        sim.run(SimOpts::default(), |ctx| ctx.park()).unwrap();
+        assert_eq!(&*seen.lock(), &[0, 1, 2, 3, 4]);
+    }
+}

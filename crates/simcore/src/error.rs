@@ -1,0 +1,58 @@
+//! Simulation error types.
+
+use std::fmt;
+
+/// Terminal failures of a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The event queue drained while one or more ranks were still parked:
+    /// no future event can ever wake them. This is the simulated analogue of
+    /// an MPI deadlock (e.g. two blocking rendezvous sends to each other).
+    Deadlock {
+        /// Ranks that were parked when the queue drained.
+        parked: Vec<usize>,
+        /// Virtual time at which the deadlock was detected.
+        at: crate::Time,
+    },
+    /// A rank's body panicked; the message is the stringified payload.
+    RankPanic {
+        /// The panicking rank.
+        rank: usize,
+        /// Stringified panic payload.
+        message: String,
+    },
+    /// Virtual time exceeded [`crate::SimOpts::max_time`].
+    TimeLimitExceeded {
+        /// The configured limit, ns.
+        limit: crate::Time,
+    },
+    /// More events were processed than [`crate::SimOpts::max_events`] allows
+    /// (guards against livelock in buggy protocols).
+    EventLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { parked, at } => write!(
+                f,
+                "simulated deadlock at t={}ns: ranks {:?} are parked with no pending events",
+                at, parked
+            ),
+            SimError::RankPanic { rank, message } => {
+                write!(f, "rank {} panicked: {}", rank, message)
+            }
+            SimError::TimeLimitExceeded { limit } => {
+                write!(f, "virtual time limit exceeded ({}ns)", limit)
+            }
+            SimError::EventLimitExceeded { limit } => {
+                write!(f, "event limit exceeded ({} events)", limit)
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

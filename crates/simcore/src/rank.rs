@@ -1,0 +1,116 @@
+//! Per-rank execution context.
+
+use std::sync::Arc;
+
+use crossbeam::channel::{Receiver, Sender};
+
+use crate::engine::{EngineHandle, EngineShared, YieldMsg};
+use crate::time::{Duration, Time};
+use crate::truth::{Activity, ActivityLog};
+
+/// Handle through which a simulated process interacts with virtual time.
+///
+/// A `RankCtx` is handed to the rank body by [`crate::Simulation::run`]. All
+/// methods that advance or wait on virtual time transfer control back to the
+/// engine, which runs network events (and other ranks) in the meantime.
+pub struct RankCtx {
+    rank: usize,
+    nranks: usize,
+    shared: Arc<EngineShared>,
+    yield_tx: Sender<YieldMsg>,
+    resume_rx: Receiver<()>,
+    log: ActivityLog,
+}
+
+impl RankCtx {
+    pub(crate) fn new(
+        rank: usize,
+        nranks: usize,
+        shared: Arc<EngineShared>,
+        yield_tx: Sender<YieldMsg>,
+        resume_rx: Receiver<()>,
+    ) -> Self {
+        RankCtx {
+            rank,
+            nranks,
+            shared,
+            yield_tx,
+            resume_rx,
+            log: ActivityLog::new(),
+        }
+    }
+
+    /// This rank's id, `0..nranks`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of ranks in the simulation.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        EngineHandle {
+            shared: Arc::clone(&self.shared),
+        }
+        .now()
+    }
+
+    /// Engine handle (for scheduling events / waking other ranks from
+    /// library code running on this rank's thread).
+    pub fn handle(&self) -> EngineHandle {
+        EngineHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Perform user computation for `d` nanoseconds of virtual time.
+    pub fn compute(&mut self, d: Duration) {
+        self.busy(d, Activity::Compute);
+    }
+
+    /// Spend `d` nanoseconds of host CPU time attributed to `kind`.
+    /// Communication libraries use `Activity::Library` for copies,
+    /// registration, and protocol processing costs.
+    pub fn busy(&mut self, d: Duration, kind: Activity) {
+        if d == 0 {
+            return;
+        }
+        let start = self.now();
+        let end = start.saturating_add(d);
+        self.log.record(start, end, kind);
+        self.yield_to_engine(YieldMsg::Sleep(end));
+    }
+
+    /// Block until an event handler calls [`EngineHandle::wake_rank`] for
+    /// this rank. The blocked interval is attributed to
+    /// [`Activity::LibraryWait`] in the ground-truth log.
+    pub fn park(&mut self) {
+        let start = self.now();
+        self.yield_to_engine(YieldMsg::Park);
+        let end = self.now();
+        self.log.record(start, end, Activity::LibraryWait);
+    }
+
+    /// Ground-truth log recorded so far (read-only).
+    pub fn activity(&self) -> &ActivityLog {
+        &self.log
+    }
+
+    pub(crate) fn take_log(&mut self) -> ActivityLog {
+        std::mem::take(&mut self.log)
+    }
+
+    fn yield_to_engine(&mut self, msg: YieldMsg) {
+        self.yield_tx
+            .send(msg)
+            .unwrap_or_else(|_| panic!("simulation aborted"));
+        if self.resume_rx.recv().is_err() {
+            // The engine tore down mid-run (another rank panicked, limit hit,
+            // ...). Unwind out of the rank body; the wrapper swallows this.
+            panic!("simulation aborted");
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Virtual time.
+//!
+//! The simulation clock counts **nanoseconds** in a `u64`. Durations use the
+//! same unit. A `u64` nanosecond clock spans ~584 years of virtual time, far
+//! beyond any simulated workload here.
+
+/// A point in virtual time, in nanoseconds since simulation start.
+pub type Time = u64;
+
+/// A span of virtual time, in nanoseconds.
+pub type Duration = u64;
+
+/// Construct a duration from nanoseconds (identity; for symmetry).
+#[inline]
+pub const fn ns(v: u64) -> Duration {
+    v
+}
+
+/// Construct a duration from microseconds.
+#[inline]
+pub const fn us(v: u64) -> Duration {
+    v * 1_000
+}
+
+/// Construct a duration from milliseconds.
+#[inline]
+pub const fn ms(v: u64) -> Duration {
+    v * 1_000_000
+}
+
+/// Convert a duration to fractional microseconds (for reporting).
+#[inline]
+pub fn to_us(d: Duration) -> f64 {
+    d as f64 / 1_000.0
+}
+
+/// Convert a duration to fractional milliseconds (for reporting).
+#[inline]
+pub fn to_ms(d: Duration) -> f64 {
+    d as f64 / 1_000_000.0
+}
+
+/// Convert fractional microseconds to a duration, rounding to nearest ns.
+#[inline]
+pub fn from_us_f64(v: f64) -> Duration {
+    (v * 1_000.0).round().max(0.0) as Duration
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constructors_scale() {
+        assert_eq!(ns(7), 7);
+        assert_eq!(us(3), 3_000);
+        assert_eq!(ms(2), 2_000_000);
+    }
+
+    #[test]
+    fn round_trips() {
+        assert_eq!(to_us(us(5)), 5.0);
+        assert_eq!(to_ms(ms(9)), 9.0);
+        assert_eq!(from_us_f64(1.5), 1_500);
+        assert_eq!(from_us_f64(-1.0), 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Engine stress and edge-case tests: many ranks, wake storms, chained
+//! event cascades, and scheduling corner cases.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use simcore::{Activity, EngineHandle, SimError, SimOpts, Simulation};
+
+#[test]
+fn many_ranks_interleave_deterministically() {
+    let run = || {
+        let sim = Simulation::new(32);
+        sim.run(SimOpts::default(), |ctx| {
+            for i in 0..20 {
+                ctx.compute(((ctx.rank() * 7 + i) % 13 + 1) as u64 * 100);
+            }
+        })
+        .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.end_time, b.end_time);
+    assert_eq!(a.events_processed, b.events_processed);
+    for (la, lb) in a.activity.iter().zip(&b.activity) {
+        assert_eq!(la.entries(), lb.entries());
+    }
+}
+
+#[test]
+fn wake_storm_on_one_rank_coalesces() {
+    // 1000 callbacks all waking the same parked rank at the same instant:
+    // the wake-pending guard must coalesce them into one wake-up.
+    let sim = Simulation::new(1);
+    let handle = sim.handle();
+    let fired = Arc::new(AtomicU64::new(0));
+    for _ in 0..1000 {
+        let fired = Arc::clone(&fired);
+        handle.schedule_at(100, move |h| {
+            fired.fetch_add(1, Ordering::Relaxed);
+            h.wake_rank(0);
+        });
+    }
+    let out = sim
+        .run(SimOpts::default(), |ctx| {
+            let mut wakes = 0;
+            // Park repeatedly; each wake resumes us once.
+            while ctx.now() < 100 {
+                ctx.park();
+                wakes += 1;
+            }
+            assert!(wakes <= 2, "wake storm not coalesced: {wakes} wakes");
+        })
+        .unwrap();
+    assert_eq!(fired.load(Ordering::Relaxed), 1000);
+    assert_eq!(out.end_time, 100);
+}
+
+#[test]
+fn event_cascade_depth() {
+    // A 10_000-deep chain of immediate callbacks must not recurse or stall.
+    fn chain(h: &EngineHandle, remaining: u64) {
+        if remaining == 0 {
+            h.wake_rank(0);
+        } else {
+            h.schedule_in(1, move |h2| chain(h2, remaining - 1));
+        }
+    }
+    let sim = Simulation::new(1);
+    let handle = sim.handle();
+    handle.schedule_at(0, |h| chain(h, 10_000));
+    let out = sim.run(SimOpts::default(), |ctx| ctx.park()).unwrap();
+    assert_eq!(out.end_time, 10_000);
+    assert!(out.events_processed > 10_000);
+}
+
+#[test]
+fn zero_duration_compute_is_free() {
+    let sim = Simulation::new(1);
+    let out = sim
+        .run(SimOpts::default(), |ctx| {
+            for _ in 0..100 {
+                ctx.compute(0);
+            }
+            ctx.compute(5);
+        })
+        .unwrap();
+    assert_eq!(out.end_time, 5);
+    // Zero-length intervals are dropped from the log.
+    assert_eq!(out.activity[0].entries().len(), 1);
+}
+
+#[test]
+fn mixed_busy_kinds_partition_the_log() {
+    let sim = Simulation::new(1);
+    let out = sim
+        .run(SimOpts::default(), |ctx| {
+            ctx.compute(100);
+            ctx.busy(50, Activity::Library);
+            ctx.compute(25);
+            ctx.busy(10, Activity::Library);
+        })
+        .unwrap();
+    let log = &out.activity[0];
+    assert_eq!(log.total(Activity::Compute), 125);
+    assert_eq!(log.total(Activity::Library), 60);
+    assert_eq!(log.end_time(), 185);
+}
+
+#[test]
+fn rank_panics_surface_even_from_high_rank_counts() {
+    let sim = Simulation::new(16);
+    let err = sim
+        .run(SimOpts::default(), |ctx| {
+            ctx.compute(10 * (ctx.rank() as u64 + 1));
+            if ctx.rank() == 13 {
+                panic!("unlucky");
+            }
+        })
+        .unwrap_err();
+    match err {
+        SimError::RankPanic { rank, message } => {
+            assert_eq!(rank, 13);
+            assert!(message.contains("unlucky"));
+        }
+        other => panic!("expected rank panic, got {other}"),
+    }
+}
+
+#[test]
+fn deadlock_reports_all_stuck_ranks() {
+    let sim = Simulation::new(4);
+    let err = sim
+        .run(SimOpts::default(), |ctx| {
+            if ctx.rank() % 2 == 0 {
+                ctx.park(); // ranks 0 and 2 never woken
+            } else {
+                ctx.compute(100);
+            }
+        })
+        .unwrap_err();
+    match err {
+        SimError::Deadlock { parked, at } => {
+            assert_eq!(parked, vec![0, 2]);
+            assert_eq!(at, 100);
+        }
+        other => panic!("expected deadlock, got {other}"),
+    }
+}
+
+#[test]
+fn schedule_in_the_past_clamps_to_now() {
+    let sim = Simulation::new(1);
+    let handle = sim.handle();
+    handle.schedule_at(50, |h| {
+        // Asking for t=10 when now=50 must fire "immediately" (at 50).
+        h.schedule_at(10, |h2| {
+            assert_eq!(h2.now(), 50);
+            h2.wake_rank(0);
+        });
+    });
+    let out = sim.run(SimOpts::default(), |ctx| ctx.park()).unwrap();
+    assert_eq!(out.end_time, 50);
+}
+
+#[test]
+fn outcome_reports_event_counts() {
+    let sim = Simulation::new(2);
+    let out = sim
+        .run(SimOpts::default(), |ctx| {
+            ctx.compute(10);
+            ctx.compute(10);
+        })
+        .unwrap();
+    // 2 initial wakes + 2 sleeps each = at least 6 entries.
+    assert!(out.events_processed >= 6);
+}

@@ -1,0 +1,75 @@
+//! Property tests for the interval algebra that ground-truth overlap
+//! computation rests on.
+
+use proptest::prelude::*;
+use simcore::IntervalSet;
+
+fn arb_intervals() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((0u64..10_000, 0u64..500), 0..40)
+        .prop_map(|v| v.into_iter().map(|(s, len)| (s, s + len)).collect())
+}
+
+proptest! {
+    #[test]
+    fn construction_yields_sorted_disjoint(raw in arb_intervals()) {
+        let set = IntervalSet::from_unsorted(raw);
+        let ivs: Vec<_> = set.iter().collect();
+        for w in ivs.windows(2) {
+            prop_assert!(w[0].1 < w[1].0, "intervals must be disjoint and sorted");
+        }
+        for (s, e) in ivs {
+            prop_assert!(s < e);
+        }
+    }
+
+    #[test]
+    fn intersection_measure_bounded(a in arb_intervals(), b in arb_intervals()) {
+        let sa = IntervalSet::from_unsorted(a);
+        let sb = IntervalSet::from_unsorted(b);
+        let i = sa.intersect(&sb);
+        prop_assert!(i.total() <= sa.total());
+        prop_assert!(i.total() <= sb.total());
+    }
+
+    #[test]
+    fn intersection_commutes(a in arb_intervals(), b in arb_intervals()) {
+        let sa = IntervalSet::from_unsorted(a);
+        let sb = IntervalSet::from_unsorted(b);
+        prop_assert_eq!(sa.intersect(&sb), sb.intersect(&sa));
+    }
+
+    #[test]
+    fn self_intersection_is_identity(a in arb_intervals()) {
+        let sa = IntervalSet::from_unsorted(a);
+        prop_assert_eq!(sa.intersect(&sa), sa.clone());
+    }
+
+    #[test]
+    fn union_measure_by_inclusion_exclusion(a in arb_intervals(), b in arb_intervals()) {
+        let sa = IntervalSet::from_unsorted(a);
+        let sb = IntervalSet::from_unsorted(b);
+        let u = sa.union(&sb);
+        let i = sa.intersect(&sb);
+        prop_assert_eq!(u.total() + i.total(), sa.total() + sb.total());
+    }
+
+    #[test]
+    fn overlap_with_equals_single_interval_intersection(
+        a in arb_intervals(),
+        start in 0u64..10_000,
+        len in 0u64..2_000,
+    ) {
+        let sa = IntervalSet::from_unsorted(a);
+        let window = IntervalSet::from_unsorted(vec![(start, start + len)]);
+        prop_assert_eq!(sa.overlap_with(start, start + len), sa.intersect(&window).total());
+    }
+
+    #[test]
+    fn union_contains_both(a in arb_intervals(), b in arb_intervals()) {
+        let sa = IntervalSet::from_unsorted(a);
+        let sb = IntervalSet::from_unsorted(b);
+        let u = sa.union(&sb);
+        prop_assert_eq!(u.intersect(&sa), sa.clone());
+        prop_assert_eq!(u.intersect(&sb), sb.clone());
+    }
+}

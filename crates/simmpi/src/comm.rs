@@ -1,0 +1,60 @@
+//! Communicators: process subgroups with their own rank numbering and
+//! collective scope (the `MPI_Comm_split` subset real NAS codes use for
+//! row/column communicators).
+
+/// A communicator: an ordered subgroup of world ranks. Obtained from
+/// [`crate::Mpi::comm_world`] or [`crate::Mpi::comm_split`]; passed to the
+/// `*_comm` collective variants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comm {
+    /// Unique id, agreed across members (scopes collective tags).
+    pub(crate) id: u64,
+    /// Member world ranks in communicator order.
+    pub(crate) ranks: Vec<usize>,
+    /// This process's rank within the communicator.
+    pub(crate) my_idx: usize,
+}
+
+impl Comm {
+    pub(crate) fn world(nranks: usize, my_rank: usize) -> Self {
+        Comm {
+            id: 0,
+            ranks: (0..nranks).collect(),
+            my_idx: my_rank,
+        }
+    }
+
+    /// Number of member processes.
+    pub fn size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// This process's rank within the communicator.
+    pub fn rank(&self) -> usize {
+        self.my_idx
+    }
+
+    /// World rank of communicator member `idx`.
+    pub fn world_rank(&self, idx: usize) -> usize {
+        self.ranks[idx]
+    }
+
+    /// All member world ranks in communicator order.
+    pub fn members(&self) -> &[usize] {
+        &self.ranks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_comm_is_identity() {
+        let c = Comm::world(4, 2);
+        assert_eq!(c.size(), 4);
+        assert_eq!(c.rank(), 2);
+        assert_eq!(c.world_rank(3), 3);
+        assert_eq!(c.members(), &[0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Top-level harness: run an MPI program on a simulated cluster and collect
+//! per-rank overlap reports plus fabric ground truth.
+
+use std::sync::Arc;
+
+use overlap_core::{OverlapReport, RecorderOpts, XferTimeTable};
+use parking_lot::Mutex;
+use simcore::{ActivityLog, SimError, SimOpts, Time};
+use simnet::{Cluster, NetConfig, TransferRecord};
+
+use crate::config::MpiConfig;
+use crate::mpi::Mpi;
+
+/// Everything a run produces.
+#[derive(Debug)]
+pub struct MpiRunOutcome {
+    /// Per-rank overlap reports from the instrumentation framework.
+    pub reports: Vec<OverlapReport>,
+    /// Ground-truth physical transfer records from the fabric.
+    pub transfers: Vec<TransferRecord>,
+    /// Ground-truth per-rank activity logs.
+    pub activity: Vec<ActivityLog>,
+    /// Virtual end time of the run.
+    pub end_time: Time,
+    /// Engine queue entries processed.
+    pub events_processed: u64,
+}
+
+impl MpiRunOutcome {
+    /// Ground-truth overlap for `rank`: Σ over transfers touching the rank of
+    /// the intersection between the physical transfer interval and the rank's
+    /// compute intervals.
+    pub fn true_overlap(&self, rank: usize) -> u64 {
+        simnet::truth::total_true_overlap(&self.transfers, rank, &self.activity[rank])
+    }
+
+    /// Σ over transfers touching `rank` of how much the physical duration
+    /// exceeded the a-priori table time — the congestion slack that loosens
+    /// the framework's *upper* bound (see `DESIGN.md`).
+    pub fn congestion_excess(&self, rank: usize, table: &XferTimeTable) -> u64 {
+        self.transfers
+            .iter()
+            .filter(|t| t.src == rank || t.dst == rank)
+            .map(|t| t.duration().saturating_sub(table.lookup(t.bytes as u64)))
+            .sum()
+    }
+}
+
+impl MpiRunOutcome {
+    /// Write every rank's report to `dir` as `overlap.rank<N>.json` — the
+    /// paper's "output file is generated for each process" behaviour.
+    pub fn write_reports(&self, dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+        std::fs::create_dir_all(dir)?;
+        let mut paths = Vec::with_capacity(self.reports.len());
+        for r in &self.reports {
+            let path = dir.join(format!("overlap.rank{}.json", r.rank));
+            r.save_json(&path)?;
+            paths.push(path);
+        }
+        Ok(paths)
+    }
+}
+
+/// The a-priori transfer-time table for a fabric — what the paper measured
+/// once with `perf_main` and stored on disk. Sampled at power-of-two sizes
+/// up to 8 MiB from the fabric's idle one-way transfer time.
+pub fn default_xfer_table(net: &NetConfig) -> XferTimeTable {
+    XferTimeTable::sample(1, 8 << 20, |b| net.transfer_time(b as usize))
+}
+
+/// Run `body` as an MPI program on `nranks` simulated nodes.
+pub fn run_mpi<F>(
+    nranks: usize,
+    net: NetConfig,
+    mpi_cfg: MpiConfig,
+    rec_opts: RecorderOpts,
+    body: F,
+) -> Result<MpiRunOutcome, SimError>
+where
+    F: Fn(&mut Mpi) + Send + Sync + 'static,
+{
+    let table = default_xfer_table(&net);
+    run_mpi_with(nranks, net, mpi_cfg, rec_opts, table, SimOpts::default(), body)
+}
+
+/// Full-control variant of [`run_mpi`]: custom transfer-time table and
+/// engine limits.
+pub fn run_mpi_with<F>(
+    nranks: usize,
+    net: NetConfig,
+    mpi_cfg: MpiConfig,
+    rec_opts: RecorderOpts,
+    table: XferTimeTable,
+    opts: SimOpts,
+    body: F,
+) -> Result<MpiRunOutcome, SimError>
+where
+    F: Fn(&mut Mpi) + Send + Sync + 'static,
+{
+    let cluster = Cluster::new(nranks, net);
+    let reports: Arc<Mutex<Vec<Option<OverlapReport>>>> =
+        Arc::new(Mutex::new((0..nranks).map(|_| None).collect()));
+    let reports_in = Arc::clone(&reports);
+    let out = cluster.run(opts, move |ctx, world| {
+        let rank = ctx.rank();
+        let mut mpi = Mpi::init(
+            ctx,
+            world.clone(),
+            mpi_cfg.clone(),
+            table.clone(),
+            rec_opts.clone(),
+        );
+        body(&mut mpi);
+        let report = mpi.finalize();
+        reports_in.lock()[rank] = Some(report);
+    })?;
+    let reports = Arc::try_unwrap(reports)
+        .expect("report collector uniquely owned after run")
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every rank produced a report"))
+        .collect();
+    Ok(MpiRunOutcome {
+        reports,
+        transfers: out.transfers,
+        activity: out.activity,
+        end_time: out.end_time,
+        events_processed: out.events_processed,
+    })
+}

@@ -1,0 +1,430 @@
+//! Non-blocking collectives.
+//!
+//! The paper's FT analysis (Sec. 4.2) shows a blocking `Alltoall` moving
+//! long messages with *zero* opportunity for overlap — the whole transpose
+//! happens inside one library call. The remedy the MPI community eventually
+//! standardized (MPI-3) is non-blocking collectives: initiate, compute,
+//! complete. This module implements them as *schedules advanced by the
+//! polling progress engine*: each active collective is a small state machine
+//! whose rounds post ordinary (instrumented) point-to-point operations, so
+//! the overlap framework observes their transfers exactly like any others.
+//!
+//! Implemented: [`Mpi::ibarrier`], [`Mpi::ibcast`], [`Mpi::ialltoall`],
+//! [`Mpi::iallreduce`] (ring algorithm: reduce-scatter + allgather).
+//!
+//! Like blocking collectives, all members must initiate the same collectives
+//! in the same order per communicator.
+
+use crate::comm::Comm;
+use crate::mpi::Mpi;
+use crate::types::{bytes_to_f64s, f64s_to_bytes, ReduceOp, Request, Src, TagSel};
+
+/// Handle to an in-flight non-blocking collective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CollHandle(pub(crate) u64);
+
+/// Result of a completed non-blocking collective.
+#[derive(Debug)]
+pub enum CollResult {
+    /// Barrier: nothing.
+    Empty,
+    /// Broadcast: the propagated payload.
+    Data(Vec<u8>),
+    /// Alltoall: one block per communicator rank.
+    Blocks(Vec<Vec<u8>>),
+    /// Allreduce: the reduced vector.
+    Vals(Vec<f64>),
+}
+
+impl CollResult {
+    /// Unwrap a broadcast payload.
+    pub fn into_data(self) -> Vec<u8> {
+        match self {
+            CollResult::Data(d) => d,
+            other => panic!("expected Data, got {other:?}"),
+        }
+    }
+
+    /// Unwrap alltoall blocks.
+    pub fn into_blocks(self) -> Vec<Vec<u8>> {
+        match self {
+            CollResult::Blocks(b) => b,
+            other => panic!("expected Blocks, got {other:?}"),
+        }
+    }
+
+    /// Unwrap reduced values.
+    pub fn into_vals(self) -> Vec<f64> {
+        match self {
+            CollResult::Vals(v) => v,
+            other => panic!("expected Vals, got {other:?}"),
+        }
+    }
+}
+
+pub(crate) struct ICollState {
+    pub(crate) done: bool,
+    result: Option<CollResult>,
+    kind: Kind,
+}
+
+impl ICollState {
+    pub(crate) fn take_result(mut self) -> CollResult {
+        self.result.take().expect("collective incomplete")
+    }
+}
+
+enum Kind {
+    Barrier {
+        comm: Comm,
+        tag: u64,
+        dist: usize,
+        round: u64,
+        inflight: Option<(Request, Request)>,
+    },
+    Bcast {
+        comm: Comm,
+        root: usize,
+        tag: u64,
+        data: Option<Vec<u8>>,
+        recv: Option<Request>,
+        sends: Option<Vec<Request>>,
+    },
+    Alltoall {
+        recvs: Vec<(usize, Request)>,
+        sends: Vec<Request>,
+        out: Vec<Option<Vec<u8>>>,
+    },
+    Allreduce {
+        comm: Comm,
+        tag: u64,
+        op: ReduceOp,
+        chunks: Vec<Vec<f64>>,
+        /// 0 = reduce-scatter ring, 1 = allgather ring, 2 = finished.
+        phase: u8,
+        step: usize,
+        inflight: Option<(Request, Request, usize)>,
+    },
+}
+
+impl Mpi<'_> {
+    /// Non-blocking barrier.
+    pub fn ibarrier(&mut self) -> CollHandle {
+        self.rec.call_enter("MPI_Ibarrier");
+        let comm = self.comm_world();
+        let tag = self.coll_tag(&comm);
+        let state = ICollState {
+            done: comm.size() <= 1,
+            result: Some(CollResult::Empty),
+            kind: Kind::Barrier {
+                comm,
+                tag,
+                dist: 1,
+                round: 0,
+                inflight: None,
+            },
+        };
+        let h = self.icoll_insert(state);
+        self.progress();
+        self.rec.call_exit();
+        h
+    }
+
+    /// Non-blocking broadcast from `root` (binomial tree). The root passes
+    /// the payload; other ranks pass `None`.
+    pub fn ibcast(&mut self, root: usize, data: Option<Vec<u8>>) -> CollHandle {
+        self.rec.call_enter("MPI_Ibcast");
+        let comm = self.comm_world();
+        let tag = self.coll_tag(&comm);
+        let me = comm.rank();
+        assert_eq!(me == root, data.is_some(), "exactly the root supplies data");
+        let state = ICollState {
+            done: false,
+            result: None,
+            kind: Kind::Bcast {
+                comm,
+                root,
+                tag,
+                data,
+                recv: None,
+                sends: None,
+            },
+        };
+        let h = self.icoll_insert(state);
+        self.progress();
+        self.rec.call_exit();
+        h
+    }
+
+    /// Non-blocking all-to-all: all sends and receives are posted
+    /// immediately (single round), so the transfers proceed while the
+    /// application computes — the cure for FT's blocking transpose.
+    pub fn ialltoall(&mut self, blocks: &[Vec<u8>]) -> CollHandle {
+        self.rec.call_enter("MPI_Ialltoall");
+        let comm = self.comm_world();
+        let n = comm.size();
+        assert_eq!(blocks.len(), n, "ialltoall needs one block per rank");
+        let me = comm.rank();
+        let tag = self.coll_tag(&comm);
+        let mut out: Vec<Option<Vec<u8>>> = vec![None; n];
+        out[me] = Some(blocks[me].clone());
+        let mut recvs = Vec::with_capacity(n - 1);
+        let mut sends = Vec::with_capacity(n - 1);
+        for k in 1..n {
+            let to = comm.world_rank((me + k) % n);
+            let from_idx = (me + n - k) % n;
+            let from = comm.world_rank(from_idx);
+            recvs.push((from_idx, self.irecv_raw(Src::Rank(from), TagSel::Is(tag + k as u64))));
+            sends.push(self.isend_raw(to, tag + k as u64, &blocks[(me + k) % n], true, false));
+        }
+        let state = ICollState {
+            done: n <= 1,
+            result: (n <= 1).then(|| CollResult::Blocks(vec![blocks[0].clone()])),
+            kind: Kind::Alltoall { recvs, sends, out },
+        };
+        let h = self.icoll_insert(state);
+        self.progress();
+        self.rec.call_exit();
+        h
+    }
+
+    /// Non-blocking allreduce (ring algorithm: a reduce-scatter ring
+    /// followed by an allgather ring, `2(n−1)` rounds).
+    pub fn iallreduce(&mut self, vals: &[f64], op: ReduceOp) -> CollHandle {
+        self.rec.call_enter("MPI_Iallreduce");
+        let comm = self.comm_world();
+        let n = comm.size();
+        let tag = self.coll_tag(&comm);
+        // Split into n chunks (possibly empty at the tail).
+        let per = vals.len().div_ceil(n.max(1)).max(1);
+        let chunks: Vec<Vec<f64>> = (0..n)
+            .map(|c| {
+                let lo = (c * per).min(vals.len());
+                let hi = ((c + 1) * per).min(vals.len());
+                vals[lo..hi].to_vec()
+            })
+            .collect();
+        let state = ICollState {
+            done: n <= 1,
+            result: (n <= 1).then(|| CollResult::Vals(vals.to_vec())),
+            kind: Kind::Allreduce {
+                comm,
+                tag,
+                op,
+                chunks,
+                phase: 0,
+                step: 0,
+                inflight: None,
+            },
+        };
+        let h = self.icoll_insert(state);
+        self.progress();
+        self.rec.call_exit();
+        h
+    }
+
+    /// Non-blocking test of a collective.
+    pub fn icoll_test(&mut self, h: CollHandle) -> bool {
+        self.rec.call_enter("MPI_Test");
+        self.progress();
+        let done = self.icoll_done(h);
+        self.rec.call_exit();
+        done
+    }
+
+    /// Complete a non-blocking collective and return its result.
+    pub fn icoll_wait(&mut self, h: CollHandle) -> CollResult {
+        self.rec.call_enter("MPI_Wait");
+        loop {
+            self.progress();
+            if self.icoll_done(h) {
+                break;
+            }
+            self.icoll_park();
+        }
+        let result = self.icoll_take(h);
+        self.rec.call_exit();
+        result
+    }
+
+    // ---- machine advancement (called from `progress`) ---------------------
+
+    pub(crate) fn advance_collectives_impl(&mut self) {
+        let ids = self.icoll_ids();
+        for id in ids {
+            let Some(mut st) = self.icoll_remove(id) else { continue };
+            if !st.done {
+                self.advance_one(&mut st);
+            }
+            self.icoll_put_back(id, st);
+        }
+    }
+
+    fn advance_one(&mut self, st: &mut ICollState) {
+        match &mut st.kind {
+            Kind::Barrier {
+                comm,
+                tag,
+                dist,
+                round,
+                inflight,
+            } => {
+                let n = comm.size();
+                loop {
+                    if let Some((s, r)) = *inflight {
+                        if self.req_done(s) && self.req_done(r) {
+                            self.take_status(s);
+                            self.take_status(r);
+                            *inflight = None;
+                            *dist *= 2;
+                            *round += 1;
+                        } else {
+                            return;
+                        }
+                    }
+                    if *dist >= n {
+                        st.done = true;
+                        st.result = Some(CollResult::Empty);
+                        return;
+                    }
+                    let to = comm.world_rank((comm.rank() + *dist) % n);
+                    let from = comm.world_rank((comm.rank() + n - *dist) % n);
+                    let t = *tag + *round;
+                    let s = self.isend_raw(to, t, &[], false, false);
+                    let r = self.irecv_raw(Src::Rank(from), TagSel::Is(t));
+                    *inflight = Some((s, r));
+                }
+            }
+            Kind::Bcast {
+                comm,
+                root,
+                tag,
+                data,
+                recv,
+                sends,
+            } => {
+                let n = comm.size();
+                let vrank = (comm.rank() + n - *root) % n;
+                // Phase 1: non-roots receive from their parent.
+                if data.is_none() {
+                    if recv.is_none() {
+                        let parent_v = vrank - lowest_set_bit(vrank);
+                        let parent = comm.world_rank((parent_v + *root) % n);
+                        *recv = Some(self.irecv_raw(Src::Rank(parent), TagSel::Is(*tag)));
+                    }
+                    let r = recv.unwrap();
+                    if !self.req_done(r) {
+                        return;
+                    }
+                    *data = Some(self.take_status(r).into_data().to_vec());
+                }
+                // Phase 2: send to children.
+                if sends.is_none() {
+                    let payload = data.clone().unwrap();
+                    let start_mask = if vrank == 0 {
+                        n.next_power_of_two()
+                    } else {
+                        lowest_set_bit(vrank)
+                    };
+                    let mut reqs = Vec::new();
+                    let mut mask = start_mask >> 1;
+                    while mask > 0 {
+                        if vrank + mask < n {
+                            let child = comm.world_rank((vrank + mask + *root) % n);
+                            reqs.push(self.isend_raw(child, *tag, &payload, true, false));
+                        }
+                        mask >>= 1;
+                    }
+                    *sends = Some(reqs);
+                }
+                let all_sent = sends.as_ref().unwrap().iter().all(|&s| self.req_done(s));
+                if all_sent {
+                    for s in sends.take().unwrap() {
+                        self.take_status(s);
+                    }
+                    st.done = true;
+                    st.result = Some(CollResult::Data(data.take().unwrap()));
+                }
+            }
+            Kind::Alltoall { recvs, sends, out } => {
+                recvs.retain(|&(idx, r)| {
+                    if self.req_done(r) {
+                        let st = self.take_status(r);
+                        out[idx] = Some(st.into_data().to_vec());
+                        false
+                    } else {
+                        true
+                    }
+                });
+                sends.retain(|&s| {
+                    if self.req_done(s) {
+                        self.take_status(s);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                if recvs.is_empty() && sends.is_empty() {
+                    st.done = true;
+                    st.result = Some(CollResult::Blocks(
+                        out.iter_mut().map(|o| o.take().unwrap()).collect(),
+                    ));
+                }
+            }
+            Kind::Allreduce {
+                comm,
+                tag,
+                op,
+                chunks,
+                phase,
+                step,
+                inflight,
+            } => {
+                let n = comm.size();
+                let me = comm.rank();
+                let right = comm.world_rank((me + 1) % n);
+                let left = comm.world_rank((me + n - 1) % n);
+                loop {
+                    if let Some((s, r, recv_chunk)) = *inflight {
+                        if self.req_done(s) && self.req_done(r) {
+                            self.take_status(s);
+                            let incoming = bytes_to_f64s(&self.take_status(r).into_data());
+                            if *phase == 0 {
+                                op.apply(&mut chunks[recv_chunk], &incoming);
+                            } else {
+                                chunks[recv_chunk] = incoming;
+                            }
+                            *inflight = None;
+                            *step += 1;
+                            if *step == n - 1 {
+                                *step = 0;
+                                *phase += 1;
+                            }
+                        } else {
+                            return;
+                        }
+                    }
+                    if *phase >= 2 {
+                        st.done = true;
+                        st.result = Some(CollResult::Vals(chunks.concat()));
+                        return;
+                    }
+                    let (send_chunk, recv_chunk) = if *phase == 0 {
+                        ((me + n - *step) % n, (me + n - *step - 1) % n)
+                    } else {
+                        ((me + 1 + n - *step) % n, (me + n - *step) % n)
+                    };
+                    let t = *tag + (*phase as u64) * 1000 + *step as u64;
+                    let payload = f64s_to_bytes(&chunks[send_chunk]);
+                    let s = self.isend_raw(right, t, &payload, true, false);
+                    let r = self.irecv_raw(Src::Rank(left), TagSel::Is(t));
+                    *inflight = Some((s, r, recv_chunk));
+                }
+            }
+        }
+    }
+}
+
+fn lowest_set_bit(v: usize) -> usize {
+    v & v.wrapping_neg()
+}

@@ -1,0 +1,1404 @@
+//! The per-rank MPI endpoint: point-to-point operations, the polling
+//! progress engine, and the instrumentation stamps.
+//!
+//! # Stamp placement (paper Sec. 2.1 analogues)
+//!
+//! | role | `XFER_BEGIN` | `XFER_END` |
+//! |---|---|---|
+//! | eager sender | send WR posted | send completion polled |
+//! | eager receiver | *(invisible)* | arrival polled (end-only) |
+//! | direct-read sender | RTS posted | FIN polled |
+//! | direct-read receiver | RDMA Read posted | read completion polled |
+//! | pipelined sender | each fragment posted | each fragment completion |
+//! | pipelined receiver (frag 1) | *(invisible)* | RTS+frag1 polled (end-only) |
+//! | pipelined receiver (rest) | CTS posted | FIN polled |
+//!
+//! # Locking discipline
+//!
+//! Fabric state is touched only in short lock scopes; all host-time charges
+//! (`RankCtx::busy`) and parks happen with the lock released (see
+//! `simnet::world` module docs for why this is load-bearing).
+
+use std::collections::{HashMap, VecDeque};
+
+use bytes::Bytes;
+use overlap_core::{OverlapReport, Recorder, RecorderOpts, XferTimeTable};
+use simcore::{Activity, Duration, RankCtx, Time};
+use simnet::{Completion, NetConfig, Packet, RegionId, SharedWorld, XferId};
+
+use crate::config::{MpiConfig, RndvMode};
+use crate::proto::{self, wr_kind};
+use crate::types::{PersistentOp, Request, Src, Status, TagSel};
+
+/// Sentinel meaning "this message is not a data transfer" (zero-payload
+/// synchronization packets).
+const NO_XFER: u64 = u64::MAX;
+/// Local (receiver-allocated) transfer-id namespace, disjoint from fabric
+/// ids.
+const LOCAL_XFER_BIT: u64 = 1 << 63;
+
+struct Posted {
+    req: u64,
+    src: Src,
+    tag: TagSel,
+}
+
+enum Arrival {
+    Eager {
+        src: usize,
+        tag: u64,
+        xfer: u64,
+        data: Bytes,
+        /// Sender request to ACK on match (synchronous sends).
+        ack_req: Option<u64>,
+    },
+    RtsRead {
+        src: usize,
+        tag: u64,
+        len: usize,
+        region: RegionId,
+        xfer: u64,
+        sender_req: u64,
+    },
+    RtsPipe {
+        src: usize,
+        tag: u64,
+        total_len: usize,
+        frag1: Bytes,
+        sender_req: u64,
+    },
+}
+
+impl Arrival {
+    fn envelope(&self) -> (usize, u64) {
+        match self {
+            Arrival::Eager { src, tag, .. }
+            | Arrival::RtsRead { src, tag, .. }
+            | Arrival::RtsPipe { src, tag, .. } => (*src, *tag),
+        }
+    }
+}
+
+struct PipeRecv {
+    region: RegionId,
+    total_len: usize,
+    rest_xfer: u64,
+    rest_len: u64,
+}
+
+enum Req {
+    SendEager {
+        done: bool,
+        /// Reap on completion without an explicit wait (buffered MPI_Send).
+        detached: bool,
+        /// Local wire completion observed.
+        wire_done: bool,
+        /// Receiver-matched ACK still outstanding (synchronous sends).
+        awaiting_ack: bool,
+        xfer: u64,
+        bytes: u64,
+        peer: usize,
+        tag: u64,
+    },
+    SendRdvRead {
+        done: bool,
+        xfer: u64,
+        bytes: u64,
+        region: RegionId,
+        keep_region: bool,
+        peer: usize,
+        tag: u64,
+    },
+    SendRdvPipe {
+        done: bool,
+        data: Bytes,
+        frag1_len: usize,
+        /// (xfer id, len) per posted-but-uncompleted fragment, in post order.
+        frags: VecDeque<(u64, u64)>,
+        /// Completions still outstanding.
+        remaining: usize,
+        /// True once every fragment has been posted (CTS received or
+        /// single-fragment message).
+        all_posted: bool,
+        peer: usize,
+        tag: u64,
+    },
+    Recv {
+        done: bool,
+        result: Option<Status>,
+        /// Direct-read in flight: (xfer id, len).
+        reading: Option<(u64, u64)>,
+        /// Resolved envelope once matched.
+        matched: Option<(usize, u64)>,
+        pipe: Option<PipeRecv>,
+    },
+}
+
+impl Req {
+    fn is_done(&self) -> bool {
+        match self {
+            Req::SendEager { done, .. }
+            | Req::SendRdvRead { done, .. }
+            | Req::SendRdvPipe { done, .. }
+            | Req::Recv { done, .. } => *done,
+        }
+    }
+}
+
+/// The per-rank MPI library endpoint.
+///
+/// Created by [`crate::harness::run_mpi`] (or directly via [`Mpi::init`]);
+/// consumed by [`Mpi::finalize`], which returns the per-process
+/// [`OverlapReport`].
+pub struct Mpi<'a> {
+    ctx: &'a mut RankCtx,
+    world: SharedWorld,
+    cfg: MpiConfig,
+    net: NetConfig,
+    pub(crate) rec: Recorder,
+    rank: usize,
+    nranks: usize,
+    reqs: HashMap<u64, Req>,
+    next_req: u64,
+    next_local_xfer: u64,
+    posted: Vec<Posted>,
+    unexpected: VecDeque<Arrival>,
+    /// MRU registration cache for rendezvous send buffers, keyed by length.
+    /// `busy` entries back an in-flight send and must not be reused or
+    /// evicted until its FIN arrives (reusing one would overwrite data the
+    /// receiver has not pulled yet).
+    send_reg_cache: VecDeque<(usize, RegionId, bool)>,
+    /// Lengths whose receive-side pinning cost has been paid (cache mode).
+    recv_pin_cache: VecDeque<usize>,
+    /// Per-communicator collective sequence numbers (tag scoping).
+    comm_seqs: HashMap<u64, u64>,
+    /// Count of `comm_split` calls (world-collective, so all ranks agree).
+    split_seq: u64,
+    /// Active non-blocking collectives, advanced by the progress engine.
+    icolls: HashMap<u64, crate::icoll::ICollState>,
+    next_icoll: u64,
+}
+
+impl<'a> Mpi<'a> {
+    /// Initialize the library on this rank (the `MPI_Init` analogue: loads
+    /// the a-priori transfer-time table into the recorder and synchronizes
+    /// all ranks with a barrier).
+    pub fn init(
+        ctx: &'a mut RankCtx,
+        world: SharedWorld,
+        cfg: MpiConfig,
+        table: XferTimeTable,
+        rec_opts: RecorderOpts,
+    ) -> Self {
+        let rank = ctx.rank();
+        let nranks = ctx.nranks();
+        let handle = ctx.handle();
+        let clock = move || handle.now();
+        let rec = Recorder::new(rank, Box::new(clock), table, rec_opts);
+        let net = world.lock().cfg().clone();
+        let mut mpi = Mpi {
+            ctx,
+            world,
+            cfg,
+            net,
+            rec,
+            rank,
+            nranks,
+            reqs: HashMap::new(),
+            next_req: 0,
+            next_local_xfer: 0,
+            posted: Vec::new(),
+            unexpected: VecDeque::new(),
+            send_reg_cache: VecDeque::new(),
+            recv_pin_cache: VecDeque::new(),
+            comm_seqs: HashMap::new(),
+            split_seq: 0,
+            icolls: HashMap::new(),
+            next_icoll: 0,
+        };
+        mpi.rec.call_enter("MPI_Init");
+        mpi.barrier_inner();
+        mpi.rec.call_exit();
+        mpi
+    }
+
+    /// This rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Current virtual time, ns.
+    pub fn now(&self) -> Time {
+        self.ctx.now()
+    }
+
+    /// Perform user computation for `d` ns (outside the library — this is
+    /// what the overlap bounds measure against).
+    pub fn compute(&mut self, d: Duration) {
+        self.ctx.compute(d);
+    }
+
+    /// Begin a monitored code section (application-level control over what
+    /// the framework reports; paper Sec. 2.3).
+    pub fn section_begin(&mut self, name: &'static str) {
+        self.rec.section_begin(name);
+    }
+
+    /// End the innermost monitored section.
+    pub fn section_end(&mut self) {
+        self.rec.section_end();
+    }
+
+    /// Suspend overlap monitoring (must be called between, not inside,
+    /// library calls). See `overlap_core::Recorder::pause`.
+    pub fn monitoring_pause(&mut self) {
+        self.rec.pause();
+    }
+
+    /// Resume overlap monitoring.
+    pub fn monitoring_resume(&mut self) {
+        self.rec.resume();
+    }
+
+    /// Subscribe a PERUSE-style observer to the raw instrumentation event
+    /// stream (see `overlap_core::observer`); e.g. a `TraceSink` writing a
+    /// JSON-lines trace file.
+    pub fn set_event_observer(&mut self, obs: Box<dyn overlap_core::EventObserver>) {
+        self.rec.set_observer(obs);
+    }
+
+    /// Detach and return the current event observer.
+    pub fn take_event_observer(&mut self) -> Option<Box<dyn overlap_core::EventObserver>> {
+        self.rec.take_observer()
+    }
+
+    /// Elapsed virtual time in seconds (the `MPI_Wtime` analogue).
+    pub fn wtime(&self) -> f64 {
+        self.now() as f64 / 1e9
+    }
+
+    /// Shut down: synchronize, then emit this process's overlap report.
+    pub fn finalize(mut self) -> OverlapReport {
+        self.rec.call_enter("MPI_Finalize");
+        self.barrier_inner();
+        self.rec.call_exit();
+        self.rec.finish()
+    }
+
+    // ---- public point-to-point API ------------------------------------
+
+    /// Non-blocking send.
+    pub fn isend(&mut self, dst: usize, tag: u64, data: &[u8]) -> Request {
+        self.rec.call_enter("MPI_Isend");
+        let r = self.isend_inner(dst, tag, data, true);
+        self.rec.call_exit();
+        r
+    }
+
+    /// Non-blocking receive.
+    pub fn irecv(&mut self, src: Src, tag: TagSel) -> Request {
+        self.rec.call_enter("MPI_Irecv");
+        let r = self.irecv_inner(src, tag);
+        self.rec.call_exit();
+        r
+    }
+
+    /// Blocking send.
+    ///
+    /// For eager-sized messages this has *buffered* semantics, as in real
+    /// MPI implementations: the payload is already copied into a library
+    /// buffer, so the call returns without waiting for the wire — the
+    /// transfer can still overlap subsequent computation (paper Sec. 1:
+    /// "even with blocking operations, the system can transparently allow
+    /// for overlap by copying data to internal message buffers"). Rendezvous
+    /// sends block until the transfer completes.
+    pub fn send(&mut self, dst: usize, tag: u64, data: &[u8]) {
+        self.rec.call_enter("MPI_Send");
+        let r = self.isend_inner(dst, tag, data, true);
+        if data.len() <= self.cfg.eager_threshold {
+            self.detach(r);
+        } else {
+            self.wait_inner(r);
+        }
+        self.rec.call_exit();
+    }
+
+    /// Fire-and-forget a request: the progress engine reaps it (and stamps
+    /// its completion) whenever that happens to be observed.
+    fn detach(&mut self, r: Request) {
+        if let Some(Req::SendEager { done, detached, .. }) = self.reqs.get_mut(&r.0) {
+            if *done {
+                self.reqs.remove(&r.0);
+            } else {
+                *detached = true;
+            }
+        } else {
+            unreachable!("detach of non-eager request");
+        }
+    }
+
+    /// Blocking receive.
+    pub fn recv(&mut self, src: Src, tag: TagSel) -> Status {
+        self.rec.call_enter("MPI_Recv");
+        let r = self.irecv_inner(src, tag);
+        let st = self.wait_inner(r);
+        self.rec.call_exit();
+        st
+    }
+
+    /// Wait for one request.
+    pub fn wait(&mut self, req: Request) -> Status {
+        self.rec.call_enter("MPI_Wait");
+        let st = self.wait_inner(req);
+        self.rec.call_exit();
+        st
+    }
+
+    /// Wait for all given requests; statuses in request order.
+    pub fn waitall(&mut self, reqs: &[Request]) -> Vec<Status> {
+        self.rec.call_enter("MPI_Waitall");
+        let out = reqs.iter().map(|&r| self.wait_inner(r)).collect();
+        self.rec.call_exit();
+        out
+    }
+
+    /// Wait until at least one request completes; returns all completed
+    /// `(index, status)` pairs (`MPI_Waitsome`).
+    pub fn waitsome(&mut self, reqs: &[Request]) -> Vec<(usize, Status)> {
+        assert!(!reqs.is_empty(), "waitsome on empty request list");
+        self.rec.call_enter("MPI_Waitsome");
+        let out = loop {
+            self.progress();
+            let ready: Vec<usize> = reqs
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| self.reqs.get(&r.0).map(Req::is_done).unwrap_or(false))
+                .map(|(i, _)| i)
+                .collect();
+            if !ready.is_empty() {
+                break ready
+                    .into_iter()
+                    .map(|i| (i, self.try_take(reqs[i]).expect("just completed")))
+                    .collect();
+            }
+            self.wait_for_event();
+        };
+        self.rec.call_exit();
+        out
+    }
+
+    /// Non-blocking completion test.
+    pub fn test(&mut self, req: Request) -> bool {
+        self.rec.call_enter("MPI_Test");
+        self.progress();
+        let done = self.reqs.get(&req.0).map(Req::is_done).unwrap_or(true);
+        self.rec.call_exit();
+        done
+    }
+
+    /// Non-blocking probe for a matching unexpected message. Crucially, this
+    /// *invokes the progress engine* — which is why sprinkling `MPI_Iprobe`
+    /// through a computation region improves overlap (the paper's NAS SP
+    /// tuning, Sec. 4.3).
+    pub fn iprobe(&mut self, src: Src, tag: TagSel) -> bool {
+        self.rec.call_enter("MPI_Iprobe");
+        self.progress();
+        let found = self
+            .unexpected
+            .iter()
+            .any(|a| envelope_matches(a.envelope(), src, tag));
+        self.rec.call_exit();
+        found
+    }
+
+    /// Combined send+receive (deadlock-free pairwise exchange).
+    pub fn sendrecv(
+        &mut self,
+        dst: usize,
+        send_tag: u64,
+        data: &[u8],
+        src: Src,
+        recv_tag: TagSel,
+    ) -> Status {
+        self.rec.call_enter("MPI_Sendrecv");
+        let sr = self.isend_inner(dst, send_tag, data, true);
+        let rr = self.irecv_inner(src, recv_tag);
+        self.wait_inner(sr);
+        let st = self.wait_inner(rr);
+        self.rec.call_exit();
+        st
+    }
+
+    /// Synchronous send: completes only once the receiver has matched the
+    /// message (eager sends wait for a receiver ACK; rendezvous completion
+    /// already implies a match).
+    pub fn ssend(&mut self, dst: usize, tag: u64, data: &[u8]) {
+        self.rec.call_enter("MPI_Ssend");
+        let r = self.isend_impl(dst, tag, data, true, true);
+        self.wait_inner(r);
+        self.rec.call_exit();
+    }
+
+    /// Non-blocking synchronous send.
+    pub fn issend(&mut self, dst: usize, tag: u64, data: &[u8]) -> Request {
+        self.rec.call_enter("MPI_Issend");
+        let r = self.isend_impl(dst, tag, data, true, true);
+        self.rec.call_exit();
+        r
+    }
+
+    /// Blocking probe: waits until a matching message is available (without
+    /// receiving it) and returns its envelope `(source, tag)`.
+    pub fn probe(&mut self, src: Src, tag: TagSel) -> (usize, u64) {
+        self.rec.call_enter("MPI_Probe");
+        let env = loop {
+            self.progress();
+            if let Some(a) = self
+                .unexpected
+                .iter()
+                .find(|a| envelope_matches(a.envelope(), src, tag))
+            {
+                break a.envelope();
+            }
+            self.wait_for_event();
+        };
+        self.rec.call_exit();
+        env
+    }
+
+    /// Wait for any one of the given requests; returns its index and status.
+    pub fn waitany(&mut self, reqs: &[Request]) -> (usize, Status) {
+        assert!(!reqs.is_empty(), "waitany on empty request list");
+        self.rec.call_enter("MPI_Waitany");
+        let out = loop {
+            self.progress();
+            let ready = reqs
+                .iter()
+                .position(|r| self.reqs.get(&r.0).map(Req::is_done).unwrap_or(false));
+            if let Some(idx) = ready {
+                let st = self.try_take(reqs[idx]).expect("request just completed");
+                break (idx, st);
+            }
+            self.wait_for_event();
+        };
+        self.rec.call_exit();
+        out
+    }
+
+    /// Non-blocking test of a whole set: true iff every request is complete
+    /// (no request is consumed either way).
+    pub fn testall(&mut self, reqs: &[Request]) -> bool {
+        self.rec.call_enter("MPI_Testall");
+        self.progress();
+        let all = reqs
+            .iter()
+            .all(|r| self.reqs.get(&r.0).map(Req::is_done).unwrap_or(true));
+        self.rec.call_exit();
+        all
+    }
+
+    /// Create a persistent send specification (`MPI_Send_init`).
+    pub fn send_init(&self, dst: usize, tag: u64, data: &[u8]) -> PersistentOp {
+        PersistentOp::Send {
+            dst,
+            tag,
+            data: data.to_vec(),
+        }
+    }
+
+    /// Create a persistent receive specification (`MPI_Recv_init`).
+    pub fn recv_init(&self, src: Src, tag: TagSel) -> PersistentOp {
+        PersistentOp::Recv { src, tag }
+    }
+
+    /// Start one persistent operation (`MPI_Start`); complete it with
+    /// [`Mpi::wait`] like any other request.
+    pub fn start(&mut self, op: &PersistentOp) -> Request {
+        self.rec.call_enter("MPI_Start");
+        let r = match op {
+            PersistentOp::Send { dst, tag, data } => self.isend_inner(*dst, *tag, data, true),
+            PersistentOp::Recv { src, tag } => self.irecv_inner(*src, *tag),
+        };
+        self.rec.call_exit();
+        r
+    }
+
+    /// Start a set of persistent operations (`MPI_Startall`).
+    pub fn startall(&mut self, ops: &[PersistentOp]) -> Vec<Request> {
+        self.rec.call_enter("MPI_Startall");
+        let rs = ops
+            .iter()
+            .map(|op| match op {
+                PersistentOp::Send { dst, tag, data } => self.isend_inner(*dst, *tag, data, true),
+                PersistentOp::Recv { src, tag } => self.irecv_inner(*src, *tag),
+            })
+            .collect();
+        self.rec.call_exit();
+        rs
+    }
+
+    // ---- internals ------------------------------------------------------
+
+    fn lib_busy(&mut self, d: Duration) {
+        self.ctx.busy(d, Activity::Library);
+    }
+
+    fn alloc_req(&mut self) -> u64 {
+        let id = self.next_req;
+        self.next_req += 1;
+        id
+    }
+
+    fn alloc_local_xfer(&mut self) -> u64 {
+        let id = LOCAL_XFER_BIT | self.next_local_xfer;
+        self.next_local_xfer += 1;
+        id
+    }
+
+    pub(crate) fn isend_inner(
+        &mut self,
+        dst: usize,
+        tag: u64,
+        data: &[u8],
+        counted: bool,
+    ) -> Request {
+        self.isend_impl(dst, tag, data, counted, false)
+    }
+
+    fn isend_impl(
+        &mut self,
+        dst: usize,
+        tag: u64,
+        data: &[u8],
+        counted: bool,
+        sync: bool,
+    ) -> Request {
+        self.progress();
+        self.isend_raw(dst, tag, data, counted, sync)
+    }
+
+    /// Post a send without invoking the progress engine (used by the
+    /// non-blocking collective machines, which already run *inside*
+    /// `progress`).
+    pub(crate) fn isend_raw(
+        &mut self,
+        dst: usize,
+        tag: u64,
+        data: &[u8],
+        counted: bool,
+        sync: bool,
+    ) -> Request {
+        let req_id = self.alloc_req();
+        let len = data.len();
+        if !counted || len <= self.cfg.eager_threshold {
+            self.send_eager(req_id, dst, tag, data, counted, sync);
+        } else {
+            // Rendezvous completion already implies the receiver matched, so
+            // synchronous mode needs nothing extra.
+            match self.cfg.rndv_mode {
+                RndvMode::DirectRead => self.send_rndv_read(req_id, dst, tag, data),
+                RndvMode::PipelinedWrite => self.send_rndv_pipe(req_id, dst, tag, data),
+            }
+        }
+        Request(req_id)
+    }
+
+    fn send_eager(
+        &mut self,
+        req_id: u64,
+        dst: usize,
+        tag: u64,
+        data: &[u8],
+        counted: bool,
+        sync: bool,
+    ) {
+        let len = data.len();
+        if counted {
+            // Copy into the pre-registered bounce buffer, then post.
+            self.lib_busy(self.net.copy_cost(len) + self.net.post_cost);
+        } else {
+            self.lib_busy(self.net.post_cost);
+        }
+        let wire = len + self.net.ctrl_packet_bytes;
+        let xfer;
+        {
+            let mut w = self.world.lock();
+            let xfer_id = if counted { Some(w.alloc_xfer_id()) } else { None };
+            xfer = xfer_id.map_or(NO_XFER, |x| x.0);
+            let ty = if counted { proto::PT_EAGER } else { proto::PT_BARRIER };
+            let pkt = Packet::with_data(
+                self.rank,
+                wire,
+                ty,
+                [tag, xfer, sync as u64, req_id, 0, 0],
+                Bytes::copy_from_slice(data),
+            );
+            w.post_send(
+                self.rank,
+                dst,
+                pkt,
+                proto::pack_user(wr_kind::EAGER_SEND, req_id),
+                xfer_id,
+            );
+        }
+        if counted {
+            self.rec.xfer_begin(xfer, len as u64);
+        }
+        self.reqs.insert(
+            req_id,
+            Req::SendEager {
+                done: false,
+                detached: false,
+                wire_done: false,
+                awaiting_ack: sync,
+                xfer,
+                bytes: len as u64,
+                peer: dst,
+                tag,
+            },
+        );
+    }
+
+    fn send_rndv_read(&mut self, req_id: u64, dst: usize, tag: u64, data: &[u8]) {
+        let len = data.len();
+        // A cache hit must be an *idle* entry: busy regions back in-flight
+        // sends whose data the receiver has not pulled yet.
+        let cached = self.cfg.use_reg_cache
+            && self
+                .send_reg_cache
+                .iter()
+                .any(|&(cached_len, _, busy)| cached_len == len && !busy);
+        if !cached {
+            self.lib_busy(self.net.reg_cost(len));
+        }
+        self.lib_busy(self.net.post_cost);
+        let wire = self.net.ctrl_packet_bytes;
+        let xfer;
+        let region;
+        {
+            let mut w = self.world.lock();
+            region = if cached {
+                let pos = self
+                    .send_reg_cache
+                    .iter()
+                    .position(|&(l, _, busy)| l == len && !busy)
+                    .unwrap();
+                let (_, r, _) = self.send_reg_cache.remove(pos).unwrap();
+                // MRU: move to front, mark busy; refresh contents (it *is*
+                // the user buffer — zero-copy, so no host copy cost).
+                self.send_reg_cache.push_front((len, r, true));
+                w.mem_mut(self.rank)
+                    .get_mut(r)
+                    .expect("cached region vanished")
+                    .copy_from_slice(data);
+                r
+            } else {
+                let r = w.register(self.rank, data.to_vec());
+                if self.cfg.use_reg_cache {
+                    self.send_reg_cache.push_front((len, r, true));
+                    if self.send_reg_cache.len() > self.cfg.reg_cache_entries {
+                        // Evict the least-recently-used *idle* entry; if all
+                        // are busy the cache temporarily exceeds capacity.
+                        if let Some(pos) = self
+                            .send_reg_cache
+                            .iter()
+                            .rposition(|&(_, _, busy)| !busy)
+                        {
+                            let (_, evicted, _) =
+                                self.send_reg_cache.remove(pos).unwrap();
+                            w.deregister(self.rank, evicted);
+                        }
+                    }
+                }
+                r
+            };
+            xfer = w.alloc_xfer_id().0;
+            let rts = Packet::control(
+                self.rank,
+                wire,
+                proto::PT_RTS_READ,
+                [tag, len as u64, region.0, xfer, req_id, 0],
+            );
+            w.post_send(self.rank, dst, rts, proto::pack_user(wr_kind::IGNORE, 0), None);
+        }
+        self.rec.xfer_begin(xfer, len as u64);
+        self.reqs.insert(
+            req_id,
+            Req::SendRdvRead {
+                done: false,
+                xfer,
+                bytes: len as u64,
+                region,
+                keep_region: self.cfg.use_reg_cache,
+                peer: dst,
+                tag,
+            },
+        );
+    }
+
+    fn send_rndv_pipe(&mut self, req_id: u64, dst: usize, tag: u64, data: &[u8]) {
+        let len = data.len();
+        let frag1_len = len.min(self.cfg.fragment_size);
+        self.lib_busy(self.net.copy_cost(frag1_len) + self.net.post_cost);
+        let data = Bytes::copy_from_slice(data);
+        let frag1_xfer;
+        {
+            let mut w = self.world.lock();
+            let x = w.alloc_xfer_id();
+            frag1_xfer = x.0;
+            let pkt = Packet::with_data(
+                self.rank,
+                frag1_len + self.net.ctrl_packet_bytes,
+                proto::PT_RTS_PIPE,
+                [tag, len as u64, frag1_xfer, req_id, 0, 0],
+                data.slice(0..frag1_len),
+            );
+            w.post_send(
+                self.rank,
+                dst,
+                pkt,
+                proto::pack_user(wr_kind::FRAG_WRITE, req_id),
+                Some(x),
+            );
+        }
+        self.rec.xfer_begin(frag1_xfer, frag1_len as u64);
+        let mut frags = VecDeque::new();
+        frags.push_back((frag1_xfer, frag1_len as u64));
+        self.reqs.insert(
+            req_id,
+            Req::SendRdvPipe {
+                done: false,
+                data,
+                frag1_len,
+                frags,
+                remaining: 1,
+                all_posted: frag1_len == len,
+                peer: dst,
+                tag,
+            },
+        );
+    }
+
+    pub(crate) fn irecv_inner(&mut self, src: Src, tag: TagSel) -> Request {
+        self.progress();
+        self.irecv_raw(src, tag)
+    }
+
+    /// Post a receive without invoking the progress engine.
+    pub(crate) fn irecv_raw(&mut self, src: Src, tag: TagSel) -> Request {
+        let req_id = self.alloc_req();
+        self.reqs.insert(
+            req_id,
+            Req::Recv {
+                done: false,
+                result: None,
+                reading: None,
+                matched: None,
+                pipe: None,
+            },
+        );
+        if let Some(pos) = self
+            .unexpected
+            .iter()
+            .position(|a| envelope_matches(a.envelope(), src, tag))
+        {
+            let arrival = self.unexpected.remove(pos).unwrap();
+            self.deliver(req_id, arrival);
+        } else {
+            self.posted.push(Posted { req: req_id, src, tag });
+        }
+        Request(req_id)
+    }
+
+    /// Route a matched arrival into the protocol continuation.
+    fn deliver(&mut self, req_id: u64, arrival: Arrival) {
+        match arrival {
+            Arrival::Eager {
+                src,
+                tag,
+                xfer,
+                data,
+                ack_req,
+            } => {
+                if xfer != NO_XFER {
+                    // Copy out of the library bounce buffer.
+                    self.lib_busy(self.net.copy_cost(data.len()));
+                }
+                if let Some(sender_req) = ack_req {
+                    // Synchronous send: tell the sender we matched.
+                    let mut w = self.world.lock();
+                    let ack = Packet::control(
+                        self.rank,
+                        self.net.ctrl_packet_bytes,
+                        proto::PT_SSEND_ACK,
+                        [sender_req, 0, 0, 0, 0, 0],
+                    );
+                    w.post_send(self.rank, src, ack, proto::pack_user(wr_kind::IGNORE, 0), None);
+                }
+                self.complete_recv(req_id, src, tag, data);
+            }
+            Arrival::RtsRead {
+                src,
+                tag,
+                len,
+                region,
+                xfer,
+                sender_req,
+            } => {
+                self.start_read(req_id, src, tag, len, region, xfer, sender_req);
+            }
+            Arrival::RtsPipe {
+                src,
+                tag,
+                total_len,
+                frag1,
+                sender_req,
+            } => {
+                self.start_pipe_recv(req_id, src, tag, total_len, frag1, sender_req);
+            }
+        }
+    }
+
+    fn complete_recv(&mut self, req_id: u64, src: usize, tag: u64, data: Bytes) {
+        let req = self.reqs.get_mut(&req_id).expect("unknown recv request");
+        match req {
+            Req::Recv { done, result, .. } => {
+                *done = true;
+                *result = Some(Status {
+                    source: src,
+                    tag,
+                    data: Some(data),
+                });
+            }
+            _ => unreachable!("completing non-recv request"),
+        }
+    }
+
+    /// Direct-read rendezvous: the receiver pulls the advertised buffer.
+    #[allow(clippy::too_many_arguments)]
+    fn start_read(
+        &mut self,
+        req_id: u64,
+        src: usize,
+        tag: u64,
+        len: usize,
+        region: RegionId,
+        xfer: u64,
+        sender_req: u64,
+    ) {
+        // Receive-side pinning (cached after first use in cache mode).
+        let cached = self.cfg.use_reg_cache && self.recv_pin_cache.contains(&len);
+        if !cached {
+            self.lib_busy(self.net.reg_cost(len));
+            if self.cfg.use_reg_cache {
+                self.recv_pin_cache.push_front(len);
+                self.recv_pin_cache.truncate(self.cfg.reg_cache_entries);
+            }
+        }
+        self.lib_busy(self.net.post_cost);
+        {
+            let mut w = self.world.lock();
+            let fin = Packet::control(
+                self.rank,
+                self.net.ctrl_packet_bytes,
+                proto::PT_FIN_READ,
+                [sender_req, xfer, len as u64, 0, 0, 0],
+            );
+            w.post_rdma_read(
+                self.rank,
+                src,
+                region,
+                0,
+                len,
+                proto::pack_user(wr_kind::RDMA_READ, req_id),
+                Some(fin),
+                Some(XferId(xfer)),
+            );
+        }
+        self.rec.xfer_begin(xfer, len as u64);
+        if let Some(Req::Recv { reading, matched, .. }) = self.reqs.get_mut(&req_id) {
+            *reading = Some((xfer, len as u64));
+            *matched = Some((src, tag));
+        } else {
+            unreachable!("start_read on non-recv request");
+        }
+    }
+
+    /// Pipelined rendezvous: place fragment 1, CTS back the receive buffer.
+    fn start_pipe_recv(
+        &mut self,
+        req_id: u64,
+        src: usize,
+        tag: u64,
+        total_len: usize,
+        frag1: Bytes,
+        sender_req: u64,
+    ) {
+        let frag1_len = frag1.len();
+        if total_len == frag1_len {
+            // Entire message rode with the RTS.
+            self.lib_busy(self.net.copy_cost(frag1_len));
+            self.complete_recv(req_id, src, tag, frag1);
+            return;
+        }
+        // Register the receive buffer and invite the RDMA Writes.
+        self.lib_busy(self.net.reg_cost(total_len) + self.net.post_cost);
+        let rest_len = (total_len - frag1_len) as u64;
+        let rest_xfer = self.alloc_local_xfer();
+        {
+            let mut w = self.world.lock();
+            let region = w.register(self.rank, vec![0u8; total_len]);
+            w.mem_mut(self.rank)
+                .get_mut(region)
+                .unwrap()[..frag1_len]
+                .copy_from_slice(&frag1);
+            let cts = Packet::control(
+                self.rank,
+                self.net.ctrl_packet_bytes,
+                proto::PT_CTS,
+                [sender_req, region.0, req_id, 0, 0, 0],
+            );
+            w.post_send(self.rank, src, cts, proto::pack_user(wr_kind::IGNORE, 0), None);
+            if let Some(Req::Recv { pipe, matched, .. }) = self.reqs.get_mut(&req_id) {
+                *pipe = Some(PipeRecv {
+                    region,
+                    total_len,
+                    rest_xfer,
+                    rest_len,
+                });
+                *matched = Some((src, tag));
+            } else {
+                unreachable!("start_pipe_recv on non-recv request");
+            }
+        }
+        self.rec.xfer_begin(rest_xfer, rest_len);
+    }
+
+    // ---- progress engine ------------------------------------------------
+
+    /// Drive the protocol: drain completions and packets until quiescent.
+    /// Called from *every* library entry point — progress only happens while
+    /// the application is inside the library (polling semantics).
+    pub(crate) fn progress(&mut self) {
+        self.lib_busy(self.net.poll_cost);
+        loop {
+            enum Item {
+                C(Completion),
+                P(Packet),
+            }
+            let item = {
+                let mut w = self.world.lock();
+                if let Some(c) = w.poll_cq(self.rank) {
+                    Some(Item::C(c))
+                } else {
+                    w.poll_rx(self.rank).map(Item::P)
+                }
+            };
+            match item {
+                None => break,
+                Some(Item::C(c)) => self.handle_completion(c),
+                Some(Item::P(p)) => self.handle_packet(p),
+            }
+        }
+        self.advance_collectives();
+    }
+
+    fn handle_completion(&mut self, c: Completion) {
+        let (kind, req_id) = proto::unpack_user(c.user);
+        match kind {
+            wr_kind::IGNORE => {}
+            wr_kind::EAGER_SEND => {
+                let mut reap = false;
+                if let Some(Req::SendEager {
+                    done,
+                    detached,
+                    wire_done,
+                    awaiting_ack,
+                    xfer,
+                    bytes,
+                    ..
+                }) = self.reqs.get_mut(&req_id)
+                {
+                    *wire_done = true;
+                    // Synchronous sends additionally wait for the
+                    // receiver-matched ACK.
+                    if !*awaiting_ack {
+                        *done = true;
+                        reap = *detached;
+                    }
+                    let (xfer, bytes) = (*xfer, *bytes);
+                    if xfer != NO_XFER {
+                        self.rec.xfer_end(xfer, bytes);
+                    }
+                }
+                if reap {
+                    self.reqs.remove(&req_id);
+                }
+            }
+            wr_kind::FRAG_WRITE => {
+                let mut finish: Option<(u64, u64)> = None;
+                let mut req_done = false;
+                if let Some(Req::SendRdvPipe {
+                    done,
+                    frags,
+                    remaining,
+                    all_posted,
+                    ..
+                }) = self.reqs.get_mut(&req_id)
+                {
+                    let (xfer, len) = frags.pop_front().expect("fragment completion underflow");
+                    finish = Some((xfer, len));
+                    *remaining -= 1;
+                    if *remaining == 0 && *all_posted {
+                        *done = true;
+                        req_done = true;
+                    }
+                }
+                if let Some((xfer, len)) = finish {
+                    self.rec.xfer_end(xfer, len);
+                }
+                let _ = req_done;
+            }
+            wr_kind::RDMA_READ => {
+                let data = c.data.expect("RDMA read completion without data");
+                let mut stamp: Option<(u64, u64)> = None;
+                let mut env: Option<(usize, u64)> = None;
+                if let Some(Req::Recv { reading, matched, .. }) = self.reqs.get_mut(&req_id) {
+                    stamp = reading.take();
+                    env = *matched;
+                }
+                let (xfer, len) = stamp.expect("read completion without reading state");
+                self.rec.xfer_end(xfer, len);
+                let (src, tag) = env.expect("read completion on unmatched recv");
+                self.complete_recv(req_id, src, tag, data);
+            }
+            other => panic!("unknown completion kind {other}"),
+        }
+    }
+
+    fn handle_packet(&mut self, p: Packet) {
+        let arrival = match p.ty {
+            proto::PT_EAGER => {
+                let xfer = p.h[1];
+                let data = p.data.expect("eager packet without payload");
+                // End-only stamp: the receiver never saw the initiation.
+                self.rec.xfer_end(xfer, data.len() as u64);
+                Arrival::Eager {
+                    src: p.src,
+                    tag: p.h[0],
+                    xfer,
+                    data,
+                    ack_req: (p.h[2] != 0).then_some(p.h[3]),
+                }
+            }
+            proto::PT_BARRIER => Arrival::Eager {
+                src: p.src,
+                tag: p.h[0],
+                xfer: NO_XFER,
+                data: p.data.unwrap_or_default(),
+                ack_req: None,
+            },
+            proto::PT_SSEND_ACK => {
+                let sender_req = p.h[0];
+                if let Some(Req::SendEager {
+                    done,
+                    detached,
+                    wire_done,
+                    awaiting_ack,
+                    ..
+                }) = self.reqs.get_mut(&sender_req)
+                {
+                    *awaiting_ack = false;
+                    if *wire_done {
+                        *done = true;
+                        debug_assert!(!*detached, "synchronous sends are always waited");
+                    }
+                }
+                return;
+            }
+            proto::PT_RTS_READ => Arrival::RtsRead {
+                src: p.src,
+                tag: p.h[0],
+                len: p.h[1] as usize,
+                region: RegionId(p.h[2]),
+                xfer: p.h[3],
+                sender_req: p.h[4],
+            },
+            proto::PT_RTS_PIPE => {
+                let frag1 = p.data.expect("RTS_PIPE without fragment");
+                // Fragment 1 is observable only on arrival: end-only stamp.
+                self.rec.xfer_end(p.h[2], frag1.len() as u64);
+                Arrival::RtsPipe {
+                    src: p.src,
+                    tag: p.h[0],
+                    total_len: p.h[1] as usize,
+                    frag1,
+                    sender_req: p.h[3],
+                }
+            }
+            proto::PT_CTS => {
+                self.handle_cts(p);
+                return;
+            }
+            proto::PT_FIN_READ => {
+                let sender_req = p.h[0];
+                let mut dereg: Option<RegionId> = None;
+                let mut stamp: Option<(u64, u64)> = None;
+                if let Some(Req::SendRdvRead {
+                    done,
+                    xfer,
+                    bytes,
+                    region,
+                    keep_region,
+                    ..
+                }) = self.reqs.get_mut(&sender_req)
+                {
+                    *done = true;
+                    stamp = Some((*xfer, *bytes));
+                    if !*keep_region {
+                        dereg = Some(*region);
+                    }
+                }
+                let (xfer, bytes) = stamp.expect("FIN for unknown rendezvous send");
+                debug_assert_eq!(xfer, p.h[1]);
+                self.rec.xfer_end(xfer, bytes);
+                if let Some(r) = dereg {
+                    self.world.lock().deregister(self.rank, r);
+                } else if let Some(Req::SendRdvRead { region, .. }) = self.reqs.get(&sender_req) {
+                    // Cached mode: the region's data has been pulled — its
+                    // cache entry becomes reusable.
+                    let region = *region;
+                    if let Some(e) = self
+                        .send_reg_cache
+                        .iter_mut()
+                        .find(|(_, r, _)| *r == region)
+                    {
+                        e.2 = false;
+                    }
+                }
+                return;
+            }
+            proto::PT_FIN_PIPE => {
+                let recv_req = p.h[0];
+                let mut pipe_state: Option<PipeRecv> = None;
+                let mut env: Option<(usize, u64)> = None;
+                if let Some(Req::Recv { pipe, matched, .. }) = self.reqs.get_mut(&recv_req) {
+                    pipe_state = pipe.take();
+                    env = *matched;
+                }
+                let pipe = pipe_state.expect("FIN_PIPE without pipe state");
+                self.rec.xfer_end(pipe.rest_xfer, pipe.rest_len);
+                let data = {
+                    let mut w = self.world.lock();
+                    Bytes::from(w.deregister(self.rank, pipe.region))
+                };
+                debug_assert_eq!(data.len(), pipe.total_len);
+                let (src, tag) = env.expect("FIN_PIPE on unmatched recv");
+                self.complete_recv(recv_req, src, tag, data);
+                return;
+            }
+            other => panic!("unknown packet type {other}"),
+        };
+        // Match against posted receives, else queue as unexpected.
+        let env = arrival.envelope();
+        if let Some(pos) = self
+            .posted
+            .iter()
+            .position(|p| envelope_matches(env, p.src, p.tag))
+        {
+            let posted = self.posted.remove(pos);
+            self.deliver(posted.req, arrival);
+        } else {
+            self.unexpected.push_back(arrival);
+        }
+    }
+
+    /// Sender side of the pipelined scheme: the CTS names the receive buffer;
+    /// post all remaining fragments (the last one carries the FIN).
+    fn handle_cts(&mut self, p: Packet) {
+        let (sender_req, recv_region, recv_req) = (p.h[0], RegionId(p.h[1]), p.h[2]);
+        let (data, frag1_len, peer) = match self.reqs.get(&sender_req) {
+            Some(Req::SendRdvPipe {
+                data, frag1_len, peer, ..
+            }) => (data.clone(), *frag1_len, *peer),
+            _ => panic!("CTS for unknown pipelined send"),
+        };
+        let total = data.len();
+        let frag_size = self.cfg.fragment_size;
+        let nfrags = (total - frag1_len).div_ceil(frag_size);
+        self.lib_busy(self.net.post_cost * nfrags as u64);
+        let mut new_frags: Vec<(u64, u64)> = Vec::with_capacity(nfrags);
+        {
+            let mut w = self.world.lock();
+            let mut off = frag1_len;
+            while off < total {
+                let end = (off + frag_size).min(total);
+                let x = w.alloc_xfer_id();
+                let is_last = end == total;
+                let fin = is_last.then(|| {
+                    Packet::control(
+                        self.rank,
+                        self.net.ctrl_packet_bytes,
+                        proto::PT_FIN_PIPE,
+                        [recv_req, 0, 0, 0, 0, 0],
+                    )
+                });
+                w.post_rdma_write(
+                    self.rank,
+                    peer,
+                    recv_region,
+                    off,
+                    data.slice(off..end),
+                    proto::pack_user(wr_kind::FRAG_WRITE, sender_req),
+                    fin,
+                    Some(x),
+                );
+                new_frags.push((x.0, (end - off) as u64));
+                off = end;
+            }
+        }
+        for &(xfer, len) in &new_frags {
+            self.rec.xfer_begin(xfer, len);
+        }
+        if let Some(Req::SendRdvPipe {
+            frags,
+            remaining,
+            all_posted,
+            ..
+        }) = self.reqs.get_mut(&sender_req)
+        {
+            for f in new_frags {
+                frags.push_back(f);
+            }
+            *remaining += nfrags;
+            *all_posted = true;
+        }
+    }
+
+    // ---- waiting ----------------------------------------------------------
+
+    pub(crate) fn wait_inner(&mut self, req: Request) -> Status {
+        loop {
+            self.progress();
+            if let Some(st) = self.try_take(req) {
+                return st;
+            }
+            self.wait_for_event();
+        }
+    }
+
+    /// Is the request complete (not consumed)?
+    pub(crate) fn req_done(&self, req: Request) -> bool {
+        self.reqs.get(&req.0).map(Req::is_done).unwrap_or(true)
+    }
+
+    /// Consume a completed request's status (panics if incomplete).
+    pub(crate) fn take_status(&mut self, req: Request) -> Status {
+        self.try_take(req).expect("request not complete")
+    }
+
+    fn try_take(&mut self, req: Request) -> Option<Status> {
+        if !self.reqs.get(&req.0).map(Req::is_done).unwrap_or_else(|| {
+            panic!("wait on unknown request {:?}", req)
+        }) {
+            return None;
+        }
+        let r = self.reqs.remove(&req.0).unwrap();
+        Some(match r {
+            Req::Recv { result, .. } => result.expect("done recv without status"),
+            Req::SendEager { peer, tag, .. }
+            | Req::SendRdvRead { peer, tag, .. }
+            | Req::SendRdvPipe { peer, tag, .. } => Status {
+                source: peer,
+                tag,
+                data: None,
+            },
+        })
+    }
+
+    /// Park until the NIC has something for us (unless it already does).
+    fn wait_for_event(&mut self) {
+        let has = self.world.lock().has_host_events(self.rank);
+        if !has {
+            self.ctx.park();
+        }
+    }
+
+    // ---- synchronization helpers (used by collectives) --------------------
+
+    /// Dissemination barrier over zero-payload packets (not counted as data
+    /// transfers). World-scoped; used by init/finalize.
+    pub(crate) fn barrier_inner(&mut self) {
+        let world = self.comm_world();
+        self.barrier_comm_inner(&world);
+    }
+
+    /// Next collective sequence number for `comm_id` (members call the
+    /// communicator's collectives in the same order, so these agree).
+    pub(crate) fn next_comm_seq(&mut self, comm_id: u64) -> u64 {
+        let seq = self.comm_seqs.entry(comm_id).or_insert(0);
+        let s = *seq;
+        *seq += 1;
+        s
+    }
+
+    /// Next `comm_split` sequence number (split is world-collective).
+    pub(crate) fn next_split_seq(&mut self) -> u64 {
+        let s = self.split_seq;
+        self.split_seq += 1;
+        s
+    }
+
+    // ---- non-blocking collective plumbing (see `icoll`) -------------------
+
+    pub(crate) fn advance_collectives(&mut self) {
+        if !self.icolls.is_empty() {
+            self.advance_collectives_impl();
+        }
+    }
+
+    pub(crate) fn icoll_insert(&mut self, st: crate::icoll::ICollState) -> crate::icoll::CollHandle {
+        let id = self.next_icoll;
+        self.next_icoll += 1;
+        self.icolls.insert(id, st);
+        crate::icoll::CollHandle(id)
+    }
+
+    pub(crate) fn icoll_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.icolls.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    pub(crate) fn icoll_remove(&mut self, id: u64) -> Option<crate::icoll::ICollState> {
+        self.icolls.remove(&id)
+    }
+
+    pub(crate) fn icoll_put_back(&mut self, id: u64, st: crate::icoll::ICollState) {
+        self.icolls.insert(id, st);
+    }
+
+    pub(crate) fn icoll_done(&self, h: crate::icoll::CollHandle) -> bool {
+        self.icolls.get(&h.0).map(|s| s.done).unwrap_or(true)
+    }
+
+    pub(crate) fn icoll_take(&mut self, h: crate::icoll::CollHandle) -> crate::icoll::CollResult {
+        self.icolls
+            .remove(&h.0)
+            .expect("collective already taken")
+            .take_result()
+    }
+
+    pub(crate) fn icoll_park(&mut self) {
+        self.wait_for_event();
+    }
+}
+
+fn envelope_matches(env: (usize, u64), src: Src, tag: TagSel) -> bool {
+    src.matches(env.0) && tag.matches(env.1)
+}

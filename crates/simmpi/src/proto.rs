@@ -1,0 +1,84 @@
+//! Wire-protocol packet layout.
+//!
+//! Header word assignments per packet type (see the `Packet::h` array):
+//!
+//! | type | h\[0\] | h\[1\] | h\[2\] | h\[3\] | h\[4\] | data |
+//! |---|---|---|---|---|---|---|
+//! | `EAGER` | tag | xfer id | — | — | — | payload |
+//! | `RTS_READ` | tag | total len | src region | xfer id | sender req | — |
+//! | `RTS_PIPE` | tag | total len | frag1 xfer | sender req | — | fragment 1 |
+//! | `CTS` | sender req | recv region | — | — | — | — |
+//! | `FIN_READ` | sender req | xfer id | total len | — | — | — |
+//! | `FIN_PIPE` | recv req | — | — | — | — | — |
+//! | `BARRIER` | tag | — | — | — | — | — |
+
+/// Eager data packet (short messages).
+pub const PT_EAGER: u16 = 1;
+/// Rendezvous request-to-send, direct RDMA-Read mode.
+pub const PT_RTS_READ: u16 = 2;
+/// Rendezvous request-to-send carrying fragment 1, pipelined mode.
+pub const PT_RTS_PIPE: u16 = 3;
+/// Receiver clear-to-send (ACK) naming its registered buffer.
+pub const PT_CTS: u16 = 4;
+/// Transfer-complete notification to the sender (direct-read mode).
+pub const PT_FIN_READ: u16 = 5;
+/// Transfer-complete notification to the receiver (pipelined mode; rides
+/// with the last fragment).
+pub const PT_FIN_PIPE: u16 = 6;
+/// Zero-payload synchronization packet (barrier and friends); matched like a
+/// normal message but never counted as a data transfer.
+pub const PT_BARRIER: u16 = 7;
+/// Receiver-matched acknowledgment for synchronous eager sends
+/// (`MPI_Ssend`): h\[0\] = sender request id.
+pub const PT_SSEND_ACK: u16 = 8;
+
+/// Correlation-word kinds for completion-queue entries (`Completion::user`
+/// high byte).
+pub mod wr_kind {
+    /// Completion of a control packet; no action beyond dropping it.
+    pub const IGNORE: u64 = 0;
+    /// Local completion of an eager send.
+    pub const EAGER_SEND: u64 = 1;
+    /// Completion of one pipelined RDMA-Write fragment.
+    pub const FRAG_WRITE: u64 = 2;
+    /// Completion of a rendezvous RDMA Read (data attached).
+    pub const RDMA_READ: u64 = 3;
+}
+
+/// Pack a completion correlation word: kind in the top byte, request id in
+/// the low 56 bits.
+pub fn pack_user(kind: u64, req: u64) -> u64 {
+    debug_assert!(req < (1 << 56), "request id overflow");
+    (kind << 56) | req
+}
+
+/// Unpack a correlation word into `(kind, request id)`.
+pub fn unpack_user(user: u64) -> (u64, u64) {
+    (user >> 56, user & ((1 << 56) - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_word_roundtrip() {
+        for kind in [wr_kind::IGNORE, wr_kind::EAGER_SEND, wr_kind::FRAG_WRITE, wr_kind::RDMA_READ] {
+            let u = pack_user(kind, 123_456);
+            assert_eq!(unpack_user(u), (kind, 123_456));
+        }
+    }
+
+    #[test]
+    fn packet_types_are_distinct() {
+        let all = [
+            PT_EAGER, PT_RTS_READ, PT_RTS_PIPE, PT_CTS, PT_FIN_READ, PT_FIN_PIPE, PT_BARRIER,
+            PT_SSEND_ACK,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests over random *sequences* of collectives (catches tag-scope
+//! collisions and ordering bugs that single-op tests cannot).
+
+use proptest::prelude::*;
+
+use overlap_core::RecorderOpts;
+use simmpi::{run_mpi, MpiConfig, ReduceOp};
+use simnet::NetConfig;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Barrier,
+    Bcast { root: usize, len: usize },
+    Allreduce { len: usize },
+    Allgather { len: usize },
+    Alltoall { len: usize },
+    Scan,
+    ReduceScatter,
+    RowAllreduce,
+}
+
+fn arb_op(nranks: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Barrier),
+        (0..nranks, 1usize..5000).prop_map(|(root, len)| Op::Bcast { root, len }),
+        (1usize..64).prop_map(|len| Op::Allreduce { len }),
+        (1usize..2000).prop_map(|len| Op::Allgather { len }),
+        (1usize..3000).prop_map(|len| Op::Alltoall { len }),
+        Just(Op::Scan),
+        Just(Op::ReduceScatter),
+        Just(Op::RowAllreduce),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn random_collective_sequences_are_correct(
+        ops in prop::collection::vec(arb_op(4), 1..10),
+    ) {
+        let nranks = 4;
+        let ops_in = ops.clone();
+        run_mpi(
+            nranks,
+            NetConfig::default(),
+            MpiConfig::default(),
+            RecorderOpts::default(),
+            move |mpi| {
+                let me = mpi.rank();
+                let n = mpi.nranks();
+                // Sub-communicator reused across the sequence.
+                let row = mpi.comm_split((me / 2) as u64, me as u64);
+                for (i, op) in ops_in.iter().enumerate() {
+                    match *op {
+                        Op::Barrier => mpi.barrier(),
+                        Op::Bcast { root, len } => {
+                            let mut data = if me == root {
+                                vec![(root + i) as u8; len]
+                            } else {
+                                Vec::new()
+                            };
+                            mpi.bcast(root, &mut data);
+                            assert_eq!(data, vec![(root + i) as u8; len], "bcast {i}");
+                        }
+                        Op::Allreduce { len } => {
+                            let mine = vec![me as f64; len];
+                            let out = mpi.allreduce(&mine, ReduceOp::Sum);
+                            let expect = (0..n).map(|r| r as f64).sum::<f64>();
+                            assert!(out.iter().all(|&v| v == expect), "allreduce {i}");
+                        }
+                        Op::Allgather { len } => {
+                            let all = mpi.allgather(&vec![me as u8; len]);
+                            for (r, b) in all.iter().enumerate() {
+                                assert_eq!(b, &vec![r as u8; len], "allgather {i}");
+                            }
+                        }
+                        Op::Alltoall { len } => {
+                            let blocks: Vec<Vec<u8>> =
+                                (0..n).map(|d| vec![(me * n + d) as u8; len]).collect();
+                            let got = mpi.alltoall(&blocks);
+                            for (src, b) in got.iter().enumerate() {
+                                assert_eq!(b, &vec![(src * n + me) as u8; len], "alltoall {i}");
+                            }
+                        }
+                        Op::Scan => {
+                            let out = mpi.scan(&[1.0], ReduceOp::Sum);
+                            assert_eq!(out, vec![(me + 1) as f64], "scan {i}");
+                        }
+                        Op::ReduceScatter => {
+                            let data: Vec<f64> = (0..n).map(|j| (j + me) as f64).collect();
+                            let mine = mpi.reduce_scatter(&data, ReduceOp::Sum);
+                            let expect: f64 = (0..n).map(|r| (me + r) as f64).sum();
+                            assert_eq!(mine, vec![expect], "reduce_scatter {i}");
+                        }
+                        Op::RowAllreduce => {
+                            let out = mpi.allreduce_comm(&row, &[1.0], ReduceOp::Sum);
+                            assert_eq!(out, vec![row.size() as f64], "row allreduce {i}");
+                        }
+                    }
+                }
+            },
+        )
+        .expect("run failed");
+    }
+}

@@ -1,0 +1,99 @@
+//! Convenience wrapper tying a [`simcore::Simulation`] to a [`World`].
+
+use simcore::{ActivityLog, RankCtx, SimError, SimOpts, Simulation};
+
+use crate::config::NetConfig;
+use crate::truth::TransferRecord;
+use crate::world::{SharedWorld, World};
+
+/// A simulated cluster: `nranks` processes, one per node, over one fabric.
+pub struct Cluster {
+    sim: Simulation,
+    world: SharedWorld,
+}
+
+/// Result of a cluster run: engine outcome plus fabric ground truth.
+#[derive(Debug)]
+pub struct ClusterOutcome {
+    /// Virtual end time of the run.
+    pub end_time: simcore::Time,
+    /// Per-rank ground-truth activity logs.
+    pub activity: Vec<ActivityLog>,
+    /// Ground-truth records of every data transfer.
+    pub transfers: Vec<TransferRecord>,
+    /// Queue entries processed by the engine.
+    pub events_processed: u64,
+}
+
+impl Cluster {
+    /// Create a cluster of `nranks` nodes with the given fabric config.
+    pub fn new(nranks: usize, cfg: NetConfig) -> Self {
+        let sim = Simulation::new(nranks);
+        let world = World::new_shared(cfg, sim.handle(), nranks);
+        Cluster { sim, world }
+    }
+
+    /// The shared fabric (for pre-run setup or custom harnesses).
+    pub fn world(&self) -> SharedWorld {
+        self.world.clone()
+    }
+
+    /// Run `body` once per rank; returns outcome plus ground truth.
+    pub fn run<F>(self, opts: SimOpts, body: F) -> Result<ClusterOutcome, SimError>
+    where
+        F: Fn(&mut RankCtx, &SharedWorld) + Send + Sync + 'static,
+    {
+        let world = self.world.clone();
+        let world_for_body = self.world.clone();
+        let out = self
+            .sim
+            .run(opts, move |ctx| body(ctx, &world_for_body))?;
+        let transfers = world.lock().take_transfers();
+        Ok(ClusterOutcome {
+            end_time: out.end_time,
+            activity: out.activity,
+            transfers,
+            events_processed: out.events_processed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Packet;
+
+    #[test]
+    fn cluster_runs_and_collects_truth() {
+        let cluster = Cluster::new(2, NetConfig::default());
+        let out = cluster
+            .run(SimOpts::default(), |ctx, world| {
+                if ctx.rank() == 0 {
+                    {
+                        let mut w = world.lock();
+                        let x = w.alloc_xfer_id();
+                        let p = Packet::with_data(
+                            0,
+                            128,
+                            1,
+                            [0; 6],
+                            bytes::Bytes::from_static(b"hello"),
+                        );
+                        w.post_send(0, 1, p, 0, Some(x));
+                    }
+                    ctx.compute(10_000);
+                } else {
+                    loop {
+                        if world.lock().poll_rx(1).is_some() {
+                            return;
+                        }
+                        ctx.park();
+                    }
+                }
+            })
+            .unwrap();
+        assert_eq!(out.transfers.len(), 1);
+        assert_eq!(out.transfers[0].bytes, 5);
+        assert_eq!(out.activity.len(), 2);
+    }
+}

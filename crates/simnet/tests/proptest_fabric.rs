@@ -1,0 +1,140 @@
+//! Fabric property tests: byte conservation, FIFO per-path ordering, and
+//! timing-model sanity over randomized operation sequences.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use simcore::SimOpts;
+use simnet::{Cluster, NetConfig, Packet};
+
+#[derive(Debug, Clone, Copy)]
+struct SendSpec {
+    bytes: usize,
+    gap_ns: u64,
+}
+
+fn arb_sends() -> impl Strategy<Value = Vec<SendSpec>> {
+    prop::collection::vec(
+        (1usize..100_000, 0u64..100_000)
+            .prop_map(|(bytes, gap_ns)| SendSpec { bytes, gap_ns }),
+        1..20,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every posted send is delivered exactly once, in order, with intact
+    /// sizes and sequence-stamped contents.
+    #[test]
+    fn sends_conserve_bytes_and_order(sends in arb_sends()) {
+        let received: Arc<Mutex<Vec<(u64, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+        let received_in = Arc::clone(&received);
+        let sends_in = sends.clone();
+        let cluster = Cluster::new(2, NetConfig::default());
+        let out = cluster.run(SimOpts::default(), move |ctx, world| {
+            if ctx.rank() == 0 {
+                for (i, s) in sends_in.iter().enumerate() {
+                    if s.gap_ns > 0 {
+                        ctx.compute(s.gap_ns);
+                    }
+                    let mut w = world.lock();
+                    let x = w.alloc_xfer_id();
+                    let pkt = Packet::with_data(
+                        0,
+                        s.bytes + 64,
+                        1,
+                        [i as u64, 0, 0, 0, 0, 0],
+                        Bytes::from(vec![i as u8; s.bytes]),
+                    );
+                    w.post_send(0, 1, pkt, 0, Some(x));
+                }
+                // Drain our own completions.
+                let total = sends_in.len();
+                let mut got = 0;
+                while got < total {
+                    while world.lock().poll_cq(0).is_some() {
+                        got += 1;
+                    }
+                    if got < total {
+                        ctx.park();
+                    }
+                }
+            } else {
+                let total = sends_in.len();
+                let mut got = 0;
+                while got < total {
+                    let p = world.lock().poll_rx(1);
+                    match p {
+                        Some(p) => {
+                            let data = p.data.unwrap();
+                            assert!(data.iter().all(|&b| b == p.h[0] as u8));
+                            received_in.lock().push((p.h[0], data.len()));
+                            got += 1;
+                        }
+                        None => ctx.park(),
+                    }
+                }
+            }
+        }).unwrap();
+
+        let got = received.lock().clone();
+        prop_assert_eq!(got.len(), sends.len());
+        // FIFO: sequence numbers strictly increasing.
+        for (i, &(seq, len)) in got.iter().enumerate() {
+            prop_assert_eq!(seq, i as u64, "out-of-order delivery");
+            prop_assert_eq!(len, sends[i].bytes);
+        }
+        // Ground truth records every payload byte exactly once.
+        let truth_bytes: usize = out.transfers.iter().map(|t| t.bytes).sum();
+        let sent_bytes: usize = sends.iter().map(|s| s.bytes).sum();
+        prop_assert_eq!(truth_bytes, sent_bytes);
+    }
+
+    /// Physical transfer durations always respect the cost model: at least
+    /// serialization + latency, and DMA start never precedes the post.
+    #[test]
+    fn transfer_timing_respects_cost_model(sends in arb_sends()) {
+        let sends_in = sends.clone();
+        let cluster = Cluster::new(2, NetConfig::default());
+        let net = NetConfig::default();
+        let out = cluster.run(SimOpts::default(), move |ctx, world| {
+            if ctx.rank() == 0 {
+                for s in &sends_in {
+                    let mut w = world.lock();
+                    let x = w.alloc_xfer_id();
+                    let pkt = Packet::with_data(
+                        0,
+                        s.bytes + 64,
+                        1,
+                        [0; 6],
+                        Bytes::from(vec![1u8; s.bytes]),
+                    );
+                    w.post_send(0, 1, pkt, 0, Some(x));
+                }
+            } else {
+                let total = sends_in.len();
+                let mut got = 0;
+                while got < total {
+                    if world.lock().poll_rx(1).is_some() {
+                        got += 1;
+                    } else {
+                        ctx.park();
+                    }
+                }
+            }
+        }).unwrap();
+        for t in &out.transfers {
+            let min_duration = net.serialize(t.bytes + 64) + net.wire_latency;
+            prop_assert!(t.duration() >= min_duration,
+                "transfer of {} bytes took {} < {}", t.bytes, t.duration(), min_duration);
+        }
+        // Back-to-back posts serialize on the DMA engine: starts are
+        // non-decreasing and non-overlapping in serialization time.
+        for w in out.transfers.windows(2) {
+            prop_assert!(w[1].phys_start >= w[0].phys_start + net.serialize(w[0].bytes + 64));
+        }
+    }
+}

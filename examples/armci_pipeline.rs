@@ -1,0 +1,73 @@
+//! One-sided software pipeline over ARMCI.
+//!
+//! Rank 0 produces blocks and pushes them into rank 1's segment with
+//! non-blocking puts, double-buffered so production of block `k+1` overlaps
+//! the transfer of block `k` — the latency-hiding idiom the ARMCI part of
+//! the paper (Sec. 4.4) quantifies. Compare the reported bounds of the
+//! pipelined version with the serial (blocking put) version.
+//!
+//! ```text
+//! cargo run --example armci_pipeline
+//! ```
+
+use overlap_suite::prelude::*;
+
+const BLOCK: usize = 256 << 10;
+const BLOCKS: usize = 16;
+const PRODUCE_NS: u64 = 400_000; // per-block production cost
+
+fn main() {
+    for (name, pipelined) in [("blocking puts", false), ("pipelined nb_puts", true)] {
+        let out = run_armci(
+            2,
+            NetConfig::default(),
+            RecorderOpts::default(),
+            move |a| {
+                let mem = a.malloc(BLOCK * BLOCKS);
+                a.barrier();
+                if a.rank() == 0 {
+                    let mut prev: Option<simarmci::NbHandle> = None;
+                    for k in 0..BLOCKS {
+                        // "Produce" the block.
+                        a.compute(PRODUCE_NS);
+                        let data = vec![k as u8 + 1; BLOCK];
+                        if pipelined {
+                            // Ship it asynchronously; reap the previous one.
+                            if let Some(h) = prev.take() {
+                                a.wait(h);
+                            }
+                            prev = Some(a.nb_put(&mem, 1, k * BLOCK, &data));
+                        } else {
+                            a.put(&mem, 1, k * BLOCK, &data);
+                        }
+                    }
+                    if let Some(h) = prev {
+                        a.wait(h);
+                    }
+                    a.barrier();
+                } else {
+                    a.barrier();
+                    // Consumer validates every block landed intact.
+                    for k in 0..BLOCKS {
+                        let got = a.local_read(&mem, k * BLOCK, BLOCK);
+                        assert!(got.iter().all(|&b| b == k as u8 + 1), "block {k} corrupt");
+                    }
+                }
+            },
+        )
+        .expect("simulation failed");
+
+        let r = &out.reports[0];
+        println!(
+            "{name:>18}: min {:5.1}%  max {:5.1}%  producer elapsed {:6.2} ms",
+            r.total.min_pct(),
+            r.total.max_pct(),
+            r.elapsed as f64 / 1e6,
+        );
+    }
+    println!(
+        "\nThe pipelined producer proves (min bound) that its transfers ran\n\
+         under block production; the blocking producer cannot overlap at all\n\
+         (case 1: initiation and completion inside one ARMCI_Put)."
+    );
+}

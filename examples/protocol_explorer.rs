@@ -1,0 +1,68 @@
+//! Protocol explorer: how message size and protocol choice shape overlap.
+//!
+//! Sweeps message sizes across the eager/rendezvous boundary under all three
+//! library configurations and prints sender-side bounds plus measured wait
+//! times — the microbenchmark methodology of the paper's Sec. 3 as a
+//! self-service tool.
+//!
+//! ```text
+//! cargo run --release --example protocol_explorer
+//! ```
+
+use overlap_suite::prelude::*;
+
+fn sweep(name: &str, cfg: MpiConfig) {
+    println!("--- {name} ---");
+    println!(
+        "{:>9}  {:>8}  {:>8}  {:>9}",
+        "size", "snd_min%", "snd_max%", "wait_us"
+    );
+    for size in [1 << 10, 8 << 10, 32 << 10, 128 << 10, 1 << 20] {
+        let cfg = cfg.clone();
+        let out = run_mpi(
+            2,
+            NetConfig::default(),
+            cfg,
+            RecorderOpts::default(),
+            move |mpi| {
+                let msg = vec![9u8; size];
+                for i in 0..30 {
+                    if mpi.rank() == 0 {
+                        let r = mpi.isend(1, i, &msg);
+                        mpi.compute(ms(2)); // always enough to cover the wire
+                        mpi.wait(r);
+                    } else {
+                        mpi.recv(Src::Rank(0), TagSel::Is(i));
+                    }
+                    mpi.barrier();
+                }
+            },
+        )
+        .expect("simulation failed");
+        let r = &out.reports[0];
+        let label = if size >= 1 << 20 {
+            format!("{}M", size >> 20)
+        } else {
+            format!("{}K", size >> 10)
+        };
+        println!(
+            "{label:>9}  {:>8.1}  {:>8.1}  {:>9.1}",
+            r.total.min_pct(),
+            r.total.max_pct(),
+            r.calls["MPI_Wait"].avg() / 1e3,
+        );
+    }
+    println!();
+}
+
+fn main() {
+    println!("Sender-side overlap of Isend + 2 ms compute + Wait, by protocol:\n");
+    sweep("Open MPI default (pipelined RDMA-Write)", MpiConfig::open_mpi_pipelined());
+    sweep("Open MPI leave_pinned (direct RDMA-Read)", MpiConfig::open_mpi_leave_pinned());
+    sweep("MVAPICH2-like (eager 12K, direct read)", MpiConfig::mvapich2());
+    println!(
+        "Reading the table: below the eager threshold everything overlaps;\n\
+         above it the pipelined scheme caps at the first-fragment share while\n\
+         direct RDMA recovers full overlap — the paper's Figures 4 vs 5."
+    );
+}

@@ -1,0 +1,126 @@
+//! A 2-D halo-exchange stencil, tuned three ways.
+//!
+//! The motivating scenario of the paper's Sec. 2.3: an application developer
+//! uses the overlap report to find that their "non-blocking" halo exchange
+//! hides nothing, then fixes it.
+//!
+//! Three variants of the same 5-point stencil over a `q x q` process grid:
+//!
+//! 1. **blocking** — exchange all halos, then compute the full interior;
+//! 2. **nonblocking** — post Irecvs, compute the interior, then wait
+//!    (looks overlapped, but with a polling progress engine the rendezvous
+//!    doesn't start until the wait — the report's *min* bound exposes it);
+//! 3. **nonblocking + probes** — same, with `MPI_Iprobe` sprinkled through
+//!    the interior computation to drive the progress engine.
+//!
+//! ```text
+//! cargo run --example stencil_overlap
+//! ```
+
+use overlap_suite::prelude::*;
+
+const Q: usize = 2; // process grid side
+const N: usize = 512; // local grid side
+const HALO_BYTES: usize = N * 8 * 6; // three fields of one ghost row
+const INTERIOR_NS: u64 = 2_500_000; // interior update cost
+const STEPS: u64 = 10;
+
+#[derive(Clone, Copy)]
+enum Variant {
+    Blocking,
+    NonBlocking,
+    NonBlockingProbed,
+}
+
+fn stencil(mpi: &mut Mpi, variant: Variant) {
+    let me = mpi.rank();
+    let (row, col) = (me / Q, me % Q);
+    let right = row * Q + (col + 1) % Q;
+    let left = row * Q + (col + Q - 1) % Q;
+    let down = ((row + 1) % Q) * Q + col;
+    let up = ((row + Q - 1) % Q) * Q + col;
+    let halo = vec![1u8; HALO_BYTES];
+
+    for step in 0..STEPS {
+        let t = step << 8;
+        match variant {
+            Variant::Blocking => {
+                // Halos first, compute after: nothing can overlap.
+                let rs = [
+                    mpi.irecv(Src::Rank(left), TagSel::Is(t + 1)),
+                    mpi.irecv(Src::Rank(right), TagSel::Is(t + 2)),
+                    mpi.irecv(Src::Rank(up), TagSel::Is(t + 3)),
+                    mpi.irecv(Src::Rank(down), TagSel::Is(t + 4)),
+                ];
+                let s1 = mpi.isend(right, t + 1, &halo);
+                let s2 = mpi.isend(left, t + 2, &halo);
+                let s3 = mpi.isend(down, t + 3, &halo);
+                let s4 = mpi.isend(up, t + 4, &halo);
+                mpi.waitall(&rs);
+                mpi.waitall(&[s1, s2, s3, s4]);
+                mpi.compute(INTERIOR_NS);
+            }
+            Variant::NonBlocking | Variant::NonBlockingProbed => {
+                // Post everything, compute the interior, then wait.
+                let rs = [
+                    mpi.irecv(Src::Rank(left), TagSel::Is(t + 1)),
+                    mpi.irecv(Src::Rank(right), TagSel::Is(t + 2)),
+                    mpi.irecv(Src::Rank(up), TagSel::Is(t + 3)),
+                    mpi.irecv(Src::Rank(down), TagSel::Is(t + 4)),
+                ];
+                let s1 = mpi.isend(right, t + 1, &halo);
+                let s2 = mpi.isend(left, t + 2, &halo);
+                let s3 = mpi.isend(down, t + 3, &halo);
+                let s4 = mpi.isend(up, t + 4, &halo);
+                if matches!(variant, Variant::NonBlockingProbed) {
+                    for _ in 0..4 {
+                        mpi.compute(INTERIOR_NS / 5);
+                        mpi.iprobe(Src::Any, TagSel::Any);
+                    }
+                    mpi.compute(INTERIOR_NS / 5);
+                } else {
+                    mpi.compute(INTERIOR_NS);
+                }
+                mpi.waitall(&rs);
+                mpi.waitall(&[s1, s2, s3, s4]);
+            }
+        }
+    }
+}
+
+fn run_variant(name: &str, variant: Variant) {
+    let out = run_mpi(
+        Q * Q,
+        NetConfig::default(),
+        MpiConfig::mvapich2(),
+        RecorderOpts::default(),
+        move |mpi| stencil(mpi, variant),
+    )
+    .expect("simulation failed");
+    let r = &out.reports[0];
+    println!(
+        "{name:>22}: min {:5.1}%  max {:5.1}%  comm {:6.2} ms  elapsed {:6.2} ms",
+        r.total.min_pct(),
+        r.total.max_pct(),
+        r.comm_call_time as f64 / 1e6,
+        r.elapsed as f64 / 1e6,
+    );
+}
+
+fn main() {
+    println!(
+        "5-point stencil, {}x{} ranks, {} B halos, direct-RDMA rendezvous\n",
+        Q,
+        Q,
+        HALO_BYTES
+    );
+    run_variant("blocking", Variant::Blocking);
+    run_variant("nonblocking", Variant::NonBlocking);
+    run_variant("nonblocking + probes", Variant::NonBlockingProbed);
+    println!(
+        "\nThe nonblocking variant *attempts* overlap but the polling progress\n\
+         engine only notices the rendezvous handshake inside the waits; the\n\
+         probes drive progress during computation and realize the overlap —\n\
+         exactly the paper's NAS SP story (Sec. 4.3)."
+    );
+}
