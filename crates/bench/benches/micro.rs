@@ -3,9 +3,7 @@
 //! interval math, and end-to-end simulator throughput.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use overlap_core::{
-    ManualClock, Recorder, RecorderOpts, SizeBins, XferTimeTable,
-};
+use overlap_core::{ManualClock, Recorder, RecorderOpts, SizeBins, XferTimeTable};
 use simcore::IntervalSet;
 
 fn flat_table() -> XferTimeTable {

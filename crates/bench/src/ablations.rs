@@ -159,7 +159,11 @@ pub fn ablation_table_resolution() -> Series {
     ]);
     let constant = XferTimeTable::from_points(vec![(1, net.transfer_time(64 << 10))]);
     let mut rows = Vec::new();
-    for (name, table) in [("dense", dense), ("two-point", sparse), ("constant", constant)] {
+    for (name, table) in [
+        ("dense", dense),
+        ("two-point", sparse),
+        ("constant", constant),
+    ] {
         let out = run_mpi_with(
             2,
             net.clone(),
@@ -216,23 +220,17 @@ pub fn ablation_queue_capacity() -> Series {
             bins: SizeBins::default(),
             enabled: true,
         };
-        let out = run_mpi(
-            2,
-            NetConfig::default(),
-            MpiConfig::default(),
-            rec,
-            |mpi| {
-                for i in 0..200 {
-                    if mpi.rank() == 0 {
-                        let r = mpi.isend(1, i, &[1u8; 4096]);
-                        mpi.compute(30_000);
-                        mpi.wait(r);
-                    } else {
-                        mpi.recv(Src::Rank(0), TagSel::Is(i));
-                    }
+        let out = run_mpi(2, NetConfig::default(), MpiConfig::default(), rec, |mpi| {
+            for i in 0..200 {
+                if mpi.rank() == 0 {
+                    let r = mpi.isend(1, i, &[1u8; 4096]);
+                    mpi.compute(30_000);
+                    mpi.wait(r);
+                } else {
+                    mpi.recv(Src::Rank(0), TagSel::Is(i));
                 }
-            },
-        )
+            }
+        })
         .expect("run failed");
         let r = &out.reports[0];
         rows.push(vec![
@@ -284,7 +282,9 @@ pub fn ablation_incast() -> Series {
             )
             .expect("run failed");
             let table = default_xfer_table(&net);
-            let slack: u64 = (1..=senders).map(|r| out.congestion_excess(r, &table)).sum();
+            let slack: u64 = (1..=senders)
+                .map(|r| out.congestion_excess(r, &table))
+                .sum();
             let r1 = &out.reports[1];
             rows.push(vec![
                 if contention { "on" } else { "off" }.to_string(),
@@ -316,7 +316,10 @@ pub fn ablation_bandwidth() -> Series {
         } else {
             format!("{}K", size >> 10)
         }];
-        for cfg in [MpiConfig::open_mpi_pipelined(), MpiConfig::open_mpi_leave_pinned()] {
+        for cfg in [
+            MpiConfig::open_mpi_pipelined(),
+            MpiConfig::open_mpi_leave_pinned(),
+        ] {
             let reps = 10usize;
             let out = run_mpi(
                 2,
@@ -351,9 +354,10 @@ pub fn ablation_bandwidth() -> Series {
     }
     Series {
         id: "ablation-bandwidth",
-        title: "Library streaming bandwidth vs message size (GB/s; fabric peak 1.0)"
-            .to_string(),
-        columns: ["size", "pipelined", "direct_read"].map(String::from).to_vec(),
+        title: "Library streaming bandwidth vs message size (GB/s; fabric peak 1.0)".to_string(),
+        columns: ["size", "pipelined", "direct_read"]
+            .map(String::from)
+            .to_vec(),
         rows,
     }
 }
@@ -372,7 +376,13 @@ pub fn extra_nas_bins() -> Series {
         NasBenchmark::Ft,
         NasBenchmark::Sp,
     ] {
-        let art = run_benchmark(bench, Class::A, 4, NetConfig::default(), RecorderOpts::default());
+        let art = run_benchmark(
+            bench,
+            Class::A,
+            4,
+            NetConfig::default(),
+            RecorderOpts::default(),
+        );
         let r = &art.reports()[0];
         for (label, b) in r.bin_labels.iter().zip(&r.by_bin) {
             if b.transfers == 0 {
@@ -450,10 +460,101 @@ pub fn extra_nic_timestamps() -> Series {
     }
 }
 
+/// Fault-injection sweep: overlap bounds, goodput, and retransmission work
+/// as the fabric loss rate rises, per message size. The bounds must degrade
+/// gracefully (flagged transfers, confidence < 1) rather than collapse, and
+/// goodput should fall roughly with the retransmission volume.
+pub fn ablation_faults() -> Series {
+    use simnet::{FaultKind, FaultPlan};
+    let mut rows = Vec::new();
+    for loss_pct in [0u32, 1, 5, 10] {
+        for size in [4usize << 10, 64 << 10, 256 << 10] {
+            let faults = if loss_pct == 0 {
+                FaultPlan::none()
+            } else {
+                FaultPlan {
+                    seed: 23,
+                    drop_prob: loss_pct as f64 / 100.0,
+                    delay_prob: 0.02,
+                    max_extra_delay: 10_000,
+                    ..FaultPlan::none()
+                }
+            };
+            let net = NetConfig {
+                faults,
+                ..NetConfig::default()
+            };
+            let rounds = 20usize;
+            let out = run_mpi(
+                4,
+                net,
+                MpiConfig::default(),
+                RecorderOpts::default(),
+                move |mpi| {
+                    let me = mpi.rank();
+                    let n = mpi.nranks();
+                    let dst = (me + 1) % n;
+                    let src = (me + n - 1) % n;
+                    for i in 0..rounds {
+                        let r = mpi.irecv(Src::Rank(src), TagSel::Is(i as u64));
+                        let s = mpi.isend(dst, i as u64, &vec![1u8; size]);
+                        mpi.compute(300_000);
+                        mpi.wait(s);
+                        mpi.wait(r);
+                    }
+                },
+            )
+            .expect("run failed");
+            let r = &out.reports[0].total;
+            let retrans: u64 = out.rel_stats.iter().map(|s| s.retransmissions).sum();
+            let dropped = out
+                .faults
+                .iter()
+                .filter(|f| matches!(f.kind, FaultKind::Dropped))
+                .count();
+            // Application payload delivered per wall time (bytes/ns == GB/s):
+            // retransmitted wire bytes don't count, so goodput falls as the
+            // loss rate climbs.
+            let goodput = (size * rounds * 4) as f64 / out.end_time as f64;
+            rows.push(vec![
+                loss_pct.to_string(),
+                (size >> 10).to_string(),
+                pct(r.min_pct()),
+                pct(r.max_pct()),
+                format!("{:.2}", r.confidence()),
+                format!("{goodput:.3}"),
+                dropped.to_string(),
+                retrans.to_string(),
+            ]);
+        }
+    }
+    Series {
+        id: "ablation-faults",
+        title: "Overlap bounds and goodput vs fabric loss rate (4-rank ring)".to_string(),
+        columns: [
+            "loss%",
+            "size_KB",
+            "min%",
+            "max%",
+            "conf",
+            "goodput_GBps",
+            "drops",
+            "retrans",
+        ]
+        .map(String::from)
+        .to_vec(),
+        rows,
+    }
+}
+
 /// All ablations.
 pub fn all() -> Vec<(&'static str, crate::HarnessFn)> {
     vec![
-        ("ablation-eager", ablation_eager_threshold as crate::HarnessFn),
+        (
+            "ablation-eager",
+            ablation_eager_threshold as crate::HarnessFn,
+        ),
+        ("ablation-faults", ablation_faults),
         ("ablation-frag", ablation_fragment_size),
         ("ablation-iprobe", ablation_iprobe_count),
         ("ablation-table", ablation_table_resolution),

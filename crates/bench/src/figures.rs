@@ -29,12 +29,8 @@ fn micro_series(
     let points = overlap_sweep(cfg, bytes, MICRO_REPS, &computes_ns, pairing);
     let mut columns = vec!["compute_us".to_string()];
     match show {
-        Side::Sender => columns.extend(
-            ["snd_min%", "snd_max%", "snd_wait_us"].map(String::from),
-        ),
-        Side::Receiver => columns.extend(
-            ["rcv_min%", "rcv_max%", "rcv_wait_us"].map(String::from),
-        ),
+        Side::Sender => columns.extend(["snd_min%", "snd_max%", "snd_wait_us"].map(String::from)),
+        Side::Receiver => columns.extend(["rcv_min%", "rcv_max%", "rcv_wait_us"].map(String::from)),
         Side::Both => columns.extend(
             [
                 "snd_min%",
@@ -182,7 +178,13 @@ fn nas_series(
 ) -> Series {
     let mut rows = Vec::new();
     for &(class, np) in cases {
-        let art = run_benchmark(bench, class, np, NetConfig::default(), RecorderOpts::default());
+        let art = run_benchmark(
+            bench,
+            class,
+            np,
+            NetConfig::default(),
+            RecorderOpts::default(),
+        );
         let s = summarize(bench, class, np, &art);
         rows.push(vec![
             class.to_string(),
@@ -283,7 +285,13 @@ pub fn fig13() -> Series {
 fn sp_compare(id: &'static str, title: &str, class: Class, whole_code: bool) -> Series {
     let mut rows = Vec::new();
     for np in [4usize, 9, 16] {
-        let orig = run_benchmark(NasBenchmark::Sp, class, np, NetConfig::default(), RecorderOpts::default());
+        let orig = run_benchmark(
+            NasBenchmark::Sp,
+            class,
+            np,
+            NetConfig::default(),
+            RecorderOpts::default(),
+        );
         let modi = run_benchmark(
             NasBenchmark::SpModified,
             class,
@@ -365,7 +373,13 @@ pub fn fig18() -> Series {
     let mut rows = Vec::new();
     for class in [Class::A, Class::B] {
         for np in [4usize, 9, 16] {
-            let orig = run_benchmark(NasBenchmark::Sp, class, np, NetConfig::default(), RecorderOpts::default());
+            let orig = run_benchmark(
+                NasBenchmark::Sp,
+                class,
+                np,
+                NetConfig::default(),
+                RecorderOpts::default(),
+            );
             let modi = run_benchmark(
                 NasBenchmark::SpModified,
                 class,

@@ -53,7 +53,13 @@ pub fn overlap_sweep(
         .collect()
 }
 
-fn run_point(cfg: MpiConfig, bytes: usize, reps: usize, compute_ns: u64, pairing: Pairing) -> MicroPoint {
+fn run_point(
+    cfg: MpiConfig,
+    bytes: usize,
+    reps: usize,
+    compute_ns: u64,
+    pairing: Pairing,
+) -> MicroPoint {
     let out = run_mpi(
         2,
         NetConfig::default(),

@@ -63,10 +63,19 @@ fn main() {
             })
         })
         .unwrap_or(Class::A);
-    let np: usize = args.get(2).map(|s| s.parse().expect("np must be a number")).unwrap_or(4);
+    let np: usize = args
+        .get(2)
+        .map(|s| s.parse().expect("np must be a number"))
+        .unwrap_or(4);
 
     eprintln!("running {} class {class} on {np} ranks...", bench.name());
-    let art = run_benchmark(bench, class, np, NetConfig::default(), RecorderOpts::default());
+    let art = run_benchmark(
+        bench,
+        class,
+        np,
+        NetConfig::default(),
+        RecorderOpts::default(),
+    );
     let s = summarize(bench, class, np, &art);
     println!(
         "{} class {} np {}: elapsed {:.2} ms | overlap min {:.1}% max {:.1}%\n",

@@ -122,7 +122,13 @@ pub fn run_cg(mpi: &mut Mpi, p: &CgParams) {
                 let peer_col = my_col ^ dist;
                 if peer_col < ncols {
                     let peer = my_row * ncols + peer_col;
-                    mpi.sendrecv(peer, tag + 200 + dist as u64, &[2u8; 8], Src::Rank(peer), TagSel::Is(tag + 200 + dist as u64));
+                    mpi.sendrecv(
+                        peer,
+                        tag + 200 + dist as u64,
+                        &[2u8; 8],
+                        Src::Rank(peer),
+                        TagSel::Is(tag + 200 + dist as u64),
+                    );
                 }
                 dist <<= 1;
             }

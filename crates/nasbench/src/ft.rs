@@ -98,7 +98,9 @@ pub fn run_ft(mpi: &mut Mpi, p: &FtParams) {
         // Local FFT passes over the owned slab.
         mpi.compute(fft_ns);
         // Global transpose.
-        let blocks: Vec<Vec<u8>> = (0..np).map(|d| vec![(me * np + d) as u8; block_bytes]).collect();
+        let blocks: Vec<Vec<u8>> = (0..np)
+            .map(|d| vec![(me * np + d) as u8; block_bytes])
+            .collect();
         let got = if p.nonblocking {
             // Initiate the transpose, overlap the next FFT pass against it
             // (probing to drive the progress engine), then complete.
@@ -114,7 +116,10 @@ pub fn run_ft(mpi: &mut Mpi, p: &FtParams) {
         };
         for (src, b) in got.iter().enumerate() {
             assert_eq!(b.len(), block_bytes);
-            assert!(b.iter().all(|&x| x == (src * np + me) as u8), "transpose corrupted");
+            assert!(
+                b.iter().all(|&x| x == (src * np + me) as u8),
+                "transpose corrupted"
+            );
         }
         // Second local FFT pass after the transpose (already spent in the
         // non-blocking variant, which folds it into the overlap window).

@@ -11,7 +11,10 @@ pub fn square_side(np: usize) -> usize {
 /// Near-square 2-D factorization for power-of-two counts (CG/LU style):
 /// returns `(rows, cols)` with `cols == rows` or `cols == 2 * rows`.
 pub fn grid2(np: usize) -> (usize, usize) {
-    assert!(np.is_power_of_two(), "CG/LU require a power-of-two count, got {np}");
+    assert!(
+        np.is_power_of_two(),
+        "CG/LU require a power-of-two count, got {np}"
+    );
     let log = np.trailing_zeros();
     let rows = 1usize << (log / 2);
     (rows, np / rows)
@@ -20,7 +23,10 @@ pub fn grid2(np: usize) -> (usize, usize) {
 /// 3-D factorization for power-of-two counts (MG style): splits factors of
 /// two across dimensions round-robin; returns `(px, py, pz)`.
 pub fn grid3(np: usize) -> (usize, usize, usize) {
-    assert!(np.is_power_of_two(), "MG requires a power-of-two count, got {np}");
+    assert!(
+        np.is_power_of_two(),
+        "MG requires a power-of-two count, got {np}"
+    );
     let mut dims = [1usize; 3];
     let mut remaining = np;
     let mut axis = 0;

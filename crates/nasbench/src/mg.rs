@@ -140,19 +140,27 @@ pub fn run_mg_mpi(mpi: &mut Mpi, p: &MgParams) {
 /// a V-cycle step).
 fn ghost_offset(g: &MgGeometry, axis: usize, dir: usize, _level: usize) -> usize {
     let slot = axis * 2 + dir;
-    let finest = face_bytes(g, 0, 0).max(face_bytes(g, 1, 0)).max(face_bytes(g, 2, 0));
+    let finest = face_bytes(g, 0, 0)
+        .max(face_bytes(g, 1, 0))
+        .max(face_bytes(g, 2, 0));
     slot * finest
 }
 
 /// Segment size needed for the ghost slots.
 fn segment_len(g: &MgGeometry) -> usize {
-    let finest = face_bytes(g, 0, 0).max(face_bytes(g, 1, 0)).max(face_bytes(g, 2, 0));
+    let finest = face_bytes(g, 0, 0)
+        .max(face_bytes(g, 1, 0))
+        .max(face_bytes(g, 2, 0));
     6 * finest
 }
 
 /// Run an ARMCI variant (blocking or non-blocking).
 pub fn run_mg_armci(a: &mut Armci, p: &MgParams, variant: MgVariant) {
-    assert_ne!(variant, MgVariant::Mpi, "use run_mg_mpi for the MPI variant");
+    assert_ne!(
+        variant,
+        MgVariant::Mpi,
+        "use run_mg_mpi for the MPI variant"
+    );
     let g = geometry(a.nranks(), p);
     let me = a.rank();
     let mem = a.malloc(segment_len(&g));
@@ -188,8 +196,18 @@ pub fn run_mg_armci(a: &mut Armci, p: &MgParams, variant: MgVariant) {
                         if plus != me {
                             let bytes = face_bytes(&g, axis, level);
                             let buf = vec![(axis + 1) as u8; bytes];
-                            pending.push(a.nb_put(&mem, plus, ghost_offset(&g, axis, 0, level), &buf));
-                            pending.push(a.nb_put(&mem, minus, ghost_offset(&g, axis, 1, level), &buf));
+                            pending.push(a.nb_put(
+                                &mem,
+                                plus,
+                                ghost_offset(&g, axis, 0, level),
+                                &buf,
+                            ));
+                            pending.push(a.nb_put(
+                                &mem,
+                                minus,
+                                ghost_offset(&g, axis, 1, level),
+                                &buf,
+                            ));
                         }
                         // Work on the *previous* dimension's data while the
                         // puts fly.

@@ -155,8 +155,10 @@ pub fn run_benchmark(
         NasBenchmark::MgMpi => {
             let p = crate::mg::MgParams::new(class);
             RunArtifacts::Mpi(
-                run_mpi(np, net, mpi_cfg, rec, move |mpi| crate::mg::run_mg_mpi(mpi, &p))
-                    .expect("MG-mpi run failed"),
+                run_mpi(np, net, mpi_cfg, rec, move |mpi| {
+                    crate::mg::run_mg_mpi(mpi, &p)
+                })
+                .expect("MG-mpi run failed"),
             )
         }
         NasBenchmark::MgArmciBlocking => {

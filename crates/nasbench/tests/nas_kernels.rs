@@ -7,7 +7,13 @@ use overlap_core::RecorderOpts;
 use simnet::NetConfig;
 
 fn run(bench: NasBenchmark, class: Class, np: usize) -> RunArtifacts {
-    run_benchmark(bench, class, np, NetConfig::default(), RecorderOpts::default())
+    run_benchmark(
+        bench,
+        class,
+        np,
+        NetConfig::default(),
+        RecorderOpts::default(),
+    )
 }
 
 #[test]
@@ -51,7 +57,10 @@ fn ep_is_a_negative_control() {
     let art = run(NasBenchmark::Ep, Class::S, 4);
     let s = summarize(NasBenchmark::Ep, Class::S, 4, &art);
     // Minimal communication: data transfer time is a sliver of elapsed time.
-    assert!(s.data_transfer_ms < 0.05 * s.elapsed_ms, "EP communicates too much");
+    assert!(
+        s.data_transfer_ms < 0.05 * s.elapsed_ms,
+        "EP communicates too much"
+    );
 }
 
 #[test]

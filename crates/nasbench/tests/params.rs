@@ -94,7 +94,12 @@ fn paper_environments_match_section_4() {
         NasBenchmark::Cg.paper_env().rndv_mode,
         RndvMode::PipelinedWrite
     );
-    for b in [NasBenchmark::Lu, NasBenchmark::Ft, NasBenchmark::Sp, NasBenchmark::SpModified] {
+    for b in [
+        NasBenchmark::Lu,
+        NasBenchmark::Ft,
+        NasBenchmark::Sp,
+        NasBenchmark::SpModified,
+    ] {
         assert_eq!(b.paper_env().rndv_mode, RndvMode::DirectRead);
     }
 }

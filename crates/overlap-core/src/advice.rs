@@ -169,8 +169,7 @@ pub fn analyze(report: &OverlapReport, opts: &AdviceOpts) -> Vec<Finding> {
 
     // Per-section drill-down: sections markedly worse than the whole run.
     for (name, sec) in &report.sections {
-        if sec.total.transfers >= opts.min_bin_transfers
-            && sec.total.max_pct() + 20.0 < t.max_pct()
+        if sec.total.transfers >= opts.min_bin_transfers && sec.total.max_pct() + 20.0 < t.max_pct()
         {
             findings.push(Finding {
                 severity: Severity::Notice,
@@ -223,6 +222,7 @@ mod tests {
             calls: Default::default(),
             events_recorded: 0,
             queue_flushes: 0,
+            anomalies: Default::default(),
         }
     }
 
@@ -285,7 +285,10 @@ mod tests {
         add(&mut sec.total, 5, 1_000_000, OverlapBounds::same_call());
         r.sections.insert("copy_faces".into(), sec);
         let f = analyze(&r, &AdviceOpts::default());
-        let hit = f.iter().find(|x| x.rule == "section-below-baseline").unwrap();
+        let hit = f
+            .iter()
+            .find(|x| x.rule == "section-below-baseline")
+            .unwrap();
         assert!(hit.message.contains("copy_faces"));
     }
 
@@ -314,5 +317,4 @@ mod tests {
         let hit = f.iter().find(|x| x.rule == "worst-size-bin").unwrap();
         assert!(hit.message.contains(">=1K"), "{}", hit.message);
     }
-
 }

@@ -55,6 +55,14 @@ pub enum EventKind {
     },
     /// Application-level end of the innermost monitored section.
     SectionEnd,
+    /// The library learned that transfer `id` was disturbed (e.g. it had to
+    /// retransmit lost packets), so the a-priori transfer time no longer
+    /// describes the observed window. The processor degrades that transfer's
+    /// bounds instead of reporting unsound overlap.
+    XferFlag {
+        /// Transfer id; may refer to an already-completed transfer.
+        id: u64,
+    },
 }
 
 impl Event {

@@ -63,15 +63,24 @@ impl<W: Write> EventObserver for TraceSink<W> {
             }
             EventKind::CallExit => format!(r#"{{"t":{},"ev":"call_exit"}}"#, e.t),
             EventKind::XferBegin { id, bytes } => {
-                format!(r#"{{"t":{},"ev":"xfer_begin","id":{},"bytes":{}}}"#, e.t, id, bytes)
+                format!(
+                    r#"{{"t":{},"ev":"xfer_begin","id":{},"bytes":{}}}"#,
+                    e.t, id, bytes
+                )
             }
             EventKind::XferEnd { id, bytes } => {
-                format!(r#"{{"t":{},"ev":"xfer_end","id":{},"bytes":{}}}"#, e.t, id, bytes)
+                format!(
+                    r#"{{"t":{},"ev":"xfer_end","id":{},"bytes":{}}}"#,
+                    e.t, id, bytes
+                )
             }
             EventKind::SectionBegin { name } => {
                 format!(r#"{{"t":{},"ev":"section_begin","name":"{}"}}"#, e.t, name)
             }
             EventKind::SectionEnd => format!(r#"{{"t":{},"ev":"section_end"}}"#, e.t),
+            EventKind::XferFlag { id } => {
+                format!(r#"{{"t":{},"ev":"xfer_flag","id":{}}}"#, e.t, id)
+            }
         };
         let _ = writeln!(self.out, "{line}");
         self.events_written += 1;

@@ -14,7 +14,7 @@ use std::collections::{BTreeMap, HashMap};
 use crate::bins::SizeBins;
 use crate::bounds::OverlapBounds;
 use crate::event::{Event, EventKind};
-use crate::report::{CallStats, OverlapReport, OverlapStats, SectionReport};
+use crate::report::{Anomalies, CallStats, OverlapReport, OverlapStats, SectionReport};
 use crate::xfer_table::XferTimeTable;
 
 #[derive(Debug)]
@@ -23,8 +23,13 @@ struct ActiveXfer {
     /// Top-level call sequence number at `XFER_BEGIN`, if it was stamped
     /// inside a call (used for case-1 detection).
     begin_call: Option<u64>,
+    /// Timestamp of the `XFER_BEGIN` stamp (for clamping bounds to the
+    /// observed window when the a-priori table diverges from reality).
+    begin_t: u64,
     computation_time: u64,
     noncomputation_time: u64,
+    /// The library reported this transfer fault-disturbed (`XFER_FLAG`).
+    flagged: bool,
     section: Option<&'static str>,
 }
 
@@ -53,6 +58,7 @@ pub struct Processor {
     sections: BTreeMap<&'static str, SectionAccum>,
     call_stack: Vec<(&'static str, u64)>,
     calls: BTreeMap<&'static str, CallStats>,
+    anomalies: Anomalies,
 }
 
 impl Processor {
@@ -76,6 +82,7 @@ impl Processor {
             sections: BTreeMap::new(),
             call_stack: Vec::new(),
             calls: BTreeMap::new(),
+            anomalies: Anomalies::default(),
         }
     }
 
@@ -90,7 +97,13 @@ impl Processor {
             self.cursor = t;
             return;
         }
-        debug_assert!(t >= self.cursor, "events out of order");
+        if t < self.cursor {
+            // Clock skew: the stamp runs behind the processing cursor. Real
+            // hardware clocks (and multi-source event streams) can do this;
+            // count it and drop the negative interval instead of panicking.
+            self.anomalies.clock_skew += 1;
+            return;
+        }
         let dt = t.saturating_sub(self.cursor);
         if dt == 0 {
             return;
@@ -124,19 +137,30 @@ impl Processor {
         bytes: u64,
         bounds: OverlapBounds,
         section: Option<&'static str>,
+        flagged: bool,
+        clamped: bool,
     ) {
         let xfer_time = self.table.lookup(bytes);
-        self.total.add_bounds(bytes, xfer_time, bounds);
+        let note = |s: &mut OverlapStats| {
+            s.add_bounds(bytes, xfer_time, bounds);
+            if flagged {
+                s.note_flagged();
+            }
+            if clamped {
+                s.note_clamped();
+            }
+        };
+        note(&mut self.total);
         let bin = self.bins.index(bytes);
-        self.by_bin[bin].add_bounds(bytes, xfer_time, bounds);
+        note(&mut self.by_bin[bin]);
         if let Some(name) = section {
             let nbins = self.bins.count();
             let acc = self.sections.entry(name).or_default();
             if acc.by_bin.is_empty() {
                 acc.by_bin = vec![OverlapStats::default(); nbins];
             }
-            acc.total.add_bounds(bytes, xfer_time, bounds);
-            acc.by_bin[bin].add_bounds(bytes, xfer_time, bounds);
+            note(&mut acc.total);
+            note(&mut acc.by_bin[bin]);
         }
     }
 
@@ -152,12 +176,15 @@ impl Processor {
                 self.call_stack.push((name, e.t));
             }
             EventKind::CallExit => {
-                debug_assert!(self.depth > 0, "CallExit without CallEnter");
-                self.depth = self.depth.saturating_sub(1);
-                if let Some((name, t0)) = self.call_stack.pop() {
-                    let c = self.calls.entry(name).or_default();
-                    c.count += 1;
-                    c.total_time += e.t.saturating_sub(t0);
+                if self.depth == 0 {
+                    self.anomalies.unbalanced_calls += 1;
+                } else {
+                    self.depth -= 1;
+                    if let Some((name, t0)) = self.call_stack.pop() {
+                        let c = self.calls.entry(name).or_default();
+                        c.count += 1;
+                        c.total_time += e.t.saturating_sub(t0);
+                    }
                 }
             }
             EventKind::XferBegin { id, bytes } => {
@@ -168,33 +195,77 @@ impl Processor {
                     ActiveXfer {
                         bytes,
                         begin_call,
+                        begin_t: e.t,
                         computation_time: 0,
                         noncomputation_time: 0,
+                        flagged: false,
                         section,
                     },
                 );
-                debug_assert!(prev.is_none(), "duplicate XFER_BEGIN for id {id}");
+                if let Some(prev) = prev {
+                    // Duplicate XFER_BEGIN (id reuse without an end stamp):
+                    // close the orphaned earlier transfer as single-stamp so
+                    // its bounds stay sound, and count the irregularity.
+                    self.anomalies.duplicate_begin += 1;
+                    let bounds = OverlapBounds::single_stamp(self.table.lookup(prev.bytes));
+                    self.close_transfer(prev.bytes, bounds, prev.section, prev.flagged, false);
+                }
             }
             EventKind::XferEnd { id, bytes } => {
                 if let Some(ax) = self.active.remove(&id) {
-                    let same_call =
-                        self.depth > 0 && ax.begin_call == Some(self.call_seq);
-                    let bounds = if same_call {
+                    let same_call = self.depth > 0 && ax.begin_call == Some(self.call_seq);
+                    let xfer_time = self.table.lookup(ax.bytes);
+                    let mut bounds = if same_call {
                         OverlapBounds::same_call()
                     } else {
                         OverlapBounds::split_calls(
-                            self.table.lookup(ax.bytes),
+                            xfer_time,
                             ax.computation_time,
                             ax.noncomputation_time,
                         )
                     };
-                    self.close_transfer(ax.bytes, bounds, ax.section);
+                    // Degrade gracefully when the observed window contradicts
+                    // the a-priori model instead of reporting unsound overlap.
+                    let wall = e.t.saturating_sub(ax.begin_t);
+                    let mut clamped = false;
+                    if bounds.min > wall {
+                        // The table's xfer_time exceeds the whole observed
+                        // begin→end window (possible under clock skew or a
+                        // stale table): no more than `wall` can have been
+                        // overlapped.
+                        bounds.min = wall.min(bounds.max);
+                        clamped = true;
+                    }
+                    let mut flagged = ax.flagged;
+                    if flagged {
+                        // The library told us the wire had to retransmit: the
+                        // a-priori time no longer describes the transfer, so
+                        // no overlap can be *guaranteed*.
+                        bounds.min = 0;
+                    } else if !same_call && ax.noncomputation_time > 2 * xfer_time.max(1) {
+                        // Heuristic: the process sat inside the library for
+                        // far longer than the wire needs — retransmission (or
+                        // severe contention) suspected even without an
+                        // explicit flag. Counted for the confidence measure;
+                        // the bounds themselves are already sound.
+                        flagged = true;
+                    }
+                    self.close_transfer(ax.bytes, bounds, ax.section, flagged, clamped);
                 } else {
                     // End-only stamp (case 3): e.g. the receive side of an
                     // eager transfer, whose initiation this process never saw.
                     let bounds = OverlapBounds::single_stamp(self.table.lookup(bytes));
                     let section = self.section_stack.last().copied();
-                    self.close_transfer(bytes, bounds, section);
+                    self.close_transfer(bytes, bounds, section, false, false);
+                }
+            }
+            EventKind::XferFlag { id } => {
+                if let Some(ax) = self.active.get_mut(&id) {
+                    ax.flagged = true;
+                } else {
+                    // The transfer already closed (or never began) before the
+                    // library learned of the disturbance.
+                    self.anomalies.orphan_flags += 1;
                 }
             }
             EventKind::SectionBegin { name } => {
@@ -202,8 +273,9 @@ impl Processor {
                 self.sections.entry(name).or_default();
             }
             EventKind::SectionEnd => {
-                debug_assert!(!self.section_stack.is_empty(), "SectionEnd without begin");
-                self.section_stack.pop();
+                if self.section_stack.pop().is_none() {
+                    self.anomalies.unbalanced_sections += 1;
+                }
             }
         }
     }
@@ -219,14 +291,14 @@ impl Processor {
         queue_flushes: u64,
     ) -> OverlapReport {
         self.advance_to(end_time);
-        let leftovers: Vec<(u64, Option<&'static str>)> = self
+        let leftovers: Vec<(u64, Option<&'static str>, bool)> = self
             .active
             .drain()
-            .map(|(_, ax)| (ax.bytes, ax.section))
+            .map(|(_, ax)| (ax.bytes, ax.section, ax.flagged))
             .collect();
-        for (bytes, section) in leftovers {
+        for (bytes, section, flagged) in leftovers {
             let bounds = OverlapBounds::single_stamp(self.table.lookup(bytes));
-            self.close_transfer(bytes, bounds, section);
+            self.close_transfer(bytes, bounds, section, flagged, false);
         }
         let elapsed = end_time.saturating_sub(self.first_event.unwrap_or(end_time));
         OverlapReport {
@@ -259,6 +331,7 @@ impl Processor {
                 .collect(),
             events_recorded,
             queue_flushes,
+            anomalies: self.anomalies,
         }
     }
 }
@@ -493,10 +566,22 @@ mod tests {
         let r = run(
             vec![
                 ev(0, EventKind::CallEnter { name: "MPI_Irecv" }),
-                ev(200, EventKind::XferBegin { id: 1, bytes: 1 << 20 }),
+                ev(
+                    200,
+                    EventKind::XferBegin {
+                        id: 1,
+                        bytes: 1 << 20,
+                    },
+                ),
                 ev(300, EventKind::CallExit),
                 ev(8_300, EventKind::CallEnter { name: "MPI_Wait" }),
-                ev(10_500, EventKind::XferEnd { id: 1, bytes: 1 << 20 }),
+                ev(
+                    10_500,
+                    EventKind::XferEnd {
+                        id: 1,
+                        bytes: 1 << 20,
+                    },
+                ),
                 ev(10_500, EventKind::CallExit),
             ],
             10_500,
@@ -510,13 +595,156 @@ mod tests {
     }
 
     #[test]
+    fn flagged_transfer_degrades_min_bound_to_zero() {
+        // Same timeline as the ample-computation case, but the library flags
+        // the transfer as retransmitted before the end stamp: min degrades to
+        // 0 while max stays (overlap may still have happened, just unproven).
+        let r = run(
+            vec![
+                ev(0, EventKind::CallEnter { name: "Isend" }),
+                ev(5, EventKind::XferBegin { id: 1, bytes: 100 }),
+                ev(10, EventKind::CallExit),
+                ev(1010, EventKind::CallEnter { name: "Wait" }),
+                ev(1020, EventKind::XferFlag { id: 1 }),
+                ev(1025, EventKind::XferEnd { id: 1, bytes: 100 }),
+                ev(1030, EventKind::CallExit),
+            ],
+            1030,
+            flat_table(400),
+        );
+        assert_eq!(r.total.transfers, 1);
+        assert_eq!(r.total.min_overlap, 0);
+        assert_eq!(r.total.max_overlap, 400);
+        assert_eq!(r.total.flagged, 1);
+        assert!(r.total.confidence() < 1.0);
+        assert!(!r.anomalies.any());
+    }
+
+    #[test]
+    fn orphan_flag_counts_anomaly_not_panic() {
+        let r = run(
+            vec![
+                ev(0, EventKind::CallEnter { name: "Recv" }),
+                ev(100, EventKind::XferEnd { id: 9, bytes: 2048 }),
+                ev(110, EventKind::XferFlag { id: 9 }), // already closed
+                ev(120, EventKind::XferFlag { id: 77 }), // never existed
+                ev(130, EventKind::CallExit),
+            ],
+            130,
+            flat_table(400),
+        );
+        assert_eq!(r.anomalies.orphan_flags, 2);
+        assert_eq!(r.total.flagged, 0);
+        assert_eq!(r.total.transfers, 1);
+    }
+
+    #[test]
+    fn duplicate_begin_closes_prior_as_single_stamp() {
+        let r = run(
+            vec![
+                ev(0, EventKind::CallEnter { name: "Isend" }),
+                ev(0, EventKind::XferBegin { id: 1, bytes: 100 }),
+                ev(10, EventKind::XferBegin { id: 1, bytes: 100 }),
+                ev(500, EventKind::XferEnd { id: 1, bytes: 100 }),
+                ev(510, EventKind::CallExit),
+            ],
+            510,
+            flat_table(400),
+        );
+        assert_eq!(r.anomalies.duplicate_begin, 1);
+        // Both the orphaned first begin and the re-begun transfer count.
+        assert_eq!(r.total.transfers, 2);
+        assert_eq!(r.total.case_single_stamp, 1);
+        assert_eq!(r.total.case_same_call, 1);
+    }
+
+    #[test]
+    fn out_of_order_stamp_counts_clock_skew() {
+        let r = run(
+            vec![
+                ev(100, EventKind::CallEnter { name: "Send" }),
+                ev(50, EventKind::CallExit), // clock ran backwards
+                ev(200, EventKind::CallEnter { name: "Send" }),
+                ev(300, EventKind::CallExit),
+            ],
+            300,
+            flat_table(1),
+        );
+        assert_eq!(r.anomalies.clock_skew, 1);
+        assert_eq!(r.calls["Send"].count, 2);
+    }
+
+    #[test]
+    fn unbalanced_exits_count_anomalies() {
+        let r = run(
+            vec![
+                ev(0, EventKind::CallExit),
+                ev(10, EventKind::SectionEnd),
+                ev(20, EventKind::CallEnter { name: "Send" }),
+                ev(30, EventKind::CallExit),
+            ],
+            30,
+            flat_table(1),
+        );
+        assert_eq!(r.anomalies.unbalanced_calls, 1);
+        assert_eq!(r.anomalies.unbalanced_sections, 1);
+        assert_eq!(r.calls["Send"].count, 1);
+    }
+
+    #[test]
+    fn suspiciously_long_window_flags_without_changing_bounds() {
+        // noncomputation (2000) far exceeds 2 * xfer_time (800): the transfer
+        // is counted as suspect but keeps its (already sound) bounds.
+        let r = run(
+            vec![
+                ev(0, EventKind::CallEnter { name: "Isend" }),
+                ev(0, EventKind::XferBegin { id: 1, bytes: 100 }),
+                ev(0, EventKind::CallExit),
+                ev(100, EventKind::CallEnter { name: "Wait" }),
+                ev(2100, EventKind::XferEnd { id: 1, bytes: 100 }),
+                ev(2100, EventKind::CallExit),
+            ],
+            2100,
+            flat_table(400),
+        );
+        assert_eq!(r.total.flagged, 1);
+        // Bounds identical to the unflagged computation: max = min(400, 100),
+        // min = sat_sub(400, 2000) = 0.
+        assert_eq!(r.total.max_overlap, 100);
+        assert_eq!(r.total.min_overlap, 0);
+    }
+
+    #[test]
+    fn flagged_leftover_at_finish_stays_flagged() {
+        let r = run(
+            vec![
+                ev(0, EventKind::CallEnter { name: "Isend" }),
+                ev(0, EventKind::XferBegin { id: 1, bytes: 100 }),
+                ev(5, EventKind::XferFlag { id: 1 }),
+                ev(10, EventKind::CallExit),
+            ],
+            1000,
+            flat_table(400),
+        );
+        assert_eq!(r.total.case_single_stamp, 1);
+        assert_eq!(r.total.flagged, 1);
+        assert_eq!(r.total.min_overlap, 0);
+    }
+
+    #[test]
     fn bin_breakdown_separates_sizes() {
         let table = XferTimeTable::from_points(vec![(1, 100), (1 << 20, 1_000_000)]);
         let r = run(
             vec![
                 ev(0, EventKind::CallEnter { name: "Recv" }),
                 ev(10, EventKind::XferEnd { id: 1, bytes: 512 }),
-                ev(20, EventKind::XferEnd { id: 2, bytes: 2 << 20 }),
+                ev(
+                    20,
+                    EventKind::XferEnd {
+                        id: 2,
+                        bytes: 2 << 20,
+                    },
+                ),
                 ev(30, EventKind::CallExit),
             ],
             30,

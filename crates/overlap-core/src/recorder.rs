@@ -153,6 +153,14 @@ impl Recorder {
         self.push(EventKind::XferEnd { id, bytes });
     }
 
+    /// The library learned that transfer `id` was disturbed by the fabric
+    /// (retransmission after loss, duplicate delivery, ...). The processor
+    /// degrades that transfer's bounds to stay sound; flags for transfers
+    /// that already completed are counted as anomalies instead.
+    pub fn xfer_flag(&mut self, id: u64) {
+        self.push(EventKind::XferFlag { id });
+    }
+
     /// Application-level begin of a monitored code section.
     pub fn section_begin(&mut self, name: &'static str) {
         self.push(EventKind::SectionBegin { name });

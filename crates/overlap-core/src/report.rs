@@ -26,6 +26,14 @@ pub struct OverlapStats {
     pub case_split_calls: u64,
     /// Transfers that fell into case 3 (single stamp).
     pub case_single_stamp: u64,
+    /// Transfers whose observed window diverged from the a-priori model:
+    /// explicitly flagged by the library (retransmission) or with an
+    /// in-library window far beyond `xfer_time`. Their min bound is degraded
+    /// to zero — the a-priori time no longer describes what the wire did.
+    pub flagged: u64,
+    /// Transfers whose min bound had to be clamped to the observed window
+    /// (a-priori table overestimate).
+    pub clamped: u64,
 }
 
 impl OverlapStats {
@@ -53,6 +61,35 @@ impl OverlapStats {
         self.case_same_call += o.case_same_call;
         self.case_split_calls += o.case_split_calls;
         self.case_single_stamp += o.case_single_stamp;
+        self.flagged += o.flagged;
+        self.clamped += o.clamped;
+    }
+
+    /// Note that one of the folded transfers was flagged as fault-disturbed.
+    pub fn note_flagged(&mut self) {
+        self.flagged += 1;
+    }
+
+    /// Note that one of the folded transfers had its min bound clamped.
+    pub fn note_clamped(&mut self) {
+        self.clamped += 1;
+    }
+
+    /// Confidence in the bounds, in `[0, 1]`: the fraction of transfers whose
+    /// bounds rest on clean two-stamp observations. Single-stamp transfers
+    /// contribute half weight (their bounds are valid but vacuously wide);
+    /// flagged transfers contribute none (the a-priori model demonstrably
+    /// failed to describe them). `1.0` when nothing was observed.
+    pub fn confidence(&self) -> f64 {
+        if self.transfers == 0 {
+            return 1.0;
+        }
+        let flagged = self.flagged.min(self.transfers);
+        // Flagged transfers may themselves be single-stamp; avoid counting
+        // the discount twice.
+        let single = self.case_single_stamp.min(self.transfers - flagged);
+        let weight = (self.transfers - flagged) as f64 - 0.5 * single as f64;
+        weight / self.transfers as f64
     }
 
     /// Minimum overlap as a percentage of data transfer time.
@@ -77,6 +114,46 @@ fn pct(part: u64, whole: u64) -> f64 {
         0.0
     } else {
         100.0 * part as f64 / whole as f64
+    }
+}
+
+/// Counters for instrumentation-stream irregularities the processor absorbed
+/// instead of panicking. Nonzero values mean reality diverged from the
+/// library's stamp discipline — bounds stay sound but confidence drops.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Anomalies {
+    /// `XFER_BEGIN` for an id that was already active (the prior open
+    /// transfer is closed as single-stamp).
+    pub duplicate_begin: u64,
+    /// `XFER_FLAG` for an id not currently active (transfer completed before
+    /// the library learned of the disturbance, or never began).
+    pub orphan_flags: u64,
+    /// Events whose timestamp ran behind the processing cursor (clock skew);
+    /// their interval contribution is dropped.
+    pub clock_skew: u64,
+    /// `CALL_EXIT` without a matching `CALL_ENTER`.
+    pub unbalanced_calls: u64,
+    /// `SECTION_END` without a matching `SECTION_BEGIN`.
+    pub unbalanced_sections: u64,
+}
+
+impl Anomalies {
+    /// True if any irregularity was observed.
+    pub fn any(&self) -> bool {
+        self.duplicate_begin != 0
+            || self.orphan_flags != 0
+            || self.clock_skew != 0
+            || self.unbalanced_calls != 0
+            || self.unbalanced_sections != 0
+    }
+
+    /// Sum of all counters.
+    pub fn total(&self) -> u64 {
+        self.duplicate_begin
+            + self.orphan_flags
+            + self.clock_skew
+            + self.unbalanced_calls
+            + self.unbalanced_sections
     }
 }
 
@@ -138,6 +215,8 @@ pub struct OverlapReport {
     pub events_recorded: u64,
     /// Times the fixed-size queue filled and was folded into aggregates.
     pub queue_flushes: u64,
+    /// Instrumentation-stream irregularities absorbed during processing.
+    pub anomalies: Anomalies,
 }
 
 impl OverlapReport {
@@ -163,11 +242,27 @@ impl OverlapReport {
         );
         let _ = writeln!(
             s,
-            "overlap: min {:.1}% max {:.1}% | non-overlapped >= {:.3} ms",
+            "overlap: min {:.1}% max {:.1}% | non-overlapped >= {:.3} ms | confidence {:.2}",
             t.min_pct(),
             t.max_pct(),
-            t.nonoverlapped_min() as f64 / 1e6
+            t.nonoverlapped_min() as f64 / 1e6,
+            t.confidence(),
         );
+        if t.flagged != 0 || t.clamped != 0 {
+            let _ = writeln!(
+                s,
+                "degraded bounds: {} transfers flagged (fault-disturbed), {} min bounds clamped",
+                t.flagged, t.clamped,
+            );
+        }
+        if self.anomalies.any() {
+            let a = &self.anomalies;
+            let _ = writeln!(
+                s,
+                "stream anomalies: {} dup-begin, {} orphan-flag, {} clock-skew, {} unbalanced-call, {} unbalanced-section",
+                a.duplicate_begin, a.orphan_flags, a.clock_skew, a.unbalanced_calls, a.unbalanced_sections,
+            );
+        }
         let _ = writeln!(s, "-- by message size --");
         for (label, b) in self.bin_labels.iter().zip(&self.by_bin) {
             if b.transfers == 0 {
@@ -175,11 +270,12 @@ impl OverlapReport {
             }
             let _ = writeln!(
                 s,
-                "  {:>10}: n={:<7} min {:>5.1}% max {:>5.1}%",
+                "  {:>10}: n={:<7} min {:>5.1}% max {:>5.1}% conf {:>4.2}",
                 label,
                 b.transfers,
                 b.min_pct(),
-                b.max_pct()
+                b.max_pct(),
+                b.confidence()
             );
         }
         if !self.sections.is_empty() {

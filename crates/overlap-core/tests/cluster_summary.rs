@@ -1,13 +1,16 @@
 //! Cluster-level report merging.
 
-use overlap_core::{
-    ClusterSummary, ManualClock, Recorder, RecorderOpts, XferTimeTable,
-};
+use overlap_core::{ClusterSummary, ManualClock, Recorder, RecorderOpts, XferTimeTable};
 
 fn one_report(rank: usize, n_xfers: u64, compute_per: u64) -> overlap_core::OverlapReport {
     let clock = ManualClock::new();
     let table = XferTimeTable::from_points(vec![(1, 500)]);
-    let mut r = Recorder::new(rank, Box::new(clock.clone()), table, RecorderOpts::default());
+    let mut r = Recorder::new(
+        rank,
+        Box::new(clock.clone()),
+        table,
+        RecorderOpts::default(),
+    );
     for i in 0..n_xfers {
         r.call_enter("Isend");
         r.xfer_begin(i, 1000);

@@ -3,9 +3,7 @@
 
 use proptest::prelude::*;
 
-use overlap_core::{
-    ManualClock, OverlapReport, Recorder, RecorderOpts, SizeBins, XferTimeTable,
-};
+use overlap_core::{ManualClock, OverlapReport, Recorder, RecorderOpts, SizeBins, XferTimeTable};
 
 /// One application-visible action in a generated program.
 #[derive(Debug, Clone)]
@@ -16,17 +14,18 @@ enum Action {
     Compute { ns: u64 },
     /// Enter a call, end the oldest pending transfer (or an end-only one),
     /// advance, exit.
-    EndXfer { end_only_bytes: Option<u64>, in_call_ns: u64 },
+    EndXfer {
+        end_only_bytes: Option<u64>,
+        in_call_ns: u64,
+    },
     /// Begin/end a section around nothing in particular.
     Section,
 }
 
 fn arb_action() -> impl Strategy<Value = Action> {
     prop_oneof![
-        (1u64..1_000_000, 0u64..5_000).prop_map(|(bytes, in_call_ns)| Action::BeginXfer {
-            bytes,
-            in_call_ns
-        }),
+        (1u64..1_000_000, 0u64..5_000)
+            .prop_map(|(bytes, in_call_ns)| Action::BeginXfer { bytes, in_call_ns }),
         (0u64..2_000_000).prop_map(|ns| Action::Compute { ns }),
         (prop::option::of(1u64..1_000_000), 0u64..5_000).prop_map(
             |(end_only_bytes, in_call_ns)| Action::EndXfer {

@@ -163,13 +163,19 @@ impl<'a> Armci<'a> {
     /// Direct access to this rank's own segment (local load/store).
     pub fn local_read(&mut self, mem: &GlobalMem, off: usize, len: usize) -> Vec<u8> {
         let w = self.world.lock();
-        w.mem(self.rank).get(mem.regions[self.rank]).expect("segment")[off..off + len].to_vec()
+        w.mem(self.rank)
+            .get(mem.regions[self.rank])
+            .expect("segment")[off..off + len]
+            .to_vec()
     }
 
     /// Write into this rank's own segment.
     pub fn local_write(&mut self, mem: &GlobalMem, off: usize, data: &[u8]) {
         let mut w = self.world.lock();
-        let seg = w.mem_mut(self.rank).get_mut(mem.regions[self.rank]).expect("segment");
+        let seg = w
+            .mem_mut(self.rank)
+            .get_mut(mem.regions[self.rank])
+            .expect("segment");
         seg[off..off + data.len()].copy_from_slice(data);
     }
 
@@ -238,7 +244,14 @@ impl<'a> Armci<'a> {
         let h = self.alloc_handle();
         {
             let mut w = self.world.lock();
-            w.post_rdma_fetch_add(self.rank, dst, mem.regions[dst], off, delta, pack(WK_RMW, h));
+            w.post_rdma_fetch_add(
+                self.rank,
+                dst,
+                mem.regions[dst],
+                off,
+                delta,
+                pack(WK_RMW, h),
+            );
         }
         self.handles.insert(
             h,
@@ -249,7 +262,9 @@ impl<'a> Armci<'a> {
                 is_put: false,
             },
         );
-        let data = self.wait_inner(NbHandle(h)).expect("rmw returns the old value");
+        let data = self
+            .wait_inner(NbHandle(h))
+            .expect("rmw returns the old value");
         self.rec.call_exit();
         u64::from_le_bytes(data[..8].try_into().unwrap())
     }
@@ -392,7 +407,10 @@ impl<'a> Armci<'a> {
 
     fn acc_inner(&mut self, mem: &GlobalMem, dst: usize, off: usize, vals: &[f64]) -> NbHandle {
         self.progress();
-        assert!(off + vals.len() * 8 <= mem.seg_len, "acc out of segment bounds");
+        assert!(
+            off + vals.len() * 8 <= mem.seg_len,
+            "acc out of segment bounds"
+        );
         self.lib_busy(self.net.post_cost);
         let h = self.alloc_handle();
         let xfer;
@@ -501,7 +519,10 @@ impl<'a> Armci<'a> {
                     match kind {
                         WK_IGNORE => {}
                         WK_PUT | WK_GET => {
-                            let st = self.handles.get_mut(&h).expect("completion for unknown handle");
+                            let st = self
+                                .handles
+                                .get_mut(&h)
+                                .expect("completion for unknown handle");
                             st.done = true;
                             st.data = c.data;
                             let (xfer, len) = st.stamp;
@@ -510,7 +531,10 @@ impl<'a> Armci<'a> {
                         WK_RMW => {
                             // Synchronization primitive, not a data
                             // transfer: no overlap stamps.
-                            let st = self.handles.get_mut(&h).expect("completion for unknown handle");
+                            let st = self
+                                .handles
+                                .get_mut(&h)
+                                .expect("completion for unknown handle");
                             st.done = true;
                             st.data = c.data;
                         }

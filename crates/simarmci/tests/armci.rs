@@ -5,7 +5,10 @@ use overlap_core::RecorderOpts;
 use simarmci::{run_armci, ArmciRunOutcome};
 use simnet::NetConfig;
 
-fn run(nranks: usize, body: impl Fn(&mut simarmci::Armci) + Send + Sync + 'static) -> ArmciRunOutcome {
+fn run(
+    nranks: usize,
+    body: impl Fn(&mut simarmci::Armci) + Send + Sync + 'static,
+) -> ArmciRunOutcome {
     run_armci(nranks, NetConfig::default(), RecorderOpts::default(), body).expect("run failed")
 }
 
@@ -103,7 +106,10 @@ fn blocking_put_is_case1_zero_overlap() {
     });
     let r0 = &out.reports[0];
     assert_eq!(r0.total.transfers, 10);
-    assert_eq!(r0.total.max_overlap, 0, "blocking puts must show zero overlap");
+    assert_eq!(
+        r0.total.max_overlap, 0,
+        "blocking puts must show zero overlap"
+    );
     assert_eq!(r0.total.case_same_call, 10);
 }
 
@@ -194,7 +200,10 @@ fn accumulate_adds_elementwise_at_target() {
         let mem = a.malloc(64);
         if a.rank() == 1 {
             // Seed the target values.
-            let seed: Vec<u8> = [1.0f64, 2.0, 3.0].iter().flat_map(|v| v.to_le_bytes()).collect();
+            let seed: Vec<u8> = [1.0f64, 2.0, 3.0]
+                .iter()
+                .flat_map(|v| v.to_le_bytes())
+                .collect();
             a.local_write(&mem, 0, &seed);
         }
         a.barrier();
@@ -231,7 +240,10 @@ fn nb_acc_overlaps_and_counts_as_transfer() {
         a.barrier();
     });
     assert_eq!(out.reports[0].total.transfers, 5);
-    assert!(out.reports[0].total.max_pct() > 90.0, "nb_acc should overlap");
+    assert!(
+        out.reports[0].total.max_pct() > 90.0,
+        "nb_acc should overlap"
+    );
     let w = out.transfers.iter().filter(|t| t.bytes == 8192).count();
     assert_eq!(w, 5);
     // Target sees the accumulated sum.
@@ -260,7 +272,11 @@ fn rmw_fetch_add_is_atomic_across_ranks() {
     });
     let mut olds = OLDS.lock().unwrap().clone();
     olds.sort_unstable();
-    assert_eq!(olds, (0..20).collect::<Vec<u64>>(), "each ticket issued once");
+    assert_eq!(
+        olds,
+        (0..20).collect::<Vec<u64>>(),
+        "each ticket issued once"
+    );
 }
 
 #[test]

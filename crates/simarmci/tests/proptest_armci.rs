@@ -9,9 +9,22 @@ use simnet::NetConfig;
 
 #[derive(Debug, Clone, Copy)]
 enum OneSided {
-    Put { dst: usize, off: usize, len: usize, val: u8 },
-    Get { src: usize, off: usize, len: usize },
-    AccOne { dst: usize, slot: usize, val: u8 },
+    Put {
+        dst: usize,
+        off: usize,
+        len: usize,
+        val: u8,
+    },
+    Get {
+        src: usize,
+        off: usize,
+        len: usize,
+    },
+    AccOne {
+        dst: usize,
+        slot: usize,
+        val: u8,
+    },
     Fence,
     Barrier,
 }
@@ -23,21 +36,24 @@ fn arb_op(nranks: usize) -> impl Strategy<Value = OneSided> {
     // (mixing raw-byte puts into f64 accumulate slots would make the local
     // model meaningless).
     prop_oneof![
-        (0..nranks, 0usize..SEG / 2, 1usize..SEG / 2, any::<u8>())
-            .prop_map(|(dst, off, len, val)| OneSided::Put {
+        (0..nranks, 0usize..SEG / 2, 1usize..SEG / 2, any::<u8>()).prop_map(
+            |(dst, off, len, val)| OneSided::Put {
                 dst,
                 off,
                 len: len.min(SEG / 2 - off),
                 val
-            }),
-        (0..nranks, 0usize..SEG / 2, 1usize..SEG / 2)
-            .prop_map(|(src, off, len)| OneSided::Get {
-                src,
-                off,
-                len: len.min(SEG / 2 - off)
-            }),
-        (0..nranks, 0usize..8, 1u8..10)
-            .prop_map(|(dst, slot, val)| OneSided::AccOne { dst, slot, val }),
+            }
+        ),
+        (0..nranks, 0usize..SEG / 2, 1usize..SEG / 2).prop_map(|(src, off, len)| OneSided::Get {
+            src,
+            off,
+            len: len.min(SEG / 2 - off)
+        }),
+        (0..nranks, 0usize..8, 1u8..10).prop_map(|(dst, slot, val)| OneSided::AccOne {
+            dst,
+            slot,
+            val
+        }),
         Just(OneSided::Fence),
         Just(OneSided::Barrier),
     ]

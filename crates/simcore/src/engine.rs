@@ -71,11 +71,19 @@ struct RankSlot {
     wake_pending: bool,
 }
 
+/// Library-supplied diagnostic notes for one rank, dumped on deadlock.
+#[derive(Default)]
+pub(crate) struct DiagSlot {
+    pub(crate) blocked_on: Option<String>,
+    pub(crate) last_call: Option<String>,
+}
+
 pub(crate) struct EngineShared {
     queue: Mutex<BinaryHeap<Entry>>,
     now: AtomicU64,
     seq: AtomicU64,
     slots: Mutex<Vec<RankSlot>>,
+    pub(crate) diags: Mutex<Vec<DiagSlot>>,
 }
 
 impl EngineShared {
@@ -126,8 +134,7 @@ impl EngineHandle {
         if slot.phase == Phase::Parked && !slot.wake_pending {
             slot.wake_pending = true;
             drop(slots);
-            self.shared
-                .push(self.now(), Action::WakeRank(r));
+            self.shared.push(self.now(), Action::WakeRank(r));
         }
     }
 }
@@ -183,6 +190,7 @@ impl Simulation {
                 now: AtomicU64::new(0),
                 seq: AtomicU64::new(0),
                 slots: Mutex::new(slots),
+                diags: Mutex::new((0..nranks).map(|_| DiagSlot::default()).collect()),
             }),
             nranks,
         }
@@ -219,31 +227,42 @@ impl Simulation {
             yield_rxs.push(yield_rx);
             let body = Arc::clone(&body);
             let shared = Arc::clone(&self.shared);
-            joins.push(
-                std::thread::Builder::new()
-                    .name(format!("sim-rank-{r}"))
-                    .spawn(move || {
-                        // Wait for the first wake-up; if the engine aborted
-                        // before starting us, just exit.
-                        if resume_rx.recv().is_err() {
-                            return;
+            let spawned = std::thread::Builder::new()
+                .name(format!("sim-rank-{r}"))
+                .spawn(move || {
+                    // Wait for the first wake-up; if the engine aborted
+                    // before starting us, just exit.
+                    if resume_rx.recv().is_err() {
+                        return;
+                    }
+                    let mut ctx = RankCtx::new(r, n, shared, yield_tx.clone(), resume_rx);
+                    let result = catch_unwind(AssertUnwindSafe(|| body(&mut ctx)));
+                    match result {
+                        Ok(()) => {
+                            let log = ctx.take_log();
+                            let _ = yield_tx.send(YieldMsg::Done(log));
                         }
-                        let mut ctx =
-                            RankCtx::new(r, n, shared, yield_tx.clone(), resume_rx);
-                        let result = catch_unwind(AssertUnwindSafe(|| body(&mut ctx)));
-                        match result {
-                            Ok(()) => {
-                                let log = ctx.take_log();
-                                let _ = yield_tx.send(YieldMsg::Done(log));
-                            }
-                            Err(payload) => {
-                                let msg = panic_message(payload.as_ref());
-                                let _ = yield_tx.send(YieldMsg::Panicked(msg));
-                            }
+                        Err(payload) => {
+                            let msg = panic_message(payload.as_ref());
+                            let _ = yield_tx.send(YieldMsg::Panicked(msg));
                         }
-                    })
-                    .expect("failed to spawn rank thread"),
-            );
+                    }
+                });
+            match spawned {
+                Ok(j) => joins.push(j),
+                Err(e) => {
+                    // Unblock the threads spawned so far (their first recv
+                    // errors out and they exit) before reporting.
+                    drop(resume_txs);
+                    for j in joins {
+                        let _ = j.join();
+                    }
+                    return Err(SimError::SpawnFailed {
+                        rank: r,
+                        message: e.to_string(),
+                    });
+                }
+            }
         }
 
         // Kick off every rank at t = 0.
@@ -267,9 +286,21 @@ impl Simulation {
                 if stuck.is_empty() {
                     break Ok(());
                 }
+                drop(slots);
+                let diag_slots = self.shared.diags.lock();
+                let diags = stuck
+                    .iter()
+                    .map(|&r| crate::error::RankDiag {
+                        rank: r,
+                        blocked_on: diag_slots[r].blocked_on.clone(),
+                        last_call: diag_slots[r].last_call.clone(),
+                    })
+                    .collect();
+                drop(diag_slots);
                 break Err(SimError::Deadlock {
                     parked: stuck,
                     at: handle.now(),
+                    diags,
                 });
             };
             events += 1;
@@ -314,8 +345,7 @@ impl Simulation {
                     match yield_rxs[r].recv() {
                         Ok(YieldMsg::Sleep(t)) => {
                             self.shared.slots.lock()[r].phase = Phase::Sleeping;
-                            self.shared
-                                .push(t.max(handle.now()), Action::WakeRank(r));
+                            self.shared.push(t.max(handle.now()), Action::WakeRank(r));
                         }
                         Ok(YieldMsg::Park) => {
                             self.shared.slots.lock()[r].phase = Phase::Parked;
@@ -345,12 +375,17 @@ impl Simulation {
             let _ = j.join();
         }
 
-        result.map(|()| SimOutcome {
+        result?;
+        let mut activity = Vec::with_capacity(n);
+        for (r, log) in logs.into_iter().enumerate() {
+            match log {
+                Some(l) => activity.push(l),
+                None => return Err(SimError::MissingRankLog { rank: r }),
+            }
+        }
+        Ok(SimOutcome {
             end_time: handle.now(),
-            activity: logs
-                .into_iter()
-                .map(|l| l.expect("every rank finished with a log"))
-                .collect(),
+            activity,
             events_processed: events,
         })
     }
@@ -395,7 +430,10 @@ mod tests {
             .unwrap();
         assert_eq!(out.end_time, 30);
         for r in 0..3 {
-            assert_eq!(out.activity[r].total(Activity::Compute), (r as u64 + 1) * 10);
+            assert_eq!(
+                out.activity[r].total(Activity::Compute),
+                (r as u64 + 1) * 10
+            );
         }
     }
 

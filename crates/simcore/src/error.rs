@@ -2,6 +2,21 @@
 
 use std::fmt;
 
+/// Per-rank diagnostic snapshot taken when a deadlock is detected.
+///
+/// The notes are provided by the library running on the rank (via
+/// [`crate::RankCtx::note_blocked_on`] / [`crate::RankCtx::note_call`]); a
+/// rank that never set them reports `None`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RankDiag {
+    /// The stuck rank.
+    pub rank: usize,
+    /// What the rank reported it was blocked on when it last parked.
+    pub blocked_on: Option<String>,
+    /// The last library call the rank entered.
+    pub last_call: Option<String>,
+}
+
 /// Terminal failures of a simulation run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
@@ -13,6 +28,21 @@ pub enum SimError {
         parked: Vec<usize>,
         /// Virtual time at which the deadlock was detected.
         at: crate::Time,
+        /// One diagnostic snapshot per parked rank, in `parked` order.
+        diags: Vec<RankDiag>,
+    },
+    /// The host OS refused to spawn a rank's worker thread.
+    SpawnFailed {
+        /// The rank whose thread could not be created.
+        rank: usize,
+        /// The OS error.
+        message: String,
+    },
+    /// Engine invariant violation: a rank reported `Done` without handing
+    /// over its activity log.
+    MissingRankLog {
+        /// The offending rank.
+        rank: usize,
     },
     /// A rank's body panicked; the message is the stringified payload.
     RankPanic {
@@ -37,11 +67,31 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::Deadlock { parked, at } => write!(
-                f,
-                "simulated deadlock at t={}ns: ranks {:?} are parked with no pending events",
-                at, parked
-            ),
+            SimError::Deadlock { parked, at, diags } => {
+                write!(
+                    f,
+                    "simulated deadlock at t={}ns: ranks {:?} are parked with no pending events",
+                    at, parked
+                )?;
+                for d in diags {
+                    write!(
+                        f,
+                        "\n  rank {}: blocked on {}",
+                        d.rank,
+                        d.blocked_on.as_deref().unwrap_or("<no note>")
+                    )?;
+                    if let Some(call) = &d.last_call {
+                        write!(f, " (last call {call})")?;
+                    }
+                }
+                Ok(())
+            }
+            SimError::SpawnFailed { rank, message } => {
+                write!(f, "failed to spawn thread for rank {}: {}", rank, message)
+            }
+            SimError::MissingRankLog { rank } => {
+                write!(f, "rank {} finished without an activity log", rank)
+            }
             SimError::RankPanic { rank, message } => {
                 write!(f, "rank {} panicked: {}", rank, message)
             }

@@ -63,7 +63,7 @@ pub mod time;
 pub mod truth;
 
 pub use engine::{EngineHandle, SimOpts, SimOutcome, Simulation};
-pub use error::SimError;
+pub use error::{RankDiag, SimError};
 pub use intervals::IntervalSet;
 pub use rank::RankCtx;
 pub use time::{ms, ns, us, Duration, Time};

@@ -86,12 +86,27 @@ impl RankCtx {
 
     /// Block until an event handler calls [`EngineHandle::wake_rank`] for
     /// this rank. The blocked interval is attributed to
-    /// [`Activity::LibraryWait`] in the ground-truth log.
+    /// [`Activity::LibraryWait`] in the ground-truth log. On wake-up the
+    /// blocked-on note (if any) is cleared: the rank is no longer blocked.
     pub fn park(&mut self) {
         let start = self.now();
         self.yield_to_engine(YieldMsg::Park);
         let end = self.now();
         self.log.record(start, end, Activity::LibraryWait);
+        self.shared.diags.lock()[self.rank].blocked_on = None;
+    }
+
+    /// Describe what this rank is about to block on. Dumped per rank in
+    /// [`crate::SimError::Deadlock`] if the simulation wedges; cleared
+    /// automatically when [`RankCtx::park`] returns.
+    pub fn note_blocked_on(&self, what: impl Into<String>) {
+        self.shared.diags.lock()[self.rank].blocked_on = Some(what.into());
+    }
+
+    /// Record the name of the library call the rank just entered (also
+    /// dumped in the deadlock diagnostic).
+    pub fn note_call(&self, name: &str) {
+        self.shared.diags.lock()[self.rank].last_call = Some(name.to_string());
     }
 
     /// Ground-truth log recorded so far (read-only).

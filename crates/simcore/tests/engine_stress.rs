@@ -139,7 +139,7 @@ fn deadlock_reports_all_stuck_ranks() {
         })
         .unwrap_err();
     match err {
-        SimError::Deadlock { parked, at } => {
+        SimError::Deadlock { parked, at, .. } => {
             assert_eq!(parked, vec![0, 2]);
             assert_eq!(at, 100);
         }

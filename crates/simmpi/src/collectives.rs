@@ -35,7 +35,7 @@ impl Mpi<'_> {
     /// world ranks.
     pub fn comm_split(&mut self, color: u64, key: u64) -> Comm {
         assert!(color < 4096, "color must be < 4096");
-        self.rec.call_enter("MPI_Comm_split");
+        self.call_enter("MPI_Comm_split");
         // Allgather (color, key) over the world.
         let mut mine = Vec::with_capacity(16);
         mine.extend_from_slice(&color.to_le_bytes());
@@ -77,14 +77,14 @@ impl Mpi<'_> {
     /// Synchronize all ranks (dissemination algorithm, zero-payload
     /// packets — not counted as data transfers).
     pub fn barrier(&mut self) {
-        self.rec.call_enter("MPI_Barrier");
+        self.call_enter("MPI_Barrier");
         self.barrier_inner();
         self.rec.call_exit();
     }
 
     /// Broadcast `data` from `root` to every rank (binomial tree).
     pub fn bcast(&mut self, root: usize, data: &mut Vec<u8>) {
-        self.rec.call_enter("MPI_Bcast");
+        self.call_enter("MPI_Bcast");
         let comm = self.comm_world();
         self.bcast_in(&comm, root, data);
         self.rec.call_exit();
@@ -93,7 +93,7 @@ impl Mpi<'_> {
     /// Reduce `data` elementwise onto `root` (binomial tree). Returns the
     /// result on the root, `None` elsewhere.
     pub fn reduce(&mut self, root: usize, data: &[f64], op: ReduceOp) -> Option<Vec<f64>> {
-        self.rec.call_enter("MPI_Reduce");
+        self.call_enter("MPI_Reduce");
         let comm = self.comm_world();
         let out = self.reduce_in(&comm, root, data, op);
         self.rec.call_exit();
@@ -103,7 +103,7 @@ impl Mpi<'_> {
     /// Allreduce = reduce to rank 0 followed by a broadcast, matching the
     /// Reduce/Bcast structure the paper observes in NAS FT.
     pub fn allreduce(&mut self, data: &[f64], op: ReduceOp) -> Vec<f64> {
-        self.rec.call_enter("MPI_Allreduce");
+        self.call_enter("MPI_Allreduce");
         let comm = self.comm_world();
         let out = self.allreduce_in(&comm, data, op);
         self.rec.call_exit();
@@ -116,7 +116,7 @@ impl Mpi<'_> {
     /// algorithm whose transfers dominate NAS FT. Blocks may have different
     /// lengths, so this doubles as `MPI_Alltoallv`.
     pub fn alltoall(&mut self, blocks: &[Vec<u8>]) -> Vec<Vec<u8>> {
-        self.rec.call_enter("MPI_Alltoall");
+        self.call_enter("MPI_Alltoall");
         let comm = self.comm_world();
         let out = self.alltoall_in(&comm, blocks);
         self.rec.call_exit();
@@ -126,7 +126,7 @@ impl Mpi<'_> {
     /// Variable-block all-to-all (alias of [`Mpi::alltoall`], which already
     /// permits per-destination lengths; named for API parity).
     pub fn alltoallv(&mut self, blocks: &[Vec<u8>]) -> Vec<Vec<u8>> {
-        self.rec.call_enter("MPI_Alltoallv");
+        self.call_enter("MPI_Alltoallv");
         let comm = self.comm_world();
         let out = self.alltoall_in(&comm, blocks);
         self.rec.call_exit();
@@ -136,7 +136,7 @@ impl Mpi<'_> {
     /// All-gather via a ring: `n`−1 steps, each forwarding the block
     /// received in the previous step.
     pub fn allgather(&mut self, mine: &[u8]) -> Vec<Vec<u8>> {
-        self.rec.call_enter("MPI_Allgather");
+        self.call_enter("MPI_Allgather");
         let comm = self.comm_world();
         let out = self.allgather_in(&comm, mine);
         self.rec.call_exit();
@@ -146,7 +146,7 @@ impl Mpi<'_> {
     /// Gather every rank's block at `root` (direct algorithm). Returns the
     /// blocks in rank order on the root, `None` elsewhere.
     pub fn gather(&mut self, root: usize, mine: &[u8]) -> Option<Vec<Vec<u8>>> {
-        self.rec.call_enter("MPI_Gather");
+        self.call_enter("MPI_Gather");
         let comm = self.comm_world();
         let out = self.gather_in(&comm, root, mine);
         self.rec.call_exit();
@@ -156,7 +156,7 @@ impl Mpi<'_> {
     /// Scatter `blocks[i]` from `root` to rank `i`; returns this rank's
     /// block.
     pub fn scatter(&mut self, root: usize, blocks: Option<&[Vec<u8>]>) -> Vec<u8> {
-        self.rec.call_enter("MPI_Scatter");
+        self.call_enter("MPI_Scatter");
         let comm = self.comm_world();
         let out = self.scatter_in(&comm, root, blocks);
         self.rec.call_exit();
@@ -166,7 +166,7 @@ impl Mpi<'_> {
     /// Reduce-scatter: elementwise-reduce `data` (length must be a multiple
     /// of the communicator size) and return this rank's slice of the result.
     pub fn reduce_scatter(&mut self, data: &[f64], op: ReduceOp) -> Vec<f64> {
-        self.rec.call_enter("MPI_Reduce_scatter");
+        self.call_enter("MPI_Reduce_scatter");
         let comm = self.comm_world();
         let out = self.reduce_scatter_in(&comm, data, op);
         self.rec.call_exit();
@@ -176,7 +176,7 @@ impl Mpi<'_> {
     /// Inclusive prefix reduction (`MPI_Scan`): rank `i` receives the
     /// reduction of ranks `0..=i`.
     pub fn scan(&mut self, data: &[f64], op: ReduceOp) -> Vec<f64> {
-        self.rec.call_enter("MPI_Scan");
+        self.call_enter("MPI_Scan");
         let comm = self.comm_world();
         let out = self.scan_in(&comm, data, op);
         self.rec.call_exit();
@@ -187,14 +187,14 @@ impl Mpi<'_> {
 
     /// Barrier over a communicator.
     pub fn barrier_comm(&mut self, comm: &Comm) {
-        self.rec.call_enter("MPI_Barrier");
+        self.call_enter("MPI_Barrier");
         self.barrier_comm_inner(comm);
         self.rec.call_exit();
     }
 
     /// Broadcast over a communicator; `root` is a communicator rank.
     pub fn bcast_comm(&mut self, comm: &Comm, root: usize, data: &mut Vec<u8>) {
-        self.rec.call_enter("MPI_Bcast");
+        self.call_enter("MPI_Bcast");
         self.bcast_in(comm, root, data);
         self.rec.call_exit();
     }
@@ -207,7 +207,7 @@ impl Mpi<'_> {
         data: &[f64],
         op: ReduceOp,
     ) -> Option<Vec<f64>> {
-        self.rec.call_enter("MPI_Reduce");
+        self.call_enter("MPI_Reduce");
         let out = self.reduce_in(comm, root, data, op);
         self.rec.call_exit();
         out
@@ -215,7 +215,7 @@ impl Mpi<'_> {
 
     /// Allreduce over a communicator.
     pub fn allreduce_comm(&mut self, comm: &Comm, data: &[f64], op: ReduceOp) -> Vec<f64> {
-        self.rec.call_enter("MPI_Allreduce");
+        self.call_enter("MPI_Allreduce");
         let out = self.allreduce_in(comm, data, op);
         self.rec.call_exit();
         out
@@ -223,7 +223,7 @@ impl Mpi<'_> {
 
     /// Allgather over a communicator.
     pub fn allgather_comm(&mut self, comm: &Comm, mine: &[u8]) -> Vec<Vec<u8>> {
-        self.rec.call_enter("MPI_Allgather");
+        self.call_enter("MPI_Allgather");
         let out = self.allgather_in(comm, mine);
         self.rec.call_exit();
         out
@@ -231,7 +231,7 @@ impl Mpi<'_> {
 
     /// All-to-all over a communicator.
     pub fn alltoall_comm(&mut self, comm: &Comm, blocks: &[Vec<u8>]) -> Vec<Vec<u8>> {
-        self.rec.call_enter("MPI_Alltoall");
+        self.call_enter("MPI_Alltoall");
         let out = self.alltoall_in(comm, blocks);
         self.rec.call_exit();
         out
@@ -266,7 +266,13 @@ impl Mpi<'_> {
         }
     }
 
-    fn reduce_in(&mut self, comm: &Comm, root: usize, data: &[f64], op: ReduceOp) -> Option<Vec<f64>> {
+    fn reduce_in(
+        &mut self,
+        comm: &Comm,
+        root: usize,
+        data: &[f64],
+        op: ReduceOp,
+    ) -> Option<Vec<f64>> {
         let n = comm.size();
         let mut acc = data.to_vec();
         if n > 1 {
@@ -353,8 +359,7 @@ impl Mpi<'_> {
             out[me] = mine.to_vec();
             for (src, slot) in out.iter_mut().enumerate() {
                 if src != me {
-                    let st =
-                        self.recv_internal(Src::Rank(comm.world_rank(src)), TagSel::Is(tag));
+                    let st = self.recv_internal(Src::Rank(comm.world_rank(src)), TagSel::Is(tag));
                     *slot = st.into_data().to_vec();
                 }
             }
@@ -386,15 +391,16 @@ impl Mpi<'_> {
 
     fn reduce_scatter_in(&mut self, comm: &Comm, data: &[f64], op: ReduceOp) -> Vec<f64> {
         let n = comm.size();
-        assert_eq!(data.len() % n, 0, "reduce_scatter length must divide evenly");
+        assert_eq!(
+            data.len() % n,
+            0,
+            "reduce_scatter length must divide evenly"
+        );
         let chunk = data.len() / n;
         // Reduce to communicator rank 0, then scatter the slices.
         let full = self.reduce_in(comm, 0, data, op);
-        let blocks: Option<Vec<Vec<u8>>> = full.map(|v| {
-            v.chunks_exact(chunk)
-                .map(f64s_to_bytes)
-                .collect()
-        });
+        let blocks: Option<Vec<Vec<u8>>> =
+            full.map(|v| v.chunks_exact(chunk).map(f64s_to_bytes).collect());
         let mine = self.scatter_in(comm, 0, blocks.as_deref());
         bytes_to_f64s(&mine)
     }

@@ -30,6 +30,10 @@ pub struct MpiConfig {
     pub use_reg_cache: bool,
     /// Capacity of the registration cache, in entries.
     pub reg_cache_entries: usize,
+    /// Reliability-layer retransmission timeout, ns. `None` derives a value
+    /// from the fabric config (a few round trips at the eager threshold).
+    /// Only consulted when the fabric has a non-empty fault plan.
+    pub retrans_timeout: Option<simcore::Duration>,
 }
 
 impl Default for MpiConfig {
@@ -48,6 +52,7 @@ impl MpiConfig {
             fragment_size: 128 * 1024,
             use_reg_cache: false,
             reg_cache_entries: 16,
+            retrans_timeout: None,
         }
     }
 
@@ -71,6 +76,7 @@ impl MpiConfig {
             fragment_size: 128 * 1024,
             use_reg_cache: true,
             reg_cache_entries: 32,
+            retrans_timeout: None,
         }
     }
 }

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use overlap_core::{OverlapReport, RecorderOpts, XferTimeTable};
 use parking_lot::Mutex;
 use simcore::{ActivityLog, SimError, SimOpts, Time};
-use simnet::{Cluster, NetConfig, TransferRecord};
+use simnet::{Cluster, FaultEvent, NetConfig, TransferRecord};
 
 use crate::config::MpiConfig;
 use crate::mpi::Mpi;
@@ -20,6 +20,10 @@ pub struct MpiRunOutcome {
     pub transfers: Vec<TransferRecord>,
     /// Ground-truth per-rank activity logs.
     pub activity: Vec<ActivityLog>,
+    /// Ground-truth injected fault events (empty on a loss-free fabric).
+    pub faults: Vec<FaultEvent>,
+    /// Per-rank reliability-layer counters (all zero on a loss-free fabric).
+    pub rel_stats: Vec<crate::RelStats>,
     /// Virtual end time of the run.
     pub end_time: Time,
     /// Engine queue entries processed.
@@ -80,7 +84,15 @@ where
     F: Fn(&mut Mpi) + Send + Sync + 'static,
 {
     let table = default_xfer_table(&net);
-    run_mpi_with(nranks, net, mpi_cfg, rec_opts, table, SimOpts::default(), body)
+    run_mpi_with(
+        nranks,
+        net,
+        mpi_cfg,
+        rec_opts,
+        table,
+        SimOpts::default(),
+        body,
+    )
 }
 
 /// Full-control variant of [`run_mpi`]: custom transfer-time table and
@@ -98,9 +110,9 @@ where
     F: Fn(&mut Mpi) + Send + Sync + 'static,
 {
     let cluster = Cluster::new(nranks, net);
-    let reports: Arc<Mutex<Vec<Option<OverlapReport>>>> =
-        Arc::new(Mutex::new((0..nranks).map(|_| None).collect()));
-    let reports_in = Arc::clone(&reports);
+    type PerRank = Vec<Option<(OverlapReport, crate::RelStats)>>;
+    let collected: Arc<Mutex<PerRank>> = Arc::new(Mutex::new((0..nranks).map(|_| None).collect()));
+    let collected_in = Arc::clone(&collected);
     let out = cluster.run(opts, move |ctx, world| {
         let rank = ctx.rank();
         let mut mpi = Mpi::init(
@@ -111,19 +123,20 @@ where
             rec_opts.clone(),
         );
         body(&mut mpi);
-        let report = mpi.finalize();
-        reports_in.lock()[rank] = Some(report);
+        collected_in.lock()[rank] = Some(mpi.finalize_with_stats());
     })?;
-    let reports = Arc::try_unwrap(reports)
+    let (reports, rel_stats) = Arc::try_unwrap(collected)
         .expect("report collector uniquely owned after run")
         .into_inner()
         .into_iter()
         .map(|r| r.expect("every rank produced a report"))
-        .collect();
+        .unzip();
     Ok(MpiRunOutcome {
         reports,
         transfers: out.transfers,
         activity: out.activity,
+        faults: out.faults,
+        rel_stats,
         end_time: out.end_time,
         events_processed: out.events_processed,
     })

@@ -174,7 +174,10 @@ impl Mpi<'_> {
             let to = comm.world_rank((me + k) % n);
             let from_idx = (me + n - k) % n;
             let from = comm.world_rank(from_idx);
-            recvs.push((from_idx, self.irecv_raw(Src::Rank(from), TagSel::Is(tag + k as u64))));
+            recvs.push((
+                from_idx,
+                self.irecv_raw(Src::Rank(from), TagSel::Is(tag + k as u64)),
+            ));
             sends.push(self.isend_raw(to, tag + k as u64, &blocks[(me + k) % n], true, false));
         }
         let state = ICollState {
@@ -252,7 +255,9 @@ impl Mpi<'_> {
     pub(crate) fn advance_collectives_impl(&mut self) {
         let ids = self.icoll_ids();
         for id in ids {
-            let Some(mut st) = self.icoll_remove(id) else { continue };
+            let Some(mut st) = self.icoll_remove(id) else {
+                continue;
+            };
             if !st.done {
                 self.advance_one(&mut st);
             }

@@ -56,11 +56,15 @@ pub mod harness;
 pub mod icoll;
 pub mod mpi;
 pub mod proto;
+pub mod reliability;
 pub mod types;
 
 pub use comm::Comm;
-pub use icoll::{CollHandle, CollResult};
 pub use config::{MpiConfig, RndvMode};
 pub use harness::{default_xfer_table, run_mpi, run_mpi_with, MpiRunOutcome};
+pub use icoll::{CollHandle, CollResult};
 pub use mpi::Mpi;
-pub use types::{bytes_to_f64s, f64s_to_bytes, PersistentOp, ReduceOp, Request, Src, Status, TagSel};
+pub use reliability::RelStats;
+pub use types::{
+    bytes_to_f64s, f64s_to_bytes, PersistentOp, ReduceOp, Request, Src, Status, TagSel,
+};

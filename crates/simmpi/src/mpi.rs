@@ -28,6 +28,7 @@ use simnet::{Completion, NetConfig, Packet, RegionId, SharedWorld, XferId};
 
 use crate::config::{MpiConfig, RndvMode};
 use crate::proto::{self, wr_kind};
+use crate::reliability::{RelStats, Reliability};
 use crate::types::{PersistentOp, Request, Src, Status, TagSel};
 
 /// Sentinel meaning "this message is not a data transfer" (zero-payload
@@ -177,6 +178,8 @@ pub struct Mpi<'a> {
     /// Active non-blocking collectives, advanced by the progress engine.
     icolls: HashMap<u64, crate::icoll::ICollState>,
     next_icoll: u64,
+    /// Sequence/ACK/retransmission layer; pass-through on loss-free fabrics.
+    rel: Reliability,
 }
 
 impl<'a> Mpi<'a> {
@@ -196,6 +199,23 @@ impl<'a> Mpi<'a> {
         let clock = move || handle.now();
         let rec = Recorder::new(rank, Box::new(clock), table, rec_opts);
         let net = world.lock().cfg().clone();
+        // The reliability layer activates only when the fabric can actually
+        // lose/duplicate/reorder packets; otherwise it is pass-through and
+        // the wire behavior is identical to the reliability-unaware library.
+        let rel_enabled = !net.faults.is_empty();
+        let rel_timeout = cfg.retrans_timeout.unwrap_or_else(|| {
+            // A few round trips at the largest eager payload: long enough
+            // that in-flight packets are not spuriously resent, short enough
+            // to matter within one figure run.
+            4 * (net.transfer_time(cfg.eager_threshold) + net.transfer_time(net.ctrl_packet_bytes))
+        });
+        let rel = Reliability::new(
+            rel_enabled,
+            rank,
+            rel_timeout,
+            net.ctrl_packet_bytes,
+            ctx.handle(),
+        );
         let mut mpi = Mpi {
             ctx,
             world,
@@ -215,8 +235,9 @@ impl<'a> Mpi<'a> {
             split_seq: 0,
             icolls: HashMap::new(),
             next_icoll: 0,
+            rel,
         };
-        mpi.rec.call_enter("MPI_Init");
+        mpi.call_enter("MPI_Init");
         mpi.barrier_inner();
         mpi.rec.call_exit();
         mpi
@@ -283,18 +304,34 @@ impl<'a> Mpi<'a> {
     }
 
     /// Shut down: synchronize, then emit this process's overlap report.
-    pub fn finalize(mut self) -> OverlapReport {
-        self.rec.call_enter("MPI_Finalize");
+    pub fn finalize(self) -> OverlapReport {
+        self.finalize_with_stats().0
+    }
+
+    /// [`Mpi::finalize`], additionally returning the reliability-layer
+    /// counters (final values: the teardown flush may still bump them).
+    pub fn finalize_with_stats(mut self) -> (OverlapReport, RelStats) {
+        self.call_enter("MPI_Finalize");
         self.barrier_inner();
+        // Reliability flush: a rank must not tear down while any of its
+        // packets is un-ACKed — a peer might still need a retransmission
+        // that only this rank's progress engine can produce. The deadline
+        // wake-ups scheduled per pending packet guarantee the park below is
+        // always bounded.
+        while self.rel.enabled && self.rel.has_pending() {
+            self.wait_for_event();
+            self.progress();
+        }
         self.rec.call_exit();
-        self.rec.finish()
+        let stats = self.rel.stats();
+        (self.rec.finish(), stats)
     }
 
     // ---- public point-to-point API ------------------------------------
 
     /// Non-blocking send.
     pub fn isend(&mut self, dst: usize, tag: u64, data: &[u8]) -> Request {
-        self.rec.call_enter("MPI_Isend");
+        self.call_enter("MPI_Isend");
         let r = self.isend_inner(dst, tag, data, true);
         self.rec.call_exit();
         r
@@ -302,7 +339,7 @@ impl<'a> Mpi<'a> {
 
     /// Non-blocking receive.
     pub fn irecv(&mut self, src: Src, tag: TagSel) -> Request {
-        self.rec.call_enter("MPI_Irecv");
+        self.call_enter("MPI_Irecv");
         let r = self.irecv_inner(src, tag);
         self.rec.call_exit();
         r
@@ -318,7 +355,7 @@ impl<'a> Mpi<'a> {
     /// for overlap by copying data to internal message buffers"). Rendezvous
     /// sends block until the transfer completes.
     pub fn send(&mut self, dst: usize, tag: u64, data: &[u8]) {
-        self.rec.call_enter("MPI_Send");
+        self.call_enter("MPI_Send");
         let r = self.isend_inner(dst, tag, data, true);
         if data.len() <= self.cfg.eager_threshold {
             self.detach(r);
@@ -344,7 +381,7 @@ impl<'a> Mpi<'a> {
 
     /// Blocking receive.
     pub fn recv(&mut self, src: Src, tag: TagSel) -> Status {
-        self.rec.call_enter("MPI_Recv");
+        self.call_enter("MPI_Recv");
         let r = self.irecv_inner(src, tag);
         let st = self.wait_inner(r);
         self.rec.call_exit();
@@ -353,7 +390,7 @@ impl<'a> Mpi<'a> {
 
     /// Wait for one request.
     pub fn wait(&mut self, req: Request) -> Status {
-        self.rec.call_enter("MPI_Wait");
+        self.call_enter("MPI_Wait");
         let st = self.wait_inner(req);
         self.rec.call_exit();
         st
@@ -361,7 +398,7 @@ impl<'a> Mpi<'a> {
 
     /// Wait for all given requests; statuses in request order.
     pub fn waitall(&mut self, reqs: &[Request]) -> Vec<Status> {
-        self.rec.call_enter("MPI_Waitall");
+        self.call_enter("MPI_Waitall");
         let out = reqs.iter().map(|&r| self.wait_inner(r)).collect();
         self.rec.call_exit();
         out
@@ -371,7 +408,7 @@ impl<'a> Mpi<'a> {
     /// `(index, status)` pairs (`MPI_Waitsome`).
     pub fn waitsome(&mut self, reqs: &[Request]) -> Vec<(usize, Status)> {
         assert!(!reqs.is_empty(), "waitsome on empty request list");
-        self.rec.call_enter("MPI_Waitsome");
+        self.call_enter("MPI_Waitsome");
         let out = loop {
             self.progress();
             let ready: Vec<usize> = reqs
@@ -394,7 +431,7 @@ impl<'a> Mpi<'a> {
 
     /// Non-blocking completion test.
     pub fn test(&mut self, req: Request) -> bool {
-        self.rec.call_enter("MPI_Test");
+        self.call_enter("MPI_Test");
         self.progress();
         let done = self.reqs.get(&req.0).map(Req::is_done).unwrap_or(true);
         self.rec.call_exit();
@@ -406,7 +443,7 @@ impl<'a> Mpi<'a> {
     /// through a computation region improves overlap (the paper's NAS SP
     /// tuning, Sec. 4.3).
     pub fn iprobe(&mut self, src: Src, tag: TagSel) -> bool {
-        self.rec.call_enter("MPI_Iprobe");
+        self.call_enter("MPI_Iprobe");
         self.progress();
         let found = self
             .unexpected
@@ -425,7 +462,7 @@ impl<'a> Mpi<'a> {
         src: Src,
         recv_tag: TagSel,
     ) -> Status {
-        self.rec.call_enter("MPI_Sendrecv");
+        self.call_enter("MPI_Sendrecv");
         let sr = self.isend_inner(dst, send_tag, data, true);
         let rr = self.irecv_inner(src, recv_tag);
         self.wait_inner(sr);
@@ -438,7 +475,7 @@ impl<'a> Mpi<'a> {
     /// message (eager sends wait for a receiver ACK; rendezvous completion
     /// already implies a match).
     pub fn ssend(&mut self, dst: usize, tag: u64, data: &[u8]) {
-        self.rec.call_enter("MPI_Ssend");
+        self.call_enter("MPI_Ssend");
         let r = self.isend_impl(dst, tag, data, true, true);
         self.wait_inner(r);
         self.rec.call_exit();
@@ -446,7 +483,7 @@ impl<'a> Mpi<'a> {
 
     /// Non-blocking synchronous send.
     pub fn issend(&mut self, dst: usize, tag: u64, data: &[u8]) -> Request {
-        self.rec.call_enter("MPI_Issend");
+        self.call_enter("MPI_Issend");
         let r = self.isend_impl(dst, tag, data, true, true);
         self.rec.call_exit();
         r
@@ -455,7 +492,7 @@ impl<'a> Mpi<'a> {
     /// Blocking probe: waits until a matching message is available (without
     /// receiving it) and returns its envelope `(source, tag)`.
     pub fn probe(&mut self, src: Src, tag: TagSel) -> (usize, u64) {
-        self.rec.call_enter("MPI_Probe");
+        self.call_enter("MPI_Probe");
         let env = loop {
             self.progress();
             if let Some(a) = self
@@ -474,7 +511,7 @@ impl<'a> Mpi<'a> {
     /// Wait for any one of the given requests; returns its index and status.
     pub fn waitany(&mut self, reqs: &[Request]) -> (usize, Status) {
         assert!(!reqs.is_empty(), "waitany on empty request list");
-        self.rec.call_enter("MPI_Waitany");
+        self.call_enter("MPI_Waitany");
         let out = loop {
             self.progress();
             let ready = reqs
@@ -493,7 +530,7 @@ impl<'a> Mpi<'a> {
     /// Non-blocking test of a whole set: true iff every request is complete
     /// (no request is consumed either way).
     pub fn testall(&mut self, reqs: &[Request]) -> bool {
-        self.rec.call_enter("MPI_Testall");
+        self.call_enter("MPI_Testall");
         self.progress();
         let all = reqs
             .iter()
@@ -519,7 +556,7 @@ impl<'a> Mpi<'a> {
     /// Start one persistent operation (`MPI_Start`); complete it with
     /// [`Mpi::wait`] like any other request.
     pub fn start(&mut self, op: &PersistentOp) -> Request {
-        self.rec.call_enter("MPI_Start");
+        self.call_enter("MPI_Start");
         let r = match op {
             PersistentOp::Send { dst, tag, data } => self.isend_inner(*dst, *tag, data, true),
             PersistentOp::Recv { src, tag } => self.irecv_inner(*src, *tag),
@@ -530,7 +567,7 @@ impl<'a> Mpi<'a> {
 
     /// Start a set of persistent operations (`MPI_Startall`).
     pub fn startall(&mut self, ops: &[PersistentOp]) -> Vec<Request> {
-        self.rec.call_enter("MPI_Startall");
+        self.call_enter("MPI_Startall");
         let rs = ops
             .iter()
             .map(|op| match op {
@@ -628,9 +665,17 @@ impl<'a> Mpi<'a> {
         let xfer;
         {
             let mut w = self.world.lock();
-            let xfer_id = if counted { Some(w.alloc_xfer_id()) } else { None };
+            let xfer_id = if counted {
+                Some(w.alloc_xfer_id())
+            } else {
+                None
+            };
             xfer = xfer_id.map_or(NO_XFER, |x| x.0);
-            let ty = if counted { proto::PT_EAGER } else { proto::PT_BARRIER };
+            let ty = if counted {
+                proto::PT_EAGER
+            } else {
+                proto::PT_BARRIER
+            };
             let pkt = Packet::with_data(
                 self.rank,
                 wire,
@@ -638,8 +683,8 @@ impl<'a> Mpi<'a> {
                 [tag, xfer, sync as u64, req_id, 0, 0],
                 Bytes::copy_from_slice(data),
             );
-            w.post_send(
-                self.rank,
+            self.rel.post(
+                &mut w,
                 dst,
                 pkt,
                 proto::pack_user(wr_kind::EAGER_SEND, req_id),
@@ -704,13 +749,10 @@ impl<'a> Mpi<'a> {
                     if self.send_reg_cache.len() > self.cfg.reg_cache_entries {
                         // Evict the least-recently-used *idle* entry; if all
                         // are busy the cache temporarily exceeds capacity.
-                        if let Some(pos) = self
-                            .send_reg_cache
-                            .iter()
-                            .rposition(|&(_, _, busy)| !busy)
+                        if let Some(pos) =
+                            self.send_reg_cache.iter().rposition(|&(_, _, busy)| !busy)
                         {
-                            let (_, evicted, _) =
-                                self.send_reg_cache.remove(pos).unwrap();
+                            let (_, evicted, _) = self.send_reg_cache.remove(pos).unwrap();
                             w.deregister(self.rank, evicted);
                         }
                     }
@@ -724,7 +766,8 @@ impl<'a> Mpi<'a> {
                 proto::PT_RTS_READ,
                 [tag, len as u64, region.0, xfer, req_id, 0],
             );
-            w.post_send(self.rank, dst, rts, proto::pack_user(wr_kind::IGNORE, 0), None);
+            self.rel
+                .post(&mut w, dst, rts, proto::pack_user(wr_kind::IGNORE, 0), None);
         }
         self.rec.xfer_begin(xfer, len as u64);
         self.reqs.insert(
@@ -758,8 +801,8 @@ impl<'a> Mpi<'a> {
                 [tag, len as u64, frag1_xfer, req_id, 0, 0],
                 data.slice(0..frag1_len),
             );
-            w.post_send(
-                self.rank,
+            self.rel.post(
+                &mut w,
                 dst,
                 pkt,
                 proto::pack_user(wr_kind::FRAG_WRITE, req_id),
@@ -810,7 +853,11 @@ impl<'a> Mpi<'a> {
             let arrival = self.unexpected.remove(pos).unwrap();
             self.deliver(req_id, arrival);
         } else {
-            self.posted.push(Posted { req: req_id, src, tag });
+            self.posted.push(Posted {
+                req: req_id,
+                src,
+                tag,
+            });
         }
         Request(req_id)
     }
@@ -838,7 +885,8 @@ impl<'a> Mpi<'a> {
                         proto::PT_SSEND_ACK,
                         [sender_req, 0, 0, 0, 0, 0],
                     );
-                    w.post_send(self.rank, src, ack, proto::pack_user(wr_kind::IGNORE, 0), None);
+                    self.rel
+                        .post(&mut w, src, ack, proto::pack_user(wr_kind::IGNORE, 0), None);
                 }
                 self.complete_recv(req_id, src, tag, data);
             }
@@ -921,7 +969,10 @@ impl<'a> Mpi<'a> {
             );
         }
         self.rec.xfer_begin(xfer, len as u64);
-        if let Some(Req::Recv { reading, matched, .. }) = self.reqs.get_mut(&req_id) {
+        if let Some(Req::Recv {
+            reading, matched, ..
+        }) = self.reqs.get_mut(&req_id)
+        {
             *reading = Some((xfer, len as u64));
             *matched = Some((src, tag));
         } else {
@@ -953,17 +1004,15 @@ impl<'a> Mpi<'a> {
         {
             let mut w = self.world.lock();
             let region = w.register(self.rank, vec![0u8; total_len]);
-            w.mem_mut(self.rank)
-                .get_mut(region)
-                .unwrap()[..frag1_len]
-                .copy_from_slice(&frag1);
+            w.mem_mut(self.rank).get_mut(region).unwrap()[..frag1_len].copy_from_slice(&frag1);
             let cts = Packet::control(
                 self.rank,
                 self.net.ctrl_packet_bytes,
                 proto::PT_CTS,
                 [sender_req, region.0, req_id, 0, 0, 0],
             );
-            w.post_send(self.rank, src, cts, proto::pack_user(wr_kind::IGNORE, 0), None);
+            self.rel
+                .post(&mut w, src, cts, proto::pack_user(wr_kind::IGNORE, 0), None);
             if let Some(Req::Recv { pipe, matched, .. }) = self.reqs.get_mut(&req_id) {
                 *pipe = Some(PipeRecv {
                     region,
@@ -1005,7 +1054,24 @@ impl<'a> Mpi<'a> {
                 Some(Item::P(p)) => self.handle_packet(p),
             }
         }
+        if self.rel.enabled {
+            let flagged = {
+                let mut w = self.world.lock();
+                self.rel.check_timeouts(&mut w)
+            };
+            for xfer in flagged {
+                // The wire had to carry this transfer again; its a-priori
+                // time no longer bounds the observed window.
+                self.rec.xfer_flag(xfer);
+            }
+        }
         self.advance_collectives();
+    }
+
+    /// Reliability-layer counters for this rank (all zero on a loss-free
+    /// fabric).
+    pub fn reliability_stats(&self) -> RelStats {
+        self.rel.stats()
     }
 
     fn handle_completion(&mut self, c: Completion) {
@@ -1068,7 +1134,10 @@ impl<'a> Mpi<'a> {
                 let data = c.data.expect("RDMA read completion without data");
                 let mut stamp: Option<(u64, u64)> = None;
                 let mut env: Option<(usize, u64)> = None;
-                if let Some(Req::Recv { reading, matched, .. }) = self.reqs.get_mut(&req_id) {
+                if let Some(Req::Recv {
+                    reading, matched, ..
+                }) = self.reqs.get_mut(&req_id)
+                {
                     stamp = reading.take();
                     env = *matched;
                 }
@@ -1081,7 +1150,45 @@ impl<'a> Mpi<'a> {
         }
     }
 
+    /// Front half of packet handling: the reliability filter. ACK/NACK
+    /// packets terminate here; sequenced packets are deduplicated and
+    /// reordered, then delivered in sequence order. On a loss-free fabric
+    /// every packet falls straight through to the protocol handler.
     fn handle_packet(&mut self, p: Packet) {
+        if self.rel.enabled {
+            match p.ty {
+                proto::PT_ACK => {
+                    self.rel.on_ack(p.src, p.h[0]);
+                    return;
+                }
+                proto::PT_NACK => {
+                    let flagged = {
+                        let mut w = self.world.lock();
+                        self.rel.on_nack(&mut w, p.src, p.h[0])
+                    };
+                    if let Some(xfer) = flagged {
+                        self.rec.xfer_flag(xfer);
+                    }
+                    return;
+                }
+                _ => {}
+            }
+            if p.h[5] != 0 {
+                let deliverable = {
+                    let mut w = self.world.lock();
+                    self.rel.on_sequenced(&mut w, p)
+                };
+                for q in deliverable {
+                    self.handle_packet_inner(q);
+                }
+                return;
+            }
+        }
+        self.handle_packet_inner(p);
+    }
+
+    /// Protocol packet handling proper (post-reliability).
+    fn handle_packet_inner(&mut self, p: Packet) {
         let arrival = match p.ty {
             proto::PT_EAGER => {
                 let xfer = p.h[1];
@@ -1224,7 +1331,10 @@ impl<'a> Mpi<'a> {
         let (sender_req, recv_region, recv_req) = (p.h[0], RegionId(p.h[1]), p.h[2]);
         let (data, frag1_len, peer) = match self.reqs.get(&sender_req) {
             Some(Req::SendRdvPipe {
-                data, frag1_len, peer, ..
+                data,
+                frag1_len,
+                peer,
+                ..
             }) => (data.clone(), *frag1_len, *peer),
             _ => panic!("CTS for unknown pipelined send"),
         };
@@ -1303,9 +1413,12 @@ impl<'a> Mpi<'a> {
     }
 
     fn try_take(&mut self, req: Request) -> Option<Status> {
-        if !self.reqs.get(&req.0).map(Req::is_done).unwrap_or_else(|| {
-            panic!("wait on unknown request {:?}", req)
-        }) {
+        if !self
+            .reqs
+            .get(&req.0)
+            .map(Req::is_done)
+            .unwrap_or_else(|| panic!("wait on unknown request {:?}", req))
+        {
             return None;
         }
         let r = self.reqs.remove(&req.0).unwrap();
@@ -1321,12 +1434,39 @@ impl<'a> Mpi<'a> {
         })
     }
 
+    /// Record a library-call entry both in the overlap event stream and in
+    /// the engine's deadlock diagnostic (last call per rank).
+    pub(crate) fn call_enter(&mut self, name: &'static str) {
+        self.rec.call_enter(name);
+        self.ctx.note_call(name);
+    }
+
     /// Park until the NIC has something for us (unless it already does).
+    /// Before parking, leave a blocked-on note so a deadlock dump can say
+    /// what this rank was waiting for.
     fn wait_for_event(&mut self) {
         let has = self.world.lock().has_host_events(self.rank);
         if !has {
+            self.ctx.note_blocked_on(self.blocked_note());
             self.ctx.park();
         }
+    }
+
+    /// Snapshot of this rank's pending communication state, for the
+    /// per-rank deadlock diagnostic.
+    fn blocked_note(&self) -> String {
+        let nic = self.world.lock().nic_stats(self.rank);
+        let open_reqs = self.reqs.values().filter(|r| !r.is_done()).count();
+        format!(
+            "{} incomplete requests ({} posted recvs, {} unexpected arrivals, \
+             {} un-ACKed sends); NIC backlog rx={} cq={}",
+            open_reqs,
+            self.posted.len(),
+            self.unexpected.len(),
+            self.rel.pending_packets(),
+            nic.rx_backlog,
+            nic.cq_backlog,
+        )
     }
 
     // ---- synchronization helpers (used by collectives) --------------------
@@ -1362,7 +1502,10 @@ impl<'a> Mpi<'a> {
         }
     }
 
-    pub(crate) fn icoll_insert(&mut self, st: crate::icoll::ICollState) -> crate::icoll::CollHandle {
+    pub(crate) fn icoll_insert(
+        &mut self,
+        st: crate::icoll::ICollState,
+    ) -> crate::icoll::CollHandle {
         let id = self.next_icoll;
         self.next_icoll += 1;
         self.icolls.insert(id, st);

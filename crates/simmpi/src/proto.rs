@@ -11,6 +11,15 @@
 //! | `FIN_READ` | sender req | xfer id | total len | — | — | — |
 //! | `FIN_PIPE` | recv req | — | — | — | — | — |
 //! | `BARRIER` | tag | — | — | — | — | — |
+//! | `ACK` | next expected seq | — | — | — | — | — |
+//! | `NACK` | first missing seq | — | — | — | — | — |
+//!
+//! `h[5]` is reserved in **every** packet type for the reliability layer's
+//! sequence number (`seq + 1`; `0` = unsequenced). It is `0` whenever the
+//! fabric is configured loss-free (`FaultPlan::none()`), keeping the wire
+//! format byte-identical to the reliability-unaware protocol. `ACK` / `NACK`
+//! are themselves unsequenced: cumulative ACKs are idempotent and a lost NACK
+//! is recovered by the sender's retransmission timeout.
 
 /// Eager data packet (short messages).
 pub const PT_EAGER: u16 = 1;
@@ -31,6 +40,12 @@ pub const PT_BARRIER: u16 = 7;
 /// Receiver-matched acknowledgment for synchronous eager sends
 /// (`MPI_Ssend`): h\[0\] = sender request id.
 pub const PT_SSEND_ACK: u16 = 8;
+/// Reliability-layer cumulative acknowledgment: h\[0\] = next sequence number
+/// the receiver expects from this sender (everything below is delivered).
+pub const PT_ACK: u16 = 9;
+/// Reliability-layer negative acknowledgment: h\[0\] = first missing sequence
+/// number (a gap was observed; the sender should retransmit immediately).
+pub const PT_NACK: u16 = 10;
 
 /// Correlation-word kinds for completion-queue entries (`Completion::user`
 /// high byte).
@@ -63,7 +78,12 @@ mod tests {
 
     #[test]
     fn user_word_roundtrip() {
-        for kind in [wr_kind::IGNORE, wr_kind::EAGER_SEND, wr_kind::FRAG_WRITE, wr_kind::RDMA_READ] {
+        for kind in [
+            wr_kind::IGNORE,
+            wr_kind::EAGER_SEND,
+            wr_kind::FRAG_WRITE,
+            wr_kind::RDMA_READ,
+        ] {
             let u = pack_user(kind, 123_456);
             assert_eq!(unpack_user(u), (kind, 123_456));
         }
@@ -72,8 +92,16 @@ mod tests {
     #[test]
     fn packet_types_are_distinct() {
         let all = [
-            PT_EAGER, PT_RTS_READ, PT_RTS_PIPE, PT_CTS, PT_FIN_READ, PT_FIN_PIPE, PT_BARRIER,
+            PT_EAGER,
+            PT_RTS_READ,
+            PT_RTS_PIPE,
+            PT_CTS,
+            PT_FIN_READ,
+            PT_FIN_PIPE,
+            PT_BARRIER,
             PT_SSEND_ACK,
+            PT_ACK,
+            PT_NACK,
         ];
         for (i, a) in all.iter().enumerate() {
             for b in &all[i + 1..] {

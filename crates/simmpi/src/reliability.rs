@@ -1,0 +1,309 @@
+//! Go-back-nothing reliability for the two-sided packet path: per-peer
+//! sequence numbers, cumulative ACKs, gap NACKs, and virtual-time
+//! retransmission with exponential backoff.
+//!
+//! Real RDMA fabrics are reliable in hardware, which is why the paper's
+//! protocols never retransmit. This layer exists for the fault-injection
+//! study: when the simulated fabric is configured lossy
+//! ([`simnet::FaultPlan`]), eager and rendezvous control packets must still
+//! arrive exactly once and in order or the protocol state machines wedge.
+//!
+//! Design constraints:
+//!
+//! * **Inert when the fabric is loss-free.** With `enabled == false` every
+//!   packet is posted untouched (`h[5] == 0`), no timer is scheduled, and no
+//!   ACK traffic exists — the wire behavior is byte-identical to the
+//!   reliability-unaware library, preserving all figure outputs.
+//! * **Only `post_send` packets are sequenced.** RDMA Reads/Writes (and the
+//!   FIN notifications riding on them) model hardware-reliable one-sided
+//!   traffic and bypass the fault injector entirely.
+//! * **Driven from the polling progress engine.** Timeouts are checked each
+//!   time the application enters the library; a scheduled engine wake-up
+//!   un-parks a blocked rank when a deadline passes so retransmissions
+//!   happen even while the rank sits in a wait.
+//!
+//! Retransmissions are posted with [`wr_kind::IGNORE`]: the original post's
+//! local completion already fired (a dropped packet still leaves the source
+//! NIC), so a second completion must not re-drive the request state machine.
+//!
+//! ACK/NACK control packets ride the fabric's *protected* channel
+//! ([`Packet::protect`]): they are exempt from fault injection. Without
+//! this, teardown cannot be made safe — a rank whose final ACK was lost
+//! would be retransmitted to forever after it exits (the two-generals
+//! corner). Data and protocol packets remain fully lossy.
+
+use std::collections::{BTreeMap, HashMap};
+
+use simcore::{Duration, EngineHandle, Time};
+use simnet::{Packet, World, XferId};
+
+use crate::proto::{self, wr_kind};
+
+/// Cap on the exponential-backoff shift (timeout << shift).
+const MAX_BACKOFF_SHIFT: u32 = 6;
+
+/// Reliability-layer counters (per rank), exposed for harnesses and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RelStats {
+    /// Packets re-posted after a timeout or NACK.
+    pub retransmissions: u64,
+    /// Retransmission deadlines that expired (first causes of re-posts).
+    pub timeouts: u64,
+    /// Cumulative ACK packets sent.
+    pub acks_sent: u64,
+    /// Gap NACK packets sent.
+    pub nacks_sent: u64,
+    /// Received sequenced packets dropped as duplicates.
+    pub duplicates_dropped: u64,
+}
+
+struct Pending {
+    packet: Packet,
+    deadline: Time,
+    /// Backoff shift applied to the next deadline (doubles per retry).
+    backoff: u32,
+    /// Ground-truth transfer id of the payload, if any (re-recorded on
+    /// retransmission: the wire genuinely carries the bytes again).
+    xfer: Option<u64>,
+}
+
+struct TxPeer {
+    next_seq: u64,
+    pending: BTreeMap<u64, Pending>,
+}
+
+#[derive(Default)]
+struct RxPeer {
+    next_expected: u64,
+    reorder: BTreeMap<u64, Packet>,
+}
+
+/// Per-rank reliability state; owned by the MPI endpoint.
+pub(crate) struct Reliability {
+    /// False on a loss-free fabric: every operation is pass-through.
+    pub(crate) enabled: bool,
+    rank: usize,
+    timeout: Duration,
+    ctrl_bytes: usize,
+    handle: EngineHandle,
+    tx: HashMap<usize, TxPeer>,
+    rx: HashMap<usize, RxPeer>,
+    stats: RelStats,
+}
+
+impl Reliability {
+    pub(crate) fn new(
+        enabled: bool,
+        rank: usize,
+        timeout: Duration,
+        ctrl_bytes: usize,
+        handle: EngineHandle,
+    ) -> Self {
+        Reliability {
+            enabled,
+            rank,
+            timeout,
+            ctrl_bytes,
+            handle,
+            tx: HashMap::new(),
+            rx: HashMap::new(),
+            stats: RelStats::default(),
+        }
+    }
+
+    /// Counters so far.
+    pub(crate) fn stats(&self) -> RelStats {
+        self.stats
+    }
+
+    /// Any packets still awaiting acknowledgment? A rank must not tear down
+    /// while true: a peer may still need one of them retransmitted.
+    pub(crate) fn has_pending(&self) -> bool {
+        self.tx.values().any(|p| !p.pending.is_empty())
+    }
+
+    /// Number of packets still awaiting acknowledgment (diagnostics).
+    pub(crate) fn pending_packets(&self) -> usize {
+        self.tx.values().map(|p| p.pending.len()).sum()
+    }
+
+    /// Post a two-sided packet, sequencing it when the layer is active.
+    /// Self-sends bypass sequencing (the fault injector never touches them).
+    pub(crate) fn post(
+        &mut self,
+        w: &mut World,
+        dst: usize,
+        mut pkt: Packet,
+        user: u64,
+        xfer: Option<XferId>,
+    ) {
+        if !self.enabled || dst == self.rank {
+            w.post_send(self.rank, dst, pkt, user, xfer);
+            return;
+        }
+        let peer = self.tx.entry(dst).or_insert_with(|| TxPeer {
+            next_seq: 0,
+            pending: BTreeMap::new(),
+        });
+        let seq = peer.next_seq;
+        peer.next_seq += 1;
+        pkt.h[5] = seq + 1;
+        let deadline = self.handle.now() + self.timeout;
+        peer.pending.insert(
+            seq,
+            Pending {
+                packet: pkt.clone(),
+                deadline,
+                backoff: 0,
+                xfer: xfer.map(|x| x.0),
+            },
+        );
+        // Make sure the rank re-enters its progress loop when the deadline
+        // passes, even if it is parked in a wait by then.
+        let rank = self.rank;
+        self.handle
+            .schedule_at(deadline, move |h| h.wake_rank(rank));
+        w.post_send(self.rank, dst, pkt, user, xfer);
+    }
+
+    /// Check retransmission deadlines; re-post every overdue packet with a
+    /// doubled deadline. Returns the ground-truth transfer ids of payloads
+    /// whose *first* retransmission just happened (for `XFER_FLAG` stamps).
+    pub(crate) fn check_timeouts(&mut self, w: &mut World) -> Vec<u64> {
+        let now = self.handle.now();
+        let mut flagged = Vec::new();
+        for (&dst, peer) in self.tx.iter_mut() {
+            for p in peer.pending.values_mut() {
+                if p.deadline > now {
+                    continue;
+                }
+                self.stats.timeouts += 1;
+                self.stats.retransmissions += 1;
+                if p.backoff == 0 {
+                    if let Some(x) = p.xfer {
+                        flagged.push(x);
+                    }
+                }
+                w.post_send(
+                    self.rank,
+                    dst,
+                    p.packet.clone(),
+                    proto::pack_user(wr_kind::IGNORE, 0),
+                    p.xfer.map(XferId),
+                );
+                p.backoff = (p.backoff + 1).min(MAX_BACKOFF_SHIFT);
+                p.deadline = now + (self.timeout << p.backoff);
+                let rank = self.rank;
+                let deadline = p.deadline;
+                self.handle
+                    .schedule_at(deadline, move |h| h.wake_rank(rank));
+            }
+        }
+        flagged
+    }
+
+    /// Handle a cumulative ACK from `src`: everything below `next_expected`
+    /// has been delivered there.
+    pub(crate) fn on_ack(&mut self, src: usize, next_expected: u64) {
+        if let Some(peer) = self.tx.get_mut(&src) {
+            peer.pending.retain(|&seq, _| seq >= next_expected);
+        }
+    }
+
+    /// Handle a gap NACK from `src`: retransmit `missing` immediately if it
+    /// is still pending. Returns the transfer id to flag, if this was the
+    /// packet's first retransmission.
+    pub(crate) fn on_nack(&mut self, w: &mut World, src: usize, missing: u64) -> Option<u64> {
+        let peer = self.tx.get_mut(&src)?;
+        let p = peer.pending.get_mut(&missing)?;
+        self.stats.retransmissions += 1;
+        let flag = (p.backoff == 0).then_some(p.xfer).flatten();
+        w.post_send(
+            self.rank,
+            src,
+            p.packet.clone(),
+            proto::pack_user(wr_kind::IGNORE, 0),
+            p.xfer.map(XferId),
+        );
+        p.backoff = (p.backoff + 1).min(MAX_BACKOFF_SHIFT);
+        p.deadline = self.handle.now() + (self.timeout << p.backoff);
+        let rank = self.rank;
+        let deadline = p.deadline;
+        self.handle
+            .schedule_at(deadline, move |h| h.wake_rank(rank));
+        flag
+    }
+
+    /// Filter an incoming sequenced packet (`h[5] != 0`). Returns the
+    /// packets now deliverable to the protocol layer, in sequence order —
+    /// empty for duplicates and out-of-order arrivals (buffered).
+    pub(crate) fn on_sequenced(&mut self, w: &mut World, p: Packet) -> Vec<Packet> {
+        debug_assert!(p.h[5] != 0, "unsequenced packet in reliability filter");
+        let seq = p.h[5] - 1;
+        let src = p.src;
+        let peer = self.rx.entry(src).or_default();
+        if seq < peer.next_expected {
+            // Duplicate (fabric duplication or spurious retransmit): drop,
+            // but re-ACK so the sender stops resending it.
+            self.stats.duplicates_dropped += 1;
+            let next_expected = peer.next_expected;
+            self.send_ack(w, src, next_expected);
+            return Vec::new();
+        }
+        if seq > peer.next_expected {
+            // Gap: buffer and ask for the missing packet right away instead
+            // of waiting out the sender's timeout.
+            let first_missing = peer.next_expected;
+            if peer.reorder.insert(seq, p).is_some() {
+                self.stats.duplicates_dropped += 1;
+            }
+            self.send_nack(w, src, first_missing);
+            return Vec::new();
+        }
+        let mut out = vec![p];
+        peer.next_expected += 1;
+        while let Some(q) = peer.reorder.remove(&peer.next_expected) {
+            out.push(q);
+            peer.next_expected += 1;
+        }
+        let next_expected = peer.next_expected;
+        self.send_ack(w, src, next_expected);
+        out
+    }
+
+    fn send_ack(&mut self, w: &mut World, dst: usize, next_expected: u64) {
+        self.stats.acks_sent += 1;
+        let ack = Packet::control(
+            self.rank,
+            self.ctrl_bytes,
+            proto::PT_ACK,
+            [next_expected, 0, 0, 0, 0, 0],
+        )
+        .protect();
+        w.post_send(
+            self.rank,
+            dst,
+            ack,
+            proto::pack_user(wr_kind::IGNORE, 0),
+            None,
+        );
+    }
+
+    fn send_nack(&mut self, w: &mut World, dst: usize, missing: u64) {
+        self.stats.nacks_sent += 1;
+        let nack = Packet::control(
+            self.rank,
+            self.ctrl_bytes,
+            proto::PT_NACK,
+            [missing, 0, 0, 0, 0, 0],
+        )
+        .protect();
+        w.post_send(
+            self.rank,
+            dst,
+            nack,
+            proto::pack_user(wr_kind::IGNORE, 0),
+            None,
+        );
+    }
+}

@@ -180,7 +180,11 @@ fn collectives_count_payload_transfers_but_barrier_does_not() {
         MpiConfig::default(),
         RecorderOpts::default(),
         |mpi| {
-            let mut data = if mpi.rank() == 0 { vec![1u8; 2048] } else { Vec::new() };
+            let mut data = if mpi.rank() == 0 {
+                vec![1u8; 2048]
+            } else {
+                Vec::new()
+            };
             mpi.bcast(0, &mut data);
         },
     )

@@ -151,7 +151,9 @@ fn alltoallv_moves_variable_blocks() {
     run(3, |mpi| {
         let me = mpi.rank();
         // Block to rank d has length (me+1)*(d+1)*10.
-        let blocks: Vec<Vec<u8>> = (0..3).map(|d| vec![me as u8; (me + 1) * (d + 1) * 10]).collect();
+        let blocks: Vec<Vec<u8>> = (0..3)
+            .map(|d| vec![me as u8; (me + 1) * (d + 1) * 10])
+            .collect();
         let got = mpi.alltoallv(&blocks);
         for (src, b) in got.iter().enumerate() {
             assert_eq!(b.len(), (src + 1) * (me + 1) * 10);

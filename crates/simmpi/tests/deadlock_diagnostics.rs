@@ -1,0 +1,93 @@
+//! The deadlock detector must do better than "it hung": its error names
+//! every blocked rank and what each was blocked on (last library call,
+//! pending request counts) so a wedged protocol can be diagnosed from the
+//! error alone.
+
+use overlap_core::RecorderOpts;
+use simcore::SimError;
+use simmpi::{MpiConfig, Src, TagSel};
+use simnet::NetConfig;
+
+#[test]
+fn mismatched_recv_reports_blocked_ranks_and_state() {
+    // Rank 0 posts a recv nobody will ever satisfy (the matching send does
+    // not exist); rank 1 proceeds straight to finalize. Rank 0 wedges in
+    // MPI_Recv, which in turn wedges rank 1 in the finalize barrier.
+    let err = simmpi::run_mpi(
+        2,
+        NetConfig::default(),
+        MpiConfig::default(),
+        RecorderOpts::default(),
+        |mpi| {
+            if mpi.rank() == 0 {
+                let _ = mpi.recv(Src::Rank(1), TagSel::Is(77));
+            }
+        },
+    )
+    .unwrap_err();
+
+    let SimError::Deadlock { parked, diags, .. } = &err else {
+        panic!("expected deadlock, got {err}");
+    };
+    assert_eq!(parked, &[0, 1], "both ranks should be stuck");
+    assert_eq!(diags.len(), 2, "one diagnostic per parked rank");
+
+    let d0 = &diags[0];
+    assert_eq!(d0.rank, 0);
+    assert_eq!(d0.last_call.as_deref(), Some("MPI_Recv"));
+    let blocked = d0.blocked_on.as_deref().expect("rank 0 left a note");
+    assert!(
+        blocked.contains("1 posted recvs"),
+        "note should count the unmatched recv: {blocked}"
+    );
+
+    let d1 = &diags[1];
+    assert_eq!(d1.rank, 1);
+    assert_eq!(d1.last_call.as_deref(), Some("MPI_Finalize"));
+    assert!(d1.blocked_on.is_some(), "rank 1 left a note");
+
+    // The rendered error is the first thing a user sees: it must name the
+    // ranks, their blocked-on state, and their last calls.
+    let msg = err.to_string();
+    assert!(msg.contains("ranks [0, 1]"), "missing rank list: {msg}");
+    assert!(
+        msg.contains("rank 0: blocked on"),
+        "missing rank 0 state: {msg}"
+    );
+    assert!(
+        msg.contains("last call MPI_Recv"),
+        "missing last call: {msg}"
+    );
+    assert!(
+        msg.contains("last call MPI_Finalize"),
+        "missing rank 1 call: {msg}"
+    );
+}
+
+#[test]
+fn head_to_head_blocking_sends_name_the_send_call() {
+    let err = simmpi::run_mpi(
+        2,
+        NetConfig::default(),
+        MpiConfig::mvapich2(),
+        RecorderOpts::default(),
+        |mpi| {
+            let other = 1 - mpi.rank();
+            let big = vec![0u8; 1 << 20];
+            mpi.send(other, 1, &big);
+            let _ = mpi.recv(Src::Rank(other), TagSel::Is(1));
+        },
+    )
+    .unwrap_err();
+    let SimError::Deadlock { diags, .. } = &err else {
+        panic!("expected deadlock, got {err}");
+    };
+    for d in diags {
+        assert_eq!(d.last_call.as_deref(), Some("MPI_Send"));
+        let note = d.blocked_on.as_deref().expect("note present");
+        assert!(
+            note.contains("incomplete requests"),
+            "note should summarize pending state: {note}"
+        );
+    }
+}

@@ -10,7 +10,14 @@ fn run(
     cfg: MpiConfig,
     body: impl Fn(&mut simmpi::Mpi) + Send + Sync + 'static,
 ) -> MpiRunOutcome {
-    run_mpi(nranks, NetConfig::default(), cfg, RecorderOpts::default(), body).expect("run failed")
+    run_mpi(
+        nranks,
+        NetConfig::default(),
+        cfg,
+        RecorderOpts::default(),
+        body,
+    )
+    .expect("run failed")
 }
 
 #[test]

@@ -18,7 +18,14 @@ fn run(
     cfg: MpiConfig,
     body: impl Fn(&mut simmpi::Mpi) + Send + Sync + 'static,
 ) -> MpiRunOutcome {
-    run_mpi(nranks, NetConfig::default(), cfg, RecorderOpts::default(), body).expect("run failed")
+    run_mpi(
+        nranks,
+        NetConfig::default(),
+        cfg,
+        RecorderOpts::default(),
+        body,
+    )
+    .expect("run failed")
 }
 
 fn assert_bounds_valid(out: &MpiRunOutcome, net: &NetConfig) {
@@ -80,7 +87,10 @@ fn eager_sender_overlap_grows_with_computation() {
         assert_bounds_valid(&out, &NetConfig::default());
     }
     // With ample computation the sender overlaps (nearly) fully.
-    assert!(prev_max > 90.0, "expected near-full overlap, got {prev_max}%");
+    assert!(
+        prev_max > 90.0,
+        "expected near-full overlap, got {prev_max}%"
+    );
 }
 
 #[test]
@@ -126,9 +136,18 @@ fn direct_read_isend_recv_sender_overlap_grows_and_wait_shrinks() {
         large.reports[0].total.min_pct(),
         large.reports[0].calls["MPI_Wait"].avg(),
     );
-    assert!(l_min > s_min + 30.0, "min overlap should grow: {s_min} -> {l_min}");
-    assert!(l_min > 80.0, "ample compute should overlap nearly fully: {l_min}");
-    assert!(l_wait < s_wait / 2.0, "wait should shrink: {s_wait} -> {l_wait}");
+    assert!(
+        l_min > s_min + 30.0,
+        "min overlap should grow: {s_min} -> {l_min}"
+    );
+    assert!(
+        l_min > 80.0,
+        "ample compute should overlap nearly fully: {l_min}"
+    );
+    assert!(
+        l_wait < s_wait / 2.0,
+        "wait should shrink: {s_wait} -> {l_wait}"
+    );
     assert_bounds_valid(&small, &NetConfig::default());
     assert_bounds_valid(&large, &NetConfig::default());
 }
@@ -186,7 +205,10 @@ fn direct_read_send_irecv_receiver_has_zero_overlap() {
         }
     });
     let recv = &out.reports[1];
-    assert_eq!(recv.total.max_overlap, 0, "direct-read late receiver must be case 1");
+    assert_eq!(
+        recv.total.max_overlap, 0,
+        "direct-read late receiver must be case 1"
+    );
     assert_eq!(recv.total.case_same_call, recv.total.transfers);
     assert_bounds_valid(&out, &NetConfig::default());
 }
@@ -220,7 +242,10 @@ fn iprobe_during_compute_recovers_receiver_overlap() {
     let w0 = without.reports[1].total.max_pct();
     let w4 = with.reports[1].total.max_pct();
     assert_eq!(w0, 0.0);
-    assert!(w4 > 50.0, "iprobe should recover substantial overlap, got {w4}%");
+    assert!(
+        w4 > 50.0,
+        "iprobe should recover substantial overlap, got {w4}%"
+    );
     // And the receiver actually finishes sooner.
     assert!(with.reports[1].comm_call_time < without.reports[1].comm_call_time);
     assert_bounds_valid(&with, &NetConfig::default());

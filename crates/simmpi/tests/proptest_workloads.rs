@@ -46,13 +46,16 @@ fn arb_cfg() -> impl Strategy<Value = MpiConfig> {
         prop_oneof![Just(32usize << 10), Just(128 << 10)],
         any::<bool>(),
     )
-        .prop_map(|(rndv_mode, eager_threshold, fragment_size, use_reg_cache)| MpiConfig {
-            eager_threshold,
-            rndv_mode,
-            fragment_size,
-            use_reg_cache,
-            reg_cache_entries: 8,
-        })
+        .prop_map(
+            |(rndv_mode, eager_threshold, fragment_size, use_reg_cache)| MpiConfig {
+                eager_threshold,
+                rndv_mode,
+                fragment_size,
+                use_reg_cache,
+                reg_cache_entries: 8,
+                retrans_timeout: None,
+            },
+        )
 }
 
 proptest! {

@@ -10,7 +10,14 @@ fn run(
     cfg: MpiConfig,
     body: impl Fn(&mut simmpi::Mpi) + Send + Sync + 'static,
 ) -> MpiRunOutcome {
-    run_mpi(nranks, NetConfig::default(), cfg, RecorderOpts::default(), body).expect("run failed")
+    run_mpi(
+        nranks,
+        NetConfig::default(),
+        cfg,
+        RecorderOpts::default(),
+        body,
+    )
+    .expect("run failed")
 }
 
 fn roundtrip(cfg: MpiConfig, len: usize) -> MpiRunOutcome {
@@ -35,7 +42,10 @@ fn message_exactly_at_eager_threshold_is_eager() {
     // One byte more tips into rendezvous (pipelined: still a Send for the
     // single fragment, but the timing path differs; verify via direct-read
     // where the kind changes).
-    let out2 = roundtrip(MpiConfig::mvapich2(), MpiConfig::mvapich2().eager_threshold + 1);
+    let out2 = roundtrip(
+        MpiConfig::mvapich2(),
+        MpiConfig::mvapich2().eager_threshold + 1,
+    );
     assert_eq!(out2.transfers[0].kind, simnet::TransferKind::RdmaRead);
 }
 
@@ -126,21 +136,25 @@ fn waitsome_returns_ready_subset() {
 fn cache_disabled_mode_still_correct_under_concurrency() {
     // The aliasing regression scenario with the cache off: every send pins
     // its own region.
-    run(3, MpiConfig {
-        use_reg_cache: false,
-        ..MpiConfig::open_mpi_leave_pinned()
-    }, |mpi| {
-        if mpi.rank() == 0 {
-            let s1 = mpi.isend(1, 1, &vec![0x11; 100 << 10]);
-            let s2 = mpi.isend(2, 2, &vec![0x22; 100 << 10]);
-            mpi.waitall(&[s1, s2]);
-        } else {
-            mpi.compute(500_000);
-            let expect = if mpi.rank() == 1 { 0x11 } else { 0x22 };
-            let st = mpi.recv(Src::Rank(0), TagSel::Is(mpi.rank() as u64));
-            assert!(st.into_data().iter().all(|&b| b == expect));
-        }
-    });
+    run(
+        3,
+        MpiConfig {
+            use_reg_cache: false,
+            ..MpiConfig::open_mpi_leave_pinned()
+        },
+        |mpi| {
+            if mpi.rank() == 0 {
+                let s1 = mpi.isend(1, 1, &vec![0x11; 100 << 10]);
+                let s2 = mpi.isend(2, 2, &vec![0x22; 100 << 10]);
+                mpi.waitall(&[s1, s2]);
+            } else {
+                mpi.compute(500_000);
+                let expect = if mpi.rank() == 1 { 0x11 } else { 0x22 };
+                let st = mpi.recv(Src::Rank(0), TagSel::Is(mpi.rank() as u64));
+                assert!(st.into_data().iter().all(|&b| b == expect));
+            }
+        },
+    );
 }
 
 #[test]
@@ -160,7 +174,10 @@ fn many_small_messages_interleaved_with_one_huge() {
             for i in 0..5u8 {
                 assert_eq!(mpi.recv(Src::Rank(0), TagSel::Is(9)).into_data()[0], i);
             }
-            assert_eq!(mpi.recv(Src::Rank(0), TagSel::Is(9)).into_data().len(), 900 << 10);
+            assert_eq!(
+                mpi.recv(Src::Rank(0), TagSel::Is(9)).into_data().len(),
+                900 << 10
+            );
             for i in 5..10u8 {
                 assert_eq!(mpi.recv(Src::Rank(0), TagSel::Is(9)).into_data()[0], i);
             }

@@ -9,11 +9,20 @@ fn run(
     cfg: MpiConfig,
     body: impl Fn(&mut simmpi::Mpi) + Send + Sync + 'static,
 ) -> MpiRunOutcome {
-    run_mpi(nranks, NetConfig::default(), cfg, RecorderOpts::default(), body).expect("run failed")
+    run_mpi(
+        nranks,
+        NetConfig::default(),
+        cfg,
+        RecorderOpts::default(),
+        body,
+    )
+    .expect("run failed")
 }
 
 fn pattern(len: usize, seed: u8) -> Vec<u8> {
-    (0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+        .collect()
 }
 
 #[test]
@@ -48,7 +57,11 @@ fn rendezvous_direct_read_moves_large_messages() {
         }
     });
     // One RDMA-read data transfer of 1 MiB.
-    let big: Vec<_> = out.transfers.iter().filter(|t| t.bytes == 1 << 20).collect();
+    let big: Vec<_> = out
+        .transfers
+        .iter()
+        .filter(|t| t.bytes == 1 << 20)
+        .collect();
     assert_eq!(big.len(), 1);
     assert_eq!(big[0].kind, simnet::TransferKind::RdmaRead);
     assert_eq!(big[0].src, 0);
@@ -70,7 +83,10 @@ fn rendezvous_pipelined_fragments_large_messages() {
     let frags: Vec<_> = out.transfers.iter().filter(|t| t.bytes > 0).collect();
     assert_eq!(frags.len(), 8);
     assert_eq!(
-        frags.iter().filter(|t| t.kind == simnet::TransferKind::RdmaWrite).count(),
+        frags
+            .iter()
+            .filter(|t| t.kind == simnet::TransferKind::RdmaWrite)
+            .count(),
         7
     );
     let total: usize = frags.iter().map(|t| t.bytes).sum();
@@ -95,17 +111,15 @@ fn single_fragment_rendezvous_needs_no_cts() {
 
 #[test]
 fn wildcard_source_and_tag_match() {
-    run(3, MpiConfig::default(), |mpi| {
-        match mpi.rank() {
-            0 => {
-                let a = mpi.recv(Src::Any, TagSel::Any);
-                let b = mpi.recv(Src::Any, TagSel::Any);
-                let mut sources = vec![a.source, b.source];
-                sources.sort_unstable();
-                assert_eq!(sources, vec![1, 2]);
-            }
-            r => mpi.send(0, 100 + r as u64, &pattern(64, r as u8)),
+    run(3, MpiConfig::default(), |mpi| match mpi.rank() {
+        0 => {
+            let a = mpi.recv(Src::Any, TagSel::Any);
+            let b = mpi.recv(Src::Any, TagSel::Any);
+            let mut sources = vec![a.source, b.source];
+            sources.sort_unstable();
+            assert_eq!(sources, vec![1, 2]);
         }
+        r => mpi.send(0, 100 + r as u64, &pattern(64, r as u8)),
     });
 }
 
@@ -229,7 +243,10 @@ fn deadlock_of_blocking_rendezvous_sends_is_detected() {
         },
     )
     .unwrap_err();
-    assert!(matches!(err, simcore::SimError::Deadlock { .. }), "got {err}");
+    assert!(
+        matches!(err, simcore::SimError::Deadlock { .. }),
+        "got {err}"
+    );
 }
 
 #[test]

@@ -3,6 +3,7 @@
 use simcore::{ActivityLog, RankCtx, SimError, SimOpts, Simulation};
 
 use crate::config::NetConfig;
+use crate::fault::FaultEvent;
 use crate::truth::TransferRecord;
 use crate::world::{SharedWorld, World};
 
@@ -21,6 +22,8 @@ pub struct ClusterOutcome {
     pub activity: Vec<ActivityLog>,
     /// Ground-truth records of every data transfer.
     pub transfers: Vec<TransferRecord>,
+    /// Ground-truth records of every injected fault (empty without a plan).
+    pub faults: Vec<FaultEvent>,
     /// Queue entries processed by the engine.
     pub events_processed: u64,
 }
@@ -45,14 +48,16 @@ impl Cluster {
     {
         let world = self.world.clone();
         let world_for_body = self.world.clone();
-        let out = self
-            .sim
-            .run(opts, move |ctx| body(ctx, &world_for_body))?;
-        let transfers = world.lock().take_transfers();
+        let out = self.sim.run(opts, move |ctx| body(ctx, &world_for_body))?;
+        let (transfers, faults) = {
+            let mut w = world.lock();
+            (w.take_transfers(), w.take_fault_events())
+        };
         Ok(ClusterOutcome {
             end_time: out.end_time,
             activity: out.activity,
             transfers,
+            faults,
             events_processed: out.events_processed,
         })
     }

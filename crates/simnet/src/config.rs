@@ -3,6 +3,8 @@
 use serde::{Deserialize, Serialize};
 use simcore::{us, Duration};
 
+use crate::fault::FaultPlan;
+
 /// Parameters of the simulated interconnect and host interface.
 ///
 /// The defaults approximate the paper's test platform: an 8 Gbit/s InfiniBand
@@ -43,6 +45,9 @@ pub struct NetConfig {
     pub switch_radix: Option<usize>,
     /// Extra one-way latency for inter-switch hops, ns.
     pub inter_switch_extra: Duration,
+    /// Deterministic fault-injection plan. [`FaultPlan::none`] (the default)
+    /// models a perfectly reliable fabric and changes no delivery behavior.
+    pub faults: FaultPlan,
 }
 
 impl Default for NetConfig {
@@ -68,6 +73,7 @@ impl NetConfig {
             model_ingress_contention: false,
             switch_radix: None,
             inter_switch_extra: us(2),
+            faults: FaultPlan::none(),
         }
     }
 

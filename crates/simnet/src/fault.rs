@@ -1,0 +1,394 @@
+//! Deterministic fault injection for the fabric.
+//!
+//! A [`FaultPlan`] describes, ahead of time, how the fabric misbehaves:
+//! random packet drops / duplications / extra delays (seeded, so runs are
+//! bit-reproducible), transient per-link degradation windows, and NIC stall
+//! intervals. The plan lives in [`crate::NetConfig`] and is applied by
+//! [`crate::World`] at the packet-delivery point of two-sided sends — the
+//! operations a software reliability layer must protect. One-sided RDMA
+//! operations model hardware-reliable channels and are not perturbed.
+//!
+//! An empty plan (the default) draws no random numbers and takes no branch
+//! that alters delivery, so fault-free runs are byte-identical to a build
+//! without this module.
+
+use serde::{Deserialize, Serialize};
+use simcore::Time;
+
+/// A transient window during which one directed link is degraded: every
+/// packet leaving `src` for `dst` with a DMA start inside `[from, until)`
+/// arrives `extra_delay` ns later than the healthy cost model predicts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkDegradation {
+    /// Source node of the affected directed link.
+    pub src: usize,
+    /// Destination node of the affected directed link.
+    pub dst: usize,
+    /// Start of the degradation window (inclusive, virtual ns).
+    pub from: Time,
+    /// End of the degradation window (exclusive, virtual ns).
+    pub until: Time,
+    /// Extra one-way delay added while the window is active.
+    pub extra_delay: u64,
+}
+
+/// A window during which one node's NIC stalls: packets that would arrive
+/// inside `[from, until)` are held and delivered at `until` instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NicStall {
+    /// The stalled node.
+    pub node: usize,
+    /// Start of the stall (inclusive, virtual ns).
+    pub from: Time,
+    /// End of the stall (exclusive, virtual ns); held packets land here.
+    pub until: Time,
+}
+
+/// A seeded, declarative description of fabric misbehavior for one run.
+///
+/// Probabilities are evaluated per two-sided packet in posting order with a
+/// splitmix64 stream seeded from `seed`, so a fixed plan yields a
+/// bit-identical fault sequence on every run. [`FaultPlan::none`] (the
+/// `Default`) is recognized by [`FaultPlan::is_empty`] and short-circuits
+/// all fault logic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the per-packet random draws.
+    pub seed: u64,
+    /// Probability that a packet is silently dropped in the fabric.
+    pub drop_prob: f64,
+    /// Probability that a packet is delivered twice.
+    pub duplicate_prob: f64,
+    /// Probability that a packet is delayed by a random extra amount.
+    pub delay_prob: f64,
+    /// Upper bound (inclusive) on the random extra delay, in ns.
+    pub max_extra_delay: u64,
+    /// Transient per-link degradation windows.
+    pub degraded_links: Vec<LinkDegradation>,
+    /// NIC stall intervals.
+    pub nic_stalls: Vec<NicStall>,
+}
+
+impl FaultPlan {
+    /// The empty plan: a perfectly healthy fabric.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            delay_prob: 0.0,
+            max_extra_delay: 0,
+            degraded_links: Vec::new(),
+            nic_stalls: Vec::new(),
+        }
+    }
+
+    /// Uniform random loss at rate `p` on every two-sided packet.
+    pub fn uniform_loss(seed: u64, p: f64) -> Self {
+        FaultPlan {
+            seed,
+            drop_prob: p,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Does this plan inject any fault at all? Empty plans must take the
+    /// exact fault-free code path in the world.
+    pub fn is_empty(&self) -> bool {
+        self.drop_prob == 0.0
+            && self.duplicate_prob == 0.0
+            && self.delay_prob == 0.0
+            && self.degraded_links.is_empty()
+            && self.nic_stalls.is_empty()
+    }
+
+    /// Total extra delay the degradation windows add to a packet leaving
+    /// `src` for `dst` at `when`.
+    pub fn degradation_delay(&self, src: usize, dst: usize, when: Time) -> u64 {
+        self.degraded_links
+            .iter()
+            .filter(|d| d.src == src && d.dst == dst && d.from <= when && when < d.until)
+            .map(|d| d.extra_delay)
+            .sum()
+    }
+
+    /// Earliest time a packet arriving at `node` at `when` can actually be
+    /// delivered, given the NIC stall windows (`when` if no stall covers it).
+    pub fn stall_release(&self, node: usize, when: Time) -> Time {
+        self.nic_stalls
+            .iter()
+            .filter(|s| s.node == node && s.from <= when && when < s.until)
+            .map(|s| s.until)
+            .fold(when, Time::max)
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// What the fault layer did to one packet. Recorded in the world's ground
+/// truth so tests and harnesses can correlate observed anomalies (timeouts,
+/// retransmissions, clamped bounds) with the injected cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The packet was silently dropped; the sender's completion still fires
+    /// (the NIC saw the bytes leave).
+    Dropped,
+    /// A second copy of the packet was delivered after the first.
+    Duplicated,
+    /// Random extra delay added to the packet's arrival.
+    Delayed {
+        /// The extra delay, in ns.
+        extra: u64,
+    },
+    /// A degradation window on the link added deterministic extra delay.
+    LinkDegraded {
+        /// The extra delay, in ns.
+        extra: u64,
+    },
+    /// The destination NIC was stalled; delivery slipped to the window end.
+    NicStalled {
+        /// When the packet was actually delivered.
+        released_at: Time,
+    },
+}
+
+/// Ground-truth record of one fault-layer decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Virtual time of the posting that triggered the decision.
+    pub at: Time,
+    /// Source node of the affected packet.
+    pub src: usize,
+    /// Destination node of the affected packet.
+    pub dst: usize,
+    /// Library packet-type discriminator of the affected packet.
+    pub packet_ty: u16,
+    /// What happened.
+    pub kind: FaultKind,
+}
+
+/// Deterministic splitmix64 stream for per-packet fault draws.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultRng {
+    state: u64,
+}
+
+impl FaultRng {
+    pub(crate) fn new(seed: u64) -> Self {
+        FaultRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// `true` with probability `p` (53 uniform mantissa bits).
+    pub(crate) fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    /// Uniform draw from `0..=max`.
+    pub(crate) fn below_inclusive(&mut self, max: u64) -> u64 {
+        if max == 0 {
+            return 0;
+        }
+        self.next_u64() % (max + 1)
+    }
+}
+
+// Manual serde impls: the derive in the vendored `serde_derive` handles flat
+// structs, but spelling these out keeps the on-disk shape explicit and stable
+// for configs checked into experiment scripts.
+impl Serialize for FaultPlan {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("seed".into(), self.seed.to_value()),
+            ("drop_prob".into(), self.drop_prob.to_value()),
+            ("duplicate_prob".into(), self.duplicate_prob.to_value()),
+            ("delay_prob".into(), self.delay_prob.to_value()),
+            ("max_extra_delay".into(), self.max_extra_delay.to_value()),
+            ("degraded_links".into(), self.degraded_links.to_value()),
+            ("nic_stalls".into(), self.nic_stalls.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for FaultPlan {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        // Configs written before fault injection existed have no `faults`
+        // key; treat its absence as the empty plan.
+        if v.is_null() {
+            return Ok(FaultPlan::none());
+        }
+        Ok(FaultPlan {
+            seed: Deserialize::from_value(v.field("seed"))?,
+            drop_prob: Deserialize::from_value(v.field("drop_prob"))?,
+            duplicate_prob: Deserialize::from_value(v.field("duplicate_prob"))?,
+            delay_prob: Deserialize::from_value(v.field("delay_prob"))?,
+            max_extra_delay: Deserialize::from_value(v.field("max_extra_delay"))?,
+            degraded_links: Deserialize::from_value(v.field("degraded_links"))?,
+            nic_stalls: Deserialize::from_value(v.field("nic_stalls"))?,
+        })
+    }
+}
+
+impl Serialize for LinkDegradation {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("src".into(), self.src.to_value()),
+            ("dst".into(), self.dst.to_value()),
+            ("from".into(), self.from.to_value()),
+            ("until".into(), self.until.to_value()),
+            ("extra_delay".into(), self.extra_delay.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for LinkDegradation {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(LinkDegradation {
+            src: Deserialize::from_value(v.field("src"))?,
+            dst: Deserialize::from_value(v.field("dst"))?,
+            from: Deserialize::from_value(v.field("from"))?,
+            until: Deserialize::from_value(v.field("until"))?,
+            extra_delay: Deserialize::from_value(v.field("extra_delay"))?,
+        })
+    }
+}
+
+impl Serialize for NicStall {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("node".into(), self.node.to_value()),
+            ("from".into(), self.from.to_value()),
+            ("until".into(), self.until.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for NicStall {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(NicStall {
+            node: Deserialize::from_value(v.field("node"))?,
+            from: Deserialize::from_value(v.field("from"))?,
+            until: Deserialize::from_value(v.field("until"))?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(FaultPlan::none().is_empty());
+        assert!(FaultPlan::default().is_empty());
+        assert!(!FaultPlan::uniform_loss(1, 0.01).is_empty());
+        // A plan with only a stall window still counts as faulty.
+        let plan = FaultPlan {
+            nic_stalls: vec![NicStall {
+                node: 0,
+                from: 0,
+                until: 10,
+            }],
+            ..FaultPlan::none()
+        };
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn degradation_windows_filter_by_link_and_time() {
+        let plan = FaultPlan {
+            degraded_links: vec![LinkDegradation {
+                src: 0,
+                dst: 1,
+                from: 100,
+                until: 200,
+                extra_delay: 50,
+            }],
+            ..FaultPlan::none()
+        };
+        assert_eq!(plan.degradation_delay(0, 1, 150), 50);
+        assert_eq!(plan.degradation_delay(0, 1, 200), 0); // exclusive end
+        assert_eq!(plan.degradation_delay(0, 1, 99), 0);
+        assert_eq!(plan.degradation_delay(1, 0, 150), 0); // directed
+    }
+
+    #[test]
+    fn stall_release_pushes_past_window() {
+        let plan = FaultPlan {
+            nic_stalls: vec![NicStall {
+                node: 2,
+                from: 1_000,
+                until: 5_000,
+            }],
+            ..FaultPlan::none()
+        };
+        assert_eq!(plan.stall_release(2, 3_000), 5_000);
+        assert_eq!(plan.stall_release(2, 5_000), 5_000); // exclusive end
+        assert_eq!(plan.stall_release(1, 3_000), 3_000);
+    }
+
+    #[test]
+    fn fault_rng_is_deterministic() {
+        let mut a = FaultRng::new(42);
+        let mut b = FaultRng::new(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = FaultRng::new(7);
+        let mut hits = 0;
+        for _ in 0..10_000 {
+            if c.chance(0.1) {
+                hits += 1;
+            }
+        }
+        // Loose sanity band around the expected 1000.
+        assert!((700..1300).contains(&hits), "hits = {hits}");
+        assert!(!FaultRng::new(0).chance(0.0));
+        assert_eq!(FaultRng::new(0).below_inclusive(0), 0);
+        let d = FaultRng::new(3).below_inclusive(10);
+        assert!(d <= 10);
+    }
+
+    #[test]
+    fn plan_roundtrips_through_json() {
+        let plan = FaultPlan {
+            seed: 9,
+            drop_prob: 0.05,
+            duplicate_prob: 0.01,
+            delay_prob: 0.1,
+            max_extra_delay: 2_000,
+            degraded_links: vec![LinkDegradation {
+                src: 0,
+                dst: 3,
+                from: 10,
+                until: 20,
+                extra_delay: 7,
+            }],
+            nic_stalls: vec![NicStall {
+                node: 1,
+                from: 5,
+                until: 6,
+            }],
+        };
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+}

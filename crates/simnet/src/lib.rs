@@ -20,6 +20,7 @@
 
 pub mod cluster;
 pub mod config;
+pub mod fault;
 pub mod memory;
 pub mod nic;
 pub mod packet;
@@ -28,6 +29,7 @@ pub mod world;
 
 pub use cluster::{Cluster, ClusterOutcome};
 pub use config::NetConfig;
+pub use fault::{FaultEvent, FaultKind, FaultPlan, LinkDegradation, NicStall};
 pub use memory::RegionId;
 pub use nic::{Completion, WrId};
 pub use packet::Packet;

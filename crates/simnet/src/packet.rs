@@ -20,6 +20,10 @@ pub struct Packet {
     pub h: [u64; 6],
     /// Optional inline payload (eager protocol data).
     pub data: Option<Bytes>,
+    /// Rides a protected virtual channel: exempt from fault injection
+    /// (used for reliability-layer ACK/NACK traffic, which must not itself
+    /// require acknowledgment or the protocol could never terminate).
+    pub protected: bool,
 }
 
 impl Packet {
@@ -31,6 +35,7 @@ impl Packet {
             ty,
             h,
             data: None,
+            protected: false,
         }
     }
 
@@ -42,7 +47,14 @@ impl Packet {
             ty,
             h,
             data: Some(data),
+            protected: false,
         }
+    }
+
+    /// Mark the packet as riding the protected (fault-exempt) channel.
+    pub fn protect(mut self) -> Self {
+        self.protected = true;
+        self
     }
 
     /// Payload length in bytes (0 if none).

@@ -18,6 +18,7 @@ use parking_lot::Mutex;
 use simcore::{EngineHandle, Time};
 
 use crate::config::NetConfig;
+use crate::fault::{FaultEvent, FaultKind, FaultRng};
 use crate::memory::{NodeMemory, RegionId};
 use crate::nic::{Completion, Nic, WrId};
 use crate::packet::Packet;
@@ -58,11 +59,18 @@ pub struct World {
     next_region: u64,
     next_xfer: u64,
     transfers: Vec<TransferRecord>,
+    /// Cached `!cfg.faults.is_empty()` — the fault-free fast path must not
+    /// even inspect the plan per packet.
+    faulty: bool,
+    fault_rng: FaultRng,
+    fault_events: Vec<FaultEvent>,
 }
 
 impl World {
     /// Build the fabric for `nnodes` nodes on the given engine.
     pub fn new_shared(cfg: NetConfig, handle: EngineHandle, nnodes: usize) -> SharedWorld {
+        let faulty = !cfg.faults.is_empty();
+        let fault_rng = FaultRng::new(cfg.faults.seed);
         let world = Arc::new(Mutex::new(World {
             cfg,
             handle,
@@ -73,6 +81,9 @@ impl World {
             next_region: 0,
             next_xfer: 0,
             transfers: Vec::new(),
+            faulty,
+            fault_rng,
+            fault_events: Vec::new(),
         }));
         world.lock().self_ref = Arc::downgrade(&world);
         world
@@ -146,7 +157,9 @@ impl World {
         if self.cfg.model_ingress_contention && src != dst {
             // Stream starts reaching the destination one latency after the
             // DMA starts; the ingress engine then serializes it.
-            self.nics[dst].reserve_ingress(dma_start + lat, busy).max(wire)
+            self.nics[dst]
+                .reserve_ingress(dma_start + lat, busy)
+                .max(wire)
         } else {
             wire
         }
@@ -162,6 +175,15 @@ impl World {
     /// completion lands in `src`'s CQ once the transfer (serialization + wire
     /// latency) finishes; both hosts are woken then. If `xfer` is given, the
     /// payload movement is recorded as a ground-truth data transfer.
+    ///
+    /// When the config carries a non-empty [`crate::fault::FaultPlan`], the
+    /// packet may be dropped, duplicated, or delayed between the DMA and the
+    /// remote receive queue. The sender's completion fires regardless — the
+    /// NIC only knows the bytes left the node — so software above must detect
+    /// loss itself (the point of the `simmpi` reliability layer). Every fault
+    /// decision is recorded as a [`FaultEvent`] in the ground truth. Packets
+    /// marked [`Packet::protect`] (reliability control traffic) bypass the
+    /// injector entirely.
     pub fn post_send(
         &mut self,
         src: usize,
@@ -174,33 +196,125 @@ impl World {
         let now = self.now();
         let busy = self.cfg.serialize(packet.wire_bytes);
         let dma_start = self.nics[src].reserve_dma(now, busy);
-        let arrival = self.arrival_time(src, dst, dma_start, packet.wire_bytes);
-        if let Some(id) = xfer {
-            self.transfers.push(TransferRecord {
-                xfer_id: id.0,
-                src,
-                dst,
-                bytes: packet.payload_len(),
-                phys_start: dma_start,
-                phys_end: arrival,
-                kind: TransferKind::Send,
+        let mut arrival = self.arrival_time(src, dst, dma_start, packet.wire_bytes);
+        let mut deliver = true;
+        let mut dup_arrival = None;
+        if self.faulty && src != dst && !packet.protected {
+            let plan = &self.cfg.faults;
+            if self.fault_rng.chance(plan.drop_prob) {
+                deliver = false;
+                self.fault_events.push(FaultEvent {
+                    at: now,
+                    src,
+                    dst,
+                    packet_ty: packet.ty,
+                    kind: FaultKind::Dropped,
+                });
+            } else {
+                if self.fault_rng.chance(plan.delay_prob) {
+                    let extra = self.fault_rng.below_inclusive(plan.max_extra_delay);
+                    if extra > 0 {
+                        arrival += extra;
+                        self.fault_events.push(FaultEvent {
+                            at: now,
+                            src,
+                            dst,
+                            packet_ty: packet.ty,
+                            kind: FaultKind::Delayed { extra },
+                        });
+                    }
+                }
+                let deg = plan.degradation_delay(src, dst, dma_start);
+                if deg > 0 {
+                    arrival += deg;
+                    self.fault_events.push(FaultEvent {
+                        at: now,
+                        src,
+                        dst,
+                        packet_ty: packet.ty,
+                        kind: FaultKind::LinkDegraded { extra: deg },
+                    });
+                }
+                let released = plan.stall_release(dst, arrival);
+                if released > arrival {
+                    arrival = released;
+                    self.fault_events.push(FaultEvent {
+                        at: now,
+                        src,
+                        dst,
+                        packet_ty: packet.ty,
+                        kind: FaultKind::NicStalled {
+                            released_at: released,
+                        },
+                    });
+                }
+                if self.fault_rng.chance(plan.duplicate_prob) {
+                    // The copy trails the original by one serialization slot.
+                    dup_arrival = Some(arrival + busy.max(1));
+                    self.fault_events.push(FaultEvent {
+                        at: now,
+                        src,
+                        dst,
+                        packet_ty: packet.ty,
+                        kind: FaultKind::Duplicated,
+                    });
+                }
+            }
+        }
+        if deliver {
+            if let Some(id) = xfer {
+                self.transfers.push(TransferRecord {
+                    xfer_id: id.0,
+                    src,
+                    dst,
+                    bytes: packet.payload_len(),
+                    phys_start: dma_start,
+                    phys_end: arrival,
+                    kind: TransferKind::Send,
+                });
+            }
+        }
+        if let Some(dup_at) = dup_arrival {
+            let copy = packet.clone();
+            let world = self.upgrade();
+            self.handle.schedule_at(dup_at, move |h| {
+                let mut w = world.lock();
+                w.nics[dst].rx.push_back(copy);
+                w.nics[dst].packets_delivered += 1;
+                drop(w);
+                h.wake_rank(dst);
             });
         }
         let world = self.upgrade();
-        self.handle.schedule_at(arrival, move |h| {
-            let mut w = world.lock();
-            w.nics[dst].rx.push_back(packet);
-            w.nics[dst].packets_delivered += 1;
-            w.nics[src].cq.push_back(Completion {
-                wr_id: wr,
-                user,
-                data: None,
+        if deliver {
+            self.handle.schedule_at(arrival, move |h| {
+                let mut w = world.lock();
+                w.nics[dst].rx.push_back(packet);
+                w.nics[dst].packets_delivered += 1;
+                w.nics[src].cq.push_back(Completion {
+                    wr_id: wr,
+                    user,
+                    data: None,
+                });
+                w.nics[src].completions_generated += 1;
+                drop(w);
+                h.wake_rank(dst);
+                h.wake_rank(src);
             });
-            w.nics[src].completions_generated += 1;
-            drop(w);
-            h.wake_rank(dst);
-            h.wake_rank(src);
-        });
+        } else {
+            // Dropped in the fabric: the send still completes locally.
+            self.handle.schedule_at(arrival, move |h| {
+                let mut w = world.lock();
+                w.nics[src].cq.push_back(Completion {
+                    wr_id: wr,
+                    user,
+                    data: None,
+                });
+                w.nics[src].completions_generated += 1;
+                drop(w);
+                h.wake_rank(src);
+            });
+        }
         wr
     }
 
@@ -397,7 +511,9 @@ impl World {
             let busy = w.cfg.serialize(len);
             let dma_start = w.nics[target].reserve_dma(h.now(), busy);
             let snapshot = Bytes::copy_from_slice(
-                &w.mem[target].get(region).expect("RDMA read of unknown region")[off..off + len],
+                &w.mem[target]
+                    .get(region)
+                    .expect("RDMA read of unknown region")[off..off + len],
             );
             // The response stream is subject to the initiator's ingress
             // contention, like any other inbound data.
@@ -477,6 +593,16 @@ impl World {
     pub fn take_transfers(&mut self) -> Vec<TransferRecord> {
         std::mem::take(&mut self.transfers)
     }
+
+    /// Ground-truth fault events injected so far.
+    pub fn fault_events(&self) -> &[FaultEvent] {
+        &self.fault_events
+    }
+
+    /// Take ownership of the fault events (e.g. at end of run).
+    pub fn take_fault_events(&mut self) -> Vec<FaultEvent> {
+        std::mem::take(&mut self.fault_events)
+    }
 }
 
 #[cfg(test)]
@@ -500,7 +626,13 @@ mod tests {
                     let xfer = {
                         let mut w = w2.lock();
                         let x = w.alloc_xfer_id();
-                        let p = Packet::with_data(0, 1064, 1, [42, 0, 0, 0, 0, 0], Bytes::from(vec![7u8; 1000]));
+                        let p = Packet::with_data(
+                            0,
+                            1064,
+                            1,
+                            [42, 0, 0, 0, 0, 0],
+                            Bytes::from(vec![7u8; 1000]),
+                        );
                         w.post_send(0, 1, p, 0, Some(x));
                         x
                     };
@@ -544,7 +676,16 @@ mod tests {
                         let mut w = w2.lock();
                         let region = w.register(1, vec![0u8; 100]); // target-side region
                         let x = w.alloc_xfer_id();
-                        w.post_rdma_write(0, 1, region, 10, Bytes::from(vec![5u8; 50]), 99, None, Some(x));
+                        w.post_rdma_write(
+                            0,
+                            1,
+                            region,
+                            10,
+                            Bytes::from(vec![5u8; 50]),
+                            99,
+                            None,
+                            Some(x),
+                        );
                         // Stash region id for rank 1 via header-free channel:
                         // use a second region on node 0 as a mailbox.
                         let mailbox = w.register(0, region.0.to_le_bytes().to_vec());
@@ -666,7 +807,16 @@ mod tests {
                     let mut w = w2.lock();
                     let region = w.register(1, vec![0u8; 8]);
                     let fin = Packet::control(0, 64, 9, [region.0, 0, 0, 0, 0, 0]);
-                    w.post_rdma_write(0, 1, region, 0, Bytes::from(vec![3u8; 8]), 0, Some(fin), None);
+                    w.post_rdma_write(
+                        0,
+                        1,
+                        region,
+                        0,
+                        Bytes::from(vec![3u8; 8]),
+                        0,
+                        Some(fin),
+                        None,
+                    );
                 }
                 ctx.compute(1);
             } else {
@@ -756,7 +906,8 @@ mod ingress_tests {
             sim.run(SimOpts::default(), move |ctx| {
                 if ctx.rank() == 0 {
                     let mut w = w2.lock();
-                    let pkt = Packet::with_data(0, 50_000, 1, [0; 6], Bytes::from(vec![1u8; 50_000]));
+                    let pkt =
+                        Packet::with_data(0, 50_000, 1, [0; 6], Bytes::from(vec![1u8; 50_000]));
                     w.post_send(0, 1, pkt, 0, None);
                 } else {
                     loop {

@@ -17,8 +17,7 @@ struct SendSpec {
 
 fn arb_sends() -> impl Strategy<Value = Vec<SendSpec>> {
     prop::collection::vec(
-        (1usize..100_000, 0u64..100_000)
-            .prop_map(|(bytes, gap_ns)| SendSpec { bytes, gap_ns }),
+        (1usize..100_000, 0u64..100_000).prop_map(|(bytes, gap_ns)| SendSpec { bytes, gap_ns }),
         1..20,
     )
 }

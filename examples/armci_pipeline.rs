@@ -18,43 +18,38 @@ const PRODUCE_NS: u64 = 400_000; // per-block production cost
 
 fn main() {
     for (name, pipelined) in [("blocking puts", false), ("pipelined nb_puts", true)] {
-        let out = run_armci(
-            2,
-            NetConfig::default(),
-            RecorderOpts::default(),
-            move |a| {
-                let mem = a.malloc(BLOCK * BLOCKS);
-                a.barrier();
-                if a.rank() == 0 {
-                    let mut prev: Option<simarmci::NbHandle> = None;
-                    for k in 0..BLOCKS {
-                        // "Produce" the block.
-                        a.compute(PRODUCE_NS);
-                        let data = vec![k as u8 + 1; BLOCK];
-                        if pipelined {
-                            // Ship it asynchronously; reap the previous one.
-                            if let Some(h) = prev.take() {
-                                a.wait(h);
-                            }
-                            prev = Some(a.nb_put(&mem, 1, k * BLOCK, &data));
-                        } else {
-                            a.put(&mem, 1, k * BLOCK, &data);
+        let out = run_armci(2, NetConfig::default(), RecorderOpts::default(), move |a| {
+            let mem = a.malloc(BLOCK * BLOCKS);
+            a.barrier();
+            if a.rank() == 0 {
+                let mut prev: Option<simarmci::NbHandle> = None;
+                for k in 0..BLOCKS {
+                    // "Produce" the block.
+                    a.compute(PRODUCE_NS);
+                    let data = vec![k as u8 + 1; BLOCK];
+                    if pipelined {
+                        // Ship it asynchronously; reap the previous one.
+                        if let Some(h) = prev.take() {
+                            a.wait(h);
                         }
-                    }
-                    if let Some(h) = prev {
-                        a.wait(h);
-                    }
-                    a.barrier();
-                } else {
-                    a.barrier();
-                    // Consumer validates every block landed intact.
-                    for k in 0..BLOCKS {
-                        let got = a.local_read(&mem, k * BLOCK, BLOCK);
-                        assert!(got.iter().all(|&b| b == k as u8 + 1), "block {k} corrupt");
+                        prev = Some(a.nb_put(&mem, 1, k * BLOCK, &data));
+                    } else {
+                        a.put(&mem, 1, k * BLOCK, &data);
                     }
                 }
-            },
-        )
+                if let Some(h) = prev {
+                    a.wait(h);
+                }
+                a.barrier();
+            } else {
+                a.barrier();
+                // Consumer validates every block landed intact.
+                for k in 0..BLOCKS {
+                    let got = a.local_read(&mem, k * BLOCK, BLOCK);
+                    assert!(got.iter().all(|&b| b == k as u8 + 1), "block {k} corrupt");
+                }
+            }
+        })
         .expect("simulation failed");
 
         let r = &out.reports[0];

@@ -39,7 +39,11 @@ fn after(mpi: &mut Mpi) {
     let other = 1 - mpi.rank();
     let big = vec![1u8; 800 << 10];
     for i in 0..15 {
-        let (stag, rtag) = if mpi.rank() == 0 { (i, 1000 + i) } else { (1000 + i, i) };
+        let (stag, rtag) = if mpi.rank() == 0 {
+            (i, 1000 + i)
+        } else {
+            (1000 + i, i)
+        };
         mpi.section_begin("halo_push");
         let r = mpi.irecv(Src::Rank(other), TagSel::Is(rtag));
         let s = mpi.isend(other, stag, &big);
@@ -56,8 +60,14 @@ fn after(mpi: &mut Mpi) {
 fn main() {
     let cfg = || MpiConfig::mvapich2();
     let run = |name: &str, body: fn(&mut Mpi)| {
-        let out = run_mpi(2, NetConfig::default(), cfg(), RecorderOpts::default(), body)
-            .expect("simulation failed");
+        let out = run_mpi(
+            2,
+            NetConfig::default(),
+            cfg(),
+            RecorderOpts::default(),
+            body,
+        )
+        .expect("simulation failed");
         let r = &out.reports[0];
         println!("== {name} ==");
         println!(
@@ -67,7 +77,10 @@ fn main() {
             r.total.max_pct(),
             r.comm_call_time as f64 / 1e6,
         );
-        println!("{}", overlap_core::advice::render(&analyze(r, &AdviceOpts::default())));
+        println!(
+            "{}",
+            overlap_core::advice::render(&analyze(r, &AdviceOpts::default()))
+        );
         r.clone()
     };
 

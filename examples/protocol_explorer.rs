@@ -57,9 +57,18 @@ fn sweep(name: &str, cfg: MpiConfig) {
 
 fn main() {
     println!("Sender-side overlap of Isend + 2 ms compute + Wait, by protocol:\n");
-    sweep("Open MPI default (pipelined RDMA-Write)", MpiConfig::open_mpi_pipelined());
-    sweep("Open MPI leave_pinned (direct RDMA-Read)", MpiConfig::open_mpi_leave_pinned());
-    sweep("MVAPICH2-like (eager 12K, direct read)", MpiConfig::mvapich2());
+    sweep(
+        "Open MPI default (pipelined RDMA-Write)",
+        MpiConfig::open_mpi_pipelined(),
+    );
+    sweep(
+        "Open MPI leave_pinned (direct RDMA-Read)",
+        MpiConfig::open_mpi_leave_pinned(),
+    );
+    sweep(
+        "MVAPICH2-like (eager 12K, direct read)",
+        MpiConfig::mvapich2(),
+    );
     println!(
         "Reading the table: below the eager threshold everything overlaps;\n\
          above it the pipelined scheme caps at the first-fragment share while\n\

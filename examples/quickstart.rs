@@ -16,8 +16,8 @@ fn main() {
     for compute_ms in [0u64, 1, 2] {
         let out = run_mpi(
             2,
-            NetConfig::default(),                 // 2006-era InfiniBand model
-            MpiConfig::open_mpi_leave_pinned(),   // direct RDMA-Read rendezvous
+            NetConfig::default(),               // 2006-era InfiniBand model
+            MpiConfig::open_mpi_leave_pinned(), // direct RDMA-Read rendezvous
             RecorderOpts::default(),
             move |mpi| {
                 let msg = vec![42u8; 1 << 20];

@@ -110,9 +110,7 @@ fn run_variant(name: &str, variant: Variant) {
 fn main() {
     println!(
         "5-point stencil, {}x{} ranks, {} B halos, direct-RDMA rendezvous\n",
-        Q,
-        Q,
-        HALO_BYTES
+        Q, Q, HALO_BYTES
     );
     run_variant("blocking", Variant::Blocking);
     run_variant("nonblocking", Variant::NonBlocking);

@@ -99,39 +99,32 @@ fn bounds_hold_under_heavy_random_traffic() {
             MpiConfig::open_mpi_leave_pinned(),
             MpiConfig::mvapich2(),
         ] {
-            let out = run_mpi(
-                4,
-                net.clone(),
-                cfg,
-                RecorderOpts::default(),
-                move |mpi| {
-                    // All ranks execute the same schedule derived from a
-                    // shared seed: ring exchanges with random sizes/compute.
-                    let mut rng = StdRng::seed_from_u64(seed);
-                    let n = mpi.nranks();
-                    let me = mpi.rank();
-                    for round in 0..12u64 {
-                        let bytes =
-                            [64usize, 2 << 10, 10 << 10, 40 << 10, 200 << 10, 700 << 10]
-                                [rng.gen_range(0..6)];
-                        let compute = rng.gen_range(0..2_000_000u64);
-                        let right = (me + 1) % n;
-                        let left = (me + n - 1) % n;
-                        let s = mpi.isend(right, round, &vec![me as u8; bytes]);
-                        let r = mpi.irecv(Src::Rank(left), TagSel::Is(round));
-                        mpi.compute(compute);
-                        if rng.gen_bool(0.5) {
-                            mpi.iprobe(Src::Any, TagSel::Any);
-                            mpi.compute(compute / 2);
-                        }
-                        mpi.wait(s);
-                        mpi.wait(r);
-                        if round % 4 == 3 {
-                            mpi.allreduce(&[1.0], ReduceOp::Sum);
-                        }
+            let out = run_mpi(4, net.clone(), cfg, RecorderOpts::default(), move |mpi| {
+                // All ranks execute the same schedule derived from a
+                // shared seed: ring exchanges with random sizes/compute.
+                let mut rng = StdRng::seed_from_u64(seed);
+                let n = mpi.nranks();
+                let me = mpi.rank();
+                for round in 0..12u64 {
+                    let bytes = [64usize, 2 << 10, 10 << 10, 40 << 10, 200 << 10, 700 << 10]
+                        [rng.gen_range(0..6)];
+                    let compute = rng.gen_range(0..2_000_000u64);
+                    let right = (me + 1) % n;
+                    let left = (me + n - 1) % n;
+                    let s = mpi.isend(right, round, &vec![me as u8; bytes]);
+                    let r = mpi.irecv(Src::Rank(left), TagSel::Is(round));
+                    mpi.compute(compute);
+                    if rng.gen_bool(0.5) {
+                        mpi.iprobe(Src::Any, TagSel::Any);
+                        mpi.compute(compute / 2);
                     }
-                },
-            )
+                    mpi.wait(s);
+                    mpi.wait(r);
+                    if round % 4 == 3 {
+                        mpi.allreduce(&[1.0], ReduceOp::Sum);
+                    }
+                }
+            })
             .unwrap();
             validate(&out, &net);
         }

@@ -18,7 +18,11 @@ fn fig3_shape_eager_full_overlap_ability() {
         Pairing::IsendIrecv,
     );
     // Sender overlap grows to ~full.
-    assert!(pts[2].snd_min > 90.0, "sender min plateau: {}", pts[2].snd_min);
+    assert!(
+        pts[2].snd_min > 90.0,
+        "sender min plateau: {}",
+        pts[2].snd_min
+    );
     // Receiver minimum pinned at zero, maximum full (case 3 semantics).
     for p in &pts {
         assert_eq!(p.rcv_min, 0.0);
@@ -73,14 +77,23 @@ fn fig7_shape_direct_read_late_receiver_zero() {
 fn nas_ranking_matches_paper() {
     // Paper Sec. 4: LU highest, FT lowest, CG above BT.
     let run = |b| {
-        let art = run_benchmark(b, Class::A, 4, NetConfig::default(), RecorderOpts::default());
+        let art = run_benchmark(
+            b,
+            Class::A,
+            4,
+            NetConfig::default(),
+            RecorderOpts::default(),
+        );
         summarize(b, Class::A, 4, &art).max_pct
     };
     let lu = run(NasBenchmark::Lu);
     let ft = run(NasBenchmark::Ft);
     let cg = run(NasBenchmark::Cg);
     let bt = run(NasBenchmark::Bt);
-    assert!(lu > cg && cg > bt && bt > ft, "ranking violated: LU {lu} CG {cg} BT {bt} FT {ft}");
+    assert!(
+        lu > cg && cg > bt && bt > ft,
+        "ranking violated: LU {lu} CG {cg} BT {bt} FT {ft}"
+    );
     assert!(lu > 70.0);
     assert!(ft < 10.0);
 }
@@ -88,7 +101,13 @@ fn nas_ranking_matches_paper() {
 #[test]
 fn sp_tuning_story_holds_everywhere() {
     for (class, np) in [(Class::A, 4), (Class::A, 9), (Class::B, 4)] {
-        let orig = run_benchmark(NasBenchmark::Sp, class, np, NetConfig::default(), RecorderOpts::default());
+        let orig = run_benchmark(
+            NasBenchmark::Sp,
+            class,
+            np,
+            NetConfig::default(),
+            RecorderOpts::default(),
+        );
         let modi = run_benchmark(
             NasBenchmark::SpModified,
             class,
@@ -108,7 +127,10 @@ fn sp_tuning_story_holds_everywhere() {
             msec.total.max_pct()
         );
         // ...whole-code MPI time drops...
-        assert!(m.comm_call_time < o.comm_call_time, "{class}/{np}: MPI time");
+        assert!(
+            m.comm_call_time < o.comm_call_time,
+            "{class}/{np}: MPI time"
+        );
         // ...but whole-code overlap stays capped by copy_faces volume.
         assert!(m.total.max_pct() < 70.0, "{class}/{np}: copy_faces cap");
     }
@@ -146,23 +168,17 @@ fn instrumentation_is_scalable_constant_memory() {
             queue_capacity: capacity,
             ..Default::default()
         };
-        run_mpi(
-            2,
-            NetConfig::default(),
-            MpiConfig::default(),
-            rec,
-            |mpi| {
-                for i in 0..300 {
-                    if mpi.rank() == 0 {
-                        let r = mpi.isend(1, i, &[1u8; 2048]);
-                        mpi.compute(us(20));
-                        mpi.wait(r);
-                    } else {
-                        mpi.recv(Src::Rank(0), TagSel::Is(i));
-                    }
+        run_mpi(2, NetConfig::default(), MpiConfig::default(), rec, |mpi| {
+            for i in 0..300 {
+                if mpi.rank() == 0 {
+                    let r = mpi.isend(1, i, &[1u8; 2048]);
+                    mpi.compute(us(20));
+                    mpi.wait(r);
+                } else {
+                    mpi.recv(Src::Rank(0), TagSel::Is(i));
                 }
-            },
-        )
+            }
+        })
         .unwrap()
     };
     let small = run_with(8);

@@ -24,14 +24,20 @@ fn measured_ping_pong_matches_analytic_table() {
             if ctx.rank() != 0 {
                 // Passive target: register landing regions up front.
                 let mut w = world.lock();
-                for (i, &sz) in [1usize << 10, 16 << 10, 128 << 10, 1 << 20].iter().enumerate() {
+                for (i, &sz) in [1usize << 10, 16 << 10, 128 << 10, 1 << 20]
+                    .iter()
+                    .enumerate()
+                {
                     let r = w.register(1, vec![0u8; sz]);
                     assert_eq!(r.0, i as u64, "deterministic region ids");
                 }
                 return;
             }
             ctx.compute(1_000_000); // let the target register
-            for (i, &sz) in [1usize << 10, 16 << 10, 128 << 10, 1 << 20].iter().enumerate() {
+            for (i, &sz) in [1usize << 10, 16 << 10, 128 << 10, 1 << 20]
+                .iter()
+                .enumerate()
+            {
                 let t0 = ctx.now();
                 {
                     let mut w = world.lock();
@@ -53,7 +59,10 @@ fn measured_ping_pong_matches_analytic_table() {
                     }
                     ctx.park();
                 }
-                measured_in.lock().unwrap().push((sz as u64, ctx.now() - t0));
+                measured_in
+                    .lock()
+                    .unwrap()
+                    .push((sz as u64, ctx.now() - t0));
             }
         })
         .unwrap();
@@ -258,7 +267,7 @@ fn switch_topology_shapes_latency() {
     };
     let same_leaf = run_pair(0, 1); // nodes 0,1 share a radix-2 switch
     let cross_leaf = run_pair(0, 2); // nodes 0,2 are on different switches
-    // Each round trip crosses the fabric twice; 2 us extra per direction.
+                                     // Each round trip crosses the fabric twice; 2 us extra per direction.
     assert!(
         cross_leaf > same_leaf + 3_000.0,
         "cross-switch wait should include extra hops: {same_leaf} vs {cross_leaf}"

@@ -1,0 +1,110 @@
+//! Minimal offline stand-in for `rand`.
+//!
+//! Provides `rngs::StdRng`, `SeedableRng::seed_from_u64`, and
+//! `Rng::gen_range` over half-open integer ranges — the subset this
+//! workspace uses. The generator is splitmix64, so sequences are
+//! deterministic for a fixed seed.
+
+use std::ops::Range;
+
+/// Core source of randomness.
+pub trait RngCore {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a deterministic function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Convenience sampling methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open range. Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self.next_u64(), range)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        // 53 uniform mantissa bits are plenty for test workloads.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Integer types that can be sampled uniformly from a range.
+pub trait SampleUniform: Sized {
+    /// Map 64 random bits into `range`.
+    fn sample_range(bits: u64, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(bits: u64, range: Range<Self>) -> Self {
+                let lo = range.start as i128;
+                let hi = range.end as i128;
+                assert!(lo < hi, "cannot sample from empty range");
+                let span = (hi - lo) as u128;
+                let off = (bits as u128) % span;
+                (lo + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Standard generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The default deterministic generator (splitmix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            let x = a.gen_range(0usize..5);
+            assert!(x < 5);
+            assert_eq!(x, b.gen_range(0usize..5));
+        }
+        let mut c = StdRng::seed_from_u64(7);
+        let y: u64 = c.gen_range(0..1_500_000u64);
+        assert!(y < 1_500_000);
+    }
+}

@@ -1,0 +1,206 @@
+//! Minimal offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the simplified `serde::Serialize` / `serde::Deserialize`
+//! traits (the Value-based data model of the local `serde` stub) without
+//! depending on `syn`/`quote`. Supports exactly what this workspace derives:
+//! non-generic structs with named fields and enums with unit variants.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named fields of a struct.
+    Struct(Vec<String>),
+    /// Unit variants of an enum.
+    Enum(Vec<String>),
+}
+
+/// Derive `serde::Serialize` for a struct with named fields or a unit enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    let code = match shape {
+        Shape::Struct(fields) => {
+            let mut pushes = String::new();
+            for f in &fields {
+                pushes.push_str(&format!(
+                    "__o.push((::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut __o: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                             ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(__o)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in &variants {
+                arms.push_str(&format!("{name}::{v} => \"{v}\",\n"));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Str(::std::string::String::from(match self {{\n\
+                             {arms}\
+                         }}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+/// Derive `serde::Deserialize` for a struct with named fields or a unit enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    let code = match shape {
+        Shape::Struct(fields) => {
+            let mut inits = String::new();
+            for f in &fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(__v.field(\"{f}\"))?,\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in &variants {
+                arms.push_str(&format!(
+                    "::std::option::Option::Some(\"{v}\") => \
+                     ::std::result::Result::Ok({name}::{v}),\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match __v.as_str() {{\n\
+                             {arms}\
+                             __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                 format!(\"unknown {name} variant: {{__other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+/// Extract the type name and shape from the derive input.
+fn parse_input(input: TokenStream) -> (String, Shape) {
+    let mut it = input.into_iter().peekable();
+    let (kind, name) = loop {
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute: consume the bracketed group that follows.
+                it.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "pub" {
+                    // Optional restriction like pub(crate).
+                    if let Some(TokenTree::Group(g)) = it.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            it.next();
+                        }
+                    }
+                } else if s == "struct" || s == "enum" {
+                    match it.next() {
+                        Some(TokenTree::Ident(n)) => break (s, n.to_string()),
+                        t => panic!("serde_derive: expected a type name, found {t:?}"),
+                    }
+                }
+            }
+            t => panic!("serde_derive: unexpected token {t:?}"),
+        }
+    };
+    let body = loop {
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde_derive: generic type `{name}` is not supported")
+            }
+            Some(_) => continue,
+            None => panic!("serde_derive: `{name}` must have a braced body"),
+        }
+    };
+    let names = top_level_names(body, kind == "enum");
+    if kind == "struct" {
+        (name, Shape::Struct(names))
+    } else {
+        (name, Shape::Enum(names))
+    }
+}
+
+/// Split a struct/enum body on top-level commas (tracking `<...>` depth, since
+/// angle brackets are plain puncts) and return the field or variant names.
+fn top_level_names(body: TokenStream, is_enum: bool) -> Vec<String> {
+    let mut chunks: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut depth = 0i64;
+    for t in body {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    chunks.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        chunks.last_mut().expect("chunks never empty").push(t);
+    }
+    let mut names = Vec::new();
+    for chunk in chunks {
+        let mut it = chunk.into_iter().peekable();
+        let mut name = None;
+        while let Some(t) = it.next() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '#' => {
+                    it.next();
+                }
+                TokenTree::Ident(id) => {
+                    let s = id.to_string();
+                    if s == "pub" {
+                        if let Some(TokenTree::Group(g)) = it.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                it.next();
+                            }
+                        }
+                        continue;
+                    }
+                    name = Some(s);
+                    break;
+                }
+                t => panic!("serde_derive: unsupported token {t:?} in field list"),
+            }
+        }
+        if let Some(n) = name {
+            if is_enum {
+                if let Some(TokenTree::Group(_)) = it.peek() {
+                    panic!("serde_derive: only unit enum variants are supported");
+                }
+            }
+            names.push(n);
+        }
+    }
+    names
+}
