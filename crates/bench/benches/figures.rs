@@ -1,23 +1,19 @@
 //! `cargo bench --bench figures` — regenerates every paper figure's data
 //! series and prints it (harness = false; this is a reproduction driver,
-//! not a timing benchmark).
+//! not a timing benchmark). Runs on the parallel harness runner with the
+//! default worker budget; output order stays canonical.
 
 fn main() {
     let archive = std::path::Path::new("target/figures");
     println!("# Paper figure reproduction — Shet et al., CLUSTER 2006");
     println!("# (series shapes are compared against the paper in EXPERIMENTS.md;");
     println!("#  JSON copies land in target/figures/)\n");
-    for (_, f) in bench::figures::all() {
-        let s = f();
-        s.save_json(archive);
-        print!("{}", s.render());
+    let print_and_save = |run: &bench::runner::HarnessRun| {
+        run.series.save_json(archive);
+        print!("{}", run.series.render());
         println!();
-    }
+    };
+    bench::runner::run_harnesses(&bench::figures::all(), print_and_save);
     println!("# Ablations (DESIGN.md §6)\n");
-    for (_, f) in bench::ablations::all() {
-        let s = f();
-        s.save_json(archive);
-        print!("{}", s.render());
-        println!();
-    }
+    bench::runner::run_harnesses(&bench::ablations::all(), print_and_save);
 }

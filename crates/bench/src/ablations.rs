@@ -255,46 +255,47 @@ pub fn ablation_queue_capacity() -> Series {
 /// a-priori table — the `congestion_excess` slack that loosens the upper
 /// bound. Demonstrates the bound semantics under load.
 pub fn ablation_incast() -> Series {
-    let mut rows = Vec::new();
-    for contention in [false, true] {
-        for senders in [1usize, 3, 7] {
-            let net = simnet::NetConfig {
-                model_ingress_contention: contention,
-                ..simnet::NetConfig::infiniband_2006()
-            };
-            let out = run_mpi(
-                senders + 1,
-                net.clone(),
-                MpiConfig::mvapich2(),
-                RecorderOpts::default(),
-                move |mpi| {
-                    if mpi.rank() == 0 {
-                        let reqs: Vec<_> = (1..=senders)
-                            .map(|s| mpi.irecv(Src::Rank(s), TagSel::Is(7)))
-                            .collect();
-                        mpi.waitall(&reqs);
-                    } else {
-                        let r = mpi.isend(0, 7, &vec![1u8; 256 << 10]);
-                        mpi.compute(600_000);
-                        mpi.wait(r);
-                    }
-                },
-            )
-            .expect("run failed");
-            let table = default_xfer_table(&net);
-            let slack: u64 = (1..=senders)
-                .map(|r| out.congestion_excess(r, &table))
-                .sum();
-            let r1 = &out.reports[1];
-            rows.push(vec![
-                if contention { "on" } else { "off" }.to_string(),
-                senders.to_string(),
-                pct(r1.total.min_pct()),
-                pct(r1.total.max_pct()),
-                format!("{:.1}", slack as f64 / 1e3),
-            ]);
-        }
-    }
+    let grid: Vec<(bool, usize)> = [false, true]
+        .iter()
+        .flat_map(|&c| [1usize, 3, 7].map(|s| (c, s)))
+        .collect();
+    let rows = crate::runner::par_map(&grid, |&(contention, senders)| {
+        let net = simnet::NetConfig {
+            model_ingress_contention: contention,
+            ..simnet::NetConfig::infiniband_2006()
+        };
+        let out = run_mpi(
+            senders + 1,
+            net.clone(),
+            MpiConfig::mvapich2(),
+            RecorderOpts::default(),
+            move |mpi| {
+                if mpi.rank() == 0 {
+                    let reqs: Vec<_> = (1..=senders)
+                        .map(|s| mpi.irecv(Src::Rank(s), TagSel::Is(7)))
+                        .collect();
+                    mpi.waitall(&reqs);
+                } else {
+                    let r = mpi.isend(0, 7, &vec![1u8; 256 << 10]);
+                    mpi.compute(600_000);
+                    mpi.wait(r);
+                }
+            },
+        )
+        .expect("run failed");
+        let table = default_xfer_table(&net);
+        let slack: u64 = (1..=senders)
+            .map(|r| out.congestion_excess(r, &table))
+            .sum();
+        let r1 = &out.reports[1];
+        vec![
+            if contention { "on" } else { "off" }.to_string(),
+            senders.to_string(),
+            pct(r1.total.min_pct()),
+            pct(r1.total.max_pct()),
+            format!("{:.1}", slack as f64 / 1e3),
+        ]
+    });
     Series {
         id: "ablation-incast",
         title: "Incast: sender bounds and congestion slack vs fan-in".to_string(),
@@ -309,8 +310,8 @@ pub fn ablation_incast() -> Series {
 /// classic companion curve to the overlap plots (what a `perf_main`-style
 /// sweep would show for the *library* rather than the raw fabric).
 pub fn ablation_bandwidth() -> Series {
-    let mut rows = Vec::new();
-    for size in [1usize << 10, 8 << 10, 64 << 10, 512 << 10, 4 << 20] {
+    let sizes: Vec<usize> = vec![1 << 10, 8 << 10, 64 << 10, 512 << 10, 4 << 20];
+    let rows = crate::runner::par_map(&sizes, |&size| {
         let mut row = vec![if size >= 1 << 20 {
             format!("{}M", size >> 20)
         } else {
@@ -344,14 +345,19 @@ pub fn ablation_bandwidth() -> Series {
             .expect("run failed");
             let bytes = (size * reps) as f64;
             // Exclude init/finalize sync by using the data-only span from
-            // ground truth records.
-            let start = out.transfers.iter().map(|t| t.phys_start).min().unwrap();
-            let end = out.transfers.iter().map(|t| t.phys_end).max().unwrap();
-            let gbps = bytes / (end - start) as f64; // bytes per ns == GB/s
+            // ground truth records. A run can complete zero transfers (e.g.
+            // under an aggressive fault plan) — report zero goodput rather
+            // than panicking on an empty span.
+            let start = out.transfers.iter().map(|t| t.phys_start).min();
+            let end = out.transfers.iter().map(|t| t.phys_end).max();
+            let gbps = match (start, end) {
+                (Some(s), Some(e)) if e > s => bytes / (e - s) as f64, // bytes per ns == GB/s
+                _ => 0.0,
+            };
             row.push(format!("{gbps:.3}"));
         }
-        rows.push(row);
-    }
+        row
+    });
     Series {
         id: "ablation-bandwidth",
         title: "Library streaming bandwidth vs message size (GB/s; fabric peak 1.0)".to_string(),
@@ -466,68 +472,69 @@ pub fn extra_nic_timestamps() -> Series {
 /// goodput should fall roughly with the retransmission volume.
 pub fn ablation_faults() -> Series {
     use simnet::{FaultKind, FaultPlan};
-    let mut rows = Vec::new();
-    for loss_pct in [0u32, 1, 5, 10] {
-        for size in [4usize << 10, 64 << 10, 256 << 10] {
-            let faults = if loss_pct == 0 {
-                FaultPlan::none()
-            } else {
-                FaultPlan {
-                    seed: 23,
-                    drop_prob: loss_pct as f64 / 100.0,
-                    delay_prob: 0.02,
-                    max_extra_delay: 10_000,
-                    ..FaultPlan::none()
+    let grid: Vec<(u32, usize)> = [0u32, 1, 5, 10]
+        .iter()
+        .flat_map(|&loss| [4usize << 10, 64 << 10, 256 << 10].map(|s| (loss, s)))
+        .collect();
+    let rows = crate::runner::par_map(&grid, |&(loss_pct, size)| {
+        let faults = if loss_pct == 0 {
+            FaultPlan::none()
+        } else {
+            FaultPlan {
+                seed: 23,
+                drop_prob: loss_pct as f64 / 100.0,
+                delay_prob: 0.02,
+                max_extra_delay: 10_000,
+                ..FaultPlan::none()
+            }
+        };
+        let net = NetConfig {
+            faults,
+            ..NetConfig::default()
+        };
+        let rounds = 20usize;
+        let out = run_mpi(
+            4,
+            net,
+            MpiConfig::default(),
+            RecorderOpts::default(),
+            move |mpi| {
+                let me = mpi.rank();
+                let n = mpi.nranks();
+                let dst = (me + 1) % n;
+                let src = (me + n - 1) % n;
+                for i in 0..rounds {
+                    let r = mpi.irecv(Src::Rank(src), TagSel::Is(i as u64));
+                    let s = mpi.isend(dst, i as u64, &vec![1u8; size]);
+                    mpi.compute(300_000);
+                    mpi.wait(s);
+                    mpi.wait(r);
                 }
-            };
-            let net = NetConfig {
-                faults,
-                ..NetConfig::default()
-            };
-            let rounds = 20usize;
-            let out = run_mpi(
-                4,
-                net,
-                MpiConfig::default(),
-                RecorderOpts::default(),
-                move |mpi| {
-                    let me = mpi.rank();
-                    let n = mpi.nranks();
-                    let dst = (me + 1) % n;
-                    let src = (me + n - 1) % n;
-                    for i in 0..rounds {
-                        let r = mpi.irecv(Src::Rank(src), TagSel::Is(i as u64));
-                        let s = mpi.isend(dst, i as u64, &vec![1u8; size]);
-                        mpi.compute(300_000);
-                        mpi.wait(s);
-                        mpi.wait(r);
-                    }
-                },
-            )
-            .expect("run failed");
-            let r = &out.reports[0].total;
-            let retrans: u64 = out.rel_stats.iter().map(|s| s.retransmissions).sum();
-            let dropped = out
-                .faults
-                .iter()
-                .filter(|f| matches!(f.kind, FaultKind::Dropped))
-                .count();
-            // Application payload delivered per wall time (bytes/ns == GB/s):
-            // retransmitted wire bytes don't count, so goodput falls as the
-            // loss rate climbs.
-            let goodput = (size * rounds * 4) as f64 / out.end_time as f64;
-            rows.push(vec![
-                loss_pct.to_string(),
-                (size >> 10).to_string(),
-                pct(r.min_pct()),
-                pct(r.max_pct()),
-                format!("{:.2}", r.confidence()),
-                format!("{goodput:.3}"),
-                dropped.to_string(),
-                retrans.to_string(),
-            ]);
-        }
-    }
+            },
+        )
+        .expect("run failed");
+        let r = &out.reports[0].total;
+        let retrans: u64 = out.rel_stats.iter().map(|s| s.retransmissions).sum();
+        let dropped = out
+            .faults
+            .iter()
+            .filter(|f| matches!(f.kind, FaultKind::Dropped))
+            .count();
+        // Application payload delivered per wall time (bytes/ns == GB/s):
+        // retransmitted wire bytes don't count, so goodput falls as the
+        // loss rate climbs.
+        let goodput = (size * rounds * 4) as f64 / out.end_time as f64;
+        vec![
+            loss_pct.to_string(),
+            (size >> 10).to_string(),
+            pct(r.min_pct()),
+            pct(r.max_pct()),
+            format!("{:.2}", r.confidence()),
+            format!("{goodput:.3}"),
+            dropped.to_string(),
+            retrans.to_string(),
+        ]
+    });
     Series {
         id: "ablation-faults",
         title: "Overlap bounds and goodput vs fabric loss rate (4-rank ring)".to_string(),
@@ -547,21 +554,20 @@ pub fn ablation_faults() -> Series {
     }
 }
 
-/// All ablations.
-pub fn all() -> Vec<(&'static str, crate::HarnessFn)> {
+/// All ablations in canonical order, with the rank counts the runner's
+/// `--json` report exposes.
+pub fn all() -> Vec<crate::Harness> {
+    use crate::{Harness, HarnessKind::Ablation};
     vec![
-        (
-            "ablation-eager",
-            ablation_eager_threshold as crate::HarnessFn,
-        ),
-        ("ablation-faults", ablation_faults),
-        ("ablation-frag", ablation_fragment_size),
-        ("ablation-iprobe", ablation_iprobe_count),
-        ("ablation-table", ablation_table_resolution),
-        ("ablation-queue", ablation_queue_capacity),
-        ("ablation-incast", ablation_incast),
-        ("ablation-bandwidth", ablation_bandwidth),
-        ("extra-bins", extra_nas_bins),
-        ("extra-nic-timestamps", extra_nic_timestamps),
+        Harness::new("ablation-eager", Ablation, 2, ablation_eager_threshold),
+        Harness::new("ablation-faults", Ablation, 4, ablation_faults),
+        Harness::new("ablation-frag", Ablation, 2, ablation_fragment_size),
+        Harness::new("ablation-iprobe", Ablation, 2, ablation_iprobe_count),
+        Harness::new("ablation-table", Ablation, 2, ablation_table_resolution),
+        Harness::new("ablation-queue", Ablation, 2, ablation_queue_capacity),
+        Harness::new("ablation-incast", Ablation, 8, ablation_incast),
+        Harness::new("ablation-bandwidth", Ablation, 2, ablation_bandwidth),
+        Harness::new("extra-bins", Ablation, 4, extra_nas_bins),
+        Harness::new("extra-nic-timestamps", Ablation, 2, extra_nic_timestamps),
     ]
 }

@@ -8,8 +8,13 @@
 //! as JSON.
 //!
 //! ```text
-//! cargo run -p bench --bin perf_main -- [output.json]
+//! cargo run -p bench --bin perf_main -- [output.json] [--jobs N]
 //! ```
+//!
+//! Each message size is measured in its own fresh two-rank cluster on an
+//! otherwise idle fabric, so the sizes are independent deterministic
+//! simulations and run concurrently on the `--jobs` worker pool (default:
+//! available cores). The resulting table is identical for any worker count.
 
 use std::sync::{Arc, Mutex};
 
@@ -61,16 +66,42 @@ fn measure(net: NetConfig, sizes: Vec<usize>) -> Vec<(u64, u64)> {
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "xfer_table.json".to_string());
+    let mut out_path = "xfer_table.json".to_string();
+    let mut jobs = bench::runner::default_jobs();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" | "-j" => {
+                let v = args.next().unwrap_or_default();
+                jobs = v.parse().unwrap_or_else(|_| {
+                    eprintln!("perf_main: invalid --jobs value {v:?}");
+                    std::process::exit(2);
+                });
+            }
+            a if a.starts_with("--jobs=") => {
+                jobs = a["--jobs=".len()..].parse().unwrap_or_else(|_| {
+                    eprintln!("perf_main: invalid --jobs value {a:?}");
+                    std::process::exit(2);
+                });
+            }
+            a if a.starts_with('-') => {
+                eprintln!("perf_main: unknown flag {a:?}");
+                std::process::exit(2);
+            }
+            a => out_path = a.to_string(),
+        }
+    }
+    bench::runner::set_jobs(jobs);
     let mut sizes: Vec<usize> = Vec::new();
     let mut b = 1usize;
     while b <= 8 << 20 {
         sizes.push(b);
         b *= 2;
     }
-    let points = measure(NetConfig::default(), sizes);
+    // One independent idle-fabric measurement per size; results land in
+    // size order whatever the worker count.
+    let points: Vec<(u64, u64)> =
+        bench::runner::par_map(&sizes, |&sz| measure(NetConfig::default(), vec![sz])[0]);
     println!("{:>10}  {:>12}", "bytes", "xfer_ns");
     for &(sz, t) in &points {
         println!("{sz:>10}  {t:>12}");

@@ -1,48 +1,63 @@
 //! Figure-reproduction CLI.
 //!
 //! ```text
-//! repro               # run every figure and ablation
-//! repro fig05 fig18   # run selected harnesses
-//! repro ablations     # run only the ablation studies
-//! repro list          # list available harnesses
+//! repro                          # run every figure and ablation
+//! repro fig05 fig18              # run selected harnesses
+//! repro ablations                # run only the ablation studies
+//! repro fig05 ablations          # a figure plus all ablations
+//! repro --jobs 4                 # bound the worker pool (default: cores)
+//! repro --json report.json       # also write a machine-readable report
+//! repro list                     # list available harnesses
 //! ```
+//!
+//! Harnesses run concurrently on `--jobs` workers but print in canonical
+//! order, so stdout is byte-identical to a serial (`--jobs 1`) run.
+
+use bench::runner;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let figures = bench::figures::all();
     let ablations = bench::ablations::all();
 
-    if args.iter().any(|a| a == "list") {
+    let cli = match runner::parse_cli(&args, &figures, &ablations) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("repro: {msg}");
+            std::process::exit(2);
+        }
+    };
+
+    if cli.list {
         println!("figures:");
-        for (id, _) in &figures {
-            println!("  {id}");
+        for h in &figures {
+            println!("  {}", h.id);
         }
         println!("ablations:");
-        for (id, _) in &ablations {
-            println!("  {id}");
+        for h in &ablations {
+            println!("  {}", h.id);
         }
         return;
     }
 
-    let only_ablations = args.iter().any(|a| a == "ablations");
-    let wanted: Vec<&str> = args
-        .iter()
-        .filter(|a| *a != "ablations")
-        .map(String::as_str)
-        .collect();
+    runner::set_jobs(cli.jobs);
+    let t0 = std::time::Instant::now();
+    let runs = runner::run_harnesses(&cli.selection, |run| {
+        print!("{}", run.series.render());
+        println!();
+    });
 
-    if !only_ablations {
-        for (id, f) in &figures {
-            if wanted.is_empty() || wanted.contains(id) {
-                print!("{}", f().render());
-                println!();
-            }
+    if let Some(path) = &cli.json {
+        let report = runner::RunReport {
+            jobs: cli.jobs,
+            total_wall_s: t0.elapsed().as_secs_f64(),
+            harnesses: runs,
+        };
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("repro: cannot write {path:?}: {e}");
+            std::process::exit(1);
         }
-    }
-    for (id, f) in &ablations {
-        if (wanted.is_empty() && args.is_empty()) || only_ablations || wanted.contains(id) {
-            print!("{}", f().render());
-            println!();
-        }
+        eprintln!("wrote {}", path.display());
     }
 }

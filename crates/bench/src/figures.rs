@@ -176,8 +176,7 @@ fn nas_series(
     bench: NasBenchmark,
     cases: &[(Class, usize)],
 ) -> Series {
-    let mut rows = Vec::new();
-    for &(class, np) in cases {
+    let rows = crate::runner::par_map(cases, |&(class, np)| {
         let art = run_benchmark(
             bench,
             class,
@@ -186,7 +185,7 @@ fn nas_series(
             RecorderOpts::default(),
         );
         let s = summarize(bench, class, np, &art);
-        rows.push(vec![
+        vec![
             class.to_string(),
             np.to_string(),
             pct(s.min_pct),
@@ -194,8 +193,8 @@ fn nas_series(
             f_ms(s.data_transfer_ms),
             f_ms(s.comm_call_ms),
             s.transfers.to_string(),
-        ]);
-    }
+        ]
+    });
     Series {
         id,
         title: title.to_string(),
@@ -283,8 +282,8 @@ pub fn fig13() -> Series {
 }
 
 fn sp_compare(id: &'static str, title: &str, class: Class, whole_code: bool) -> Series {
-    let mut rows = Vec::new();
-    for np in [4usize, 9, 16] {
+    let cases: Vec<usize> = vec![4, 9, 16];
+    let rows = crate::runner::par_map(&cases, |&np| {
         let orig = run_benchmark(
             NasBenchmark::Sp,
             class,
@@ -310,14 +309,8 @@ fn sp_compare(id: &'static str, title: &str, class: Class, whole_code: bool) -> 
         };
         let (omin, omax) = stats(&orig);
         let (mmin, mmax) = stats(&modi);
-        rows.push(vec![
-            np.to_string(),
-            pct(omin),
-            pct(omax),
-            pct(mmin),
-            pct(mmax),
-        ]);
-    }
+        vec![np.to_string(), pct(omin), pct(omax), pct(mmin), pct(mmax)]
+    });
     Series {
         id,
         title: title.to_string(),
@@ -370,34 +363,35 @@ pub fn fig17() -> Series {
 
 /// Fig. 18: SP total MPI time, original vs modified.
 pub fn fig18() -> Series {
-    let mut rows = Vec::new();
-    for class in [Class::A, Class::B] {
-        for np in [4usize, 9, 16] {
-            let orig = run_benchmark(
-                NasBenchmark::Sp,
-                class,
-                np,
-                NetConfig::default(),
-                RecorderOpts::default(),
-            );
-            let modi = run_benchmark(
-                NasBenchmark::SpModified,
-                class,
-                np,
-                NetConfig::default(),
-                RecorderOpts::default(),
-            );
-            let o = orig.reports()[0].comm_call_time as f64 / 1e6;
-            let m = modi.reports()[0].comm_call_time as f64 / 1e6;
-            rows.push(vec![
-                class.to_string(),
-                np.to_string(),
-                f_ms(o),
-                f_ms(m),
-                pct(100.0 * (o - m) / o),
-            ]);
-        }
-    }
+    let grid: Vec<(Class, usize)> = [Class::A, Class::B]
+        .iter()
+        .flat_map(|&class| [4usize, 9, 16].map(|np| (class, np)))
+        .collect();
+    let rows = crate::runner::par_map(&grid, |&(class, np)| {
+        let orig = run_benchmark(
+            NasBenchmark::Sp,
+            class,
+            np,
+            NetConfig::default(),
+            RecorderOpts::default(),
+        );
+        let modi = run_benchmark(
+            NasBenchmark::SpModified,
+            class,
+            np,
+            NetConfig::default(),
+            RecorderOpts::default(),
+        );
+        let o = orig.reports()[0].comm_call_time as f64 / 1e6;
+        let m = modi.reports()[0].comm_call_time as f64 / 1e6;
+        vec![
+            class.to_string(),
+            np.to_string(),
+            f_ms(o),
+            f_ms(m),
+            pct(100.0 * (o - m) / o),
+        ]
+    });
     Series {
         id: "fig18",
         title: "SP total MPI time, original vs modified".to_string(),
@@ -410,8 +404,8 @@ pub fn fig18() -> Series {
 
 /// Fig. 19: MG over ARMCI, blocking vs non-blocking overlap, class B.
 pub fn fig19() -> Series {
-    let mut rows = Vec::new();
-    for np in [4usize, 8, 16] {
+    let cases: Vec<usize> = vec![4, 8, 16];
+    let rows = crate::runner::par_map(&cases, |&np| {
         let bl = run_benchmark(
             NasBenchmark::MgArmciBlocking,
             Class::B,
@@ -428,14 +422,14 @@ pub fn fig19() -> Series {
         );
         let b = &bl.reports()[0].total;
         let n = &nb.reports()[0].total;
-        rows.push(vec![
+        vec![
             np.to_string(),
             pct(b.min_pct()),
             pct(b.max_pct()),
             pct(n.min_pct()),
             pct(n.max_pct()),
-        ]);
-    }
+        ]
+    });
     Series {
         id: "fig19",
         title: "NAS MG over ARMCI, blocking vs non-blocking, class B".to_string(),
@@ -458,6 +452,8 @@ pub fn fig20() -> Series {
         NasBenchmark::MgMpi,
     ];
     let mut rows = Vec::new();
+    // Deliberately serial: this harness times host wall-clock, and running
+    // its repetitions concurrently would perturb the measurement.
     for bench in benches {
         // Warm up, then take the minimum of several runs — wall-clock noise
         // on a shared host dwarfs the true instrumentation cost otherwise.
@@ -501,26 +497,28 @@ pub fn fig20() -> Series {
     }
 }
 
-/// All figure harnesses in order.
-pub fn all() -> Vec<(&'static str, crate::HarnessFn)> {
+/// All figure harnesses in canonical order, with the rank counts the
+/// runner's `--json` report exposes.
+pub fn all() -> Vec<crate::Harness> {
+    use crate::{Harness, HarnessKind::Figure};
     vec![
-        ("fig03", fig03 as crate::HarnessFn),
-        ("fig04", fig04),
-        ("fig05", fig05),
-        ("fig06", fig06),
-        ("fig07", fig07),
-        ("fig08", fig08),
-        ("fig09", fig09),
-        ("fig10", fig10),
-        ("fig11", fig11),
-        ("fig12", fig12),
-        ("fig13", fig13),
-        ("fig14", fig14),
-        ("fig15", fig15),
-        ("fig16", fig16),
-        ("fig17", fig17),
-        ("fig18", fig18),
-        ("fig19", fig19),
-        ("fig20", fig20),
+        Harness::new("fig03", Figure, 2, fig03),
+        Harness::new("fig04", Figure, 2, fig04),
+        Harness::new("fig05", Figure, 2, fig05),
+        Harness::new("fig06", Figure, 2, fig06),
+        Harness::new("fig07", Figure, 2, fig07),
+        Harness::new("fig08", Figure, 2, fig08),
+        Harness::new("fig09", Figure, 2, fig09),
+        Harness::new("fig10", Figure, 16, fig10),
+        Harness::new("fig11", Figure, 16, fig11),
+        Harness::new("fig12", Figure, 16, fig12),
+        Harness::new("fig13", Figure, 16, fig13),
+        Harness::new("fig14", Figure, 16, fig14),
+        Harness::new("fig15", Figure, 16, fig15),
+        Harness::new("fig16", Figure, 16, fig16),
+        Harness::new("fig17", Figure, 16, fig17),
+        Harness::new("fig18", Figure, 16, fig18),
+        Harness::new("fig19", Figure, 16, fig19),
+        Harness::new("fig20", Figure, 4, fig20),
     ]
 }

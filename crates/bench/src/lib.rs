@@ -13,9 +13,44 @@
 pub mod ablations;
 pub mod figures;
 pub mod micro;
+pub mod runner;
 
 /// A named harness entry point producing one [`Series`].
 pub type HarnessFn = fn() -> Series;
+
+/// Which family a harness belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum HarnessKind {
+    /// A paper-figure reproduction (figures 3–20).
+    Figure,
+    /// An ablation / extra study (DESIGN.md §6).
+    Ablation,
+}
+
+/// One registry entry: a harness plus the metadata the runner reports.
+#[derive(Debug, Clone, Copy)]
+pub struct Harness {
+    /// Harness identifier, e.g. `"fig05"`.
+    pub id: &'static str,
+    /// Figure or ablation.
+    pub kind: HarnessKind,
+    /// Simulated ranks/agents the harness spins up (largest configuration).
+    pub ranks: usize,
+    /// The entry point.
+    pub run: HarnessFn,
+}
+
+impl Harness {
+    /// Registry constructor.
+    pub const fn new(id: &'static str, kind: HarnessKind, ranks: usize, run: HarnessFn) -> Self {
+        Harness {
+            id,
+            kind,
+            ranks,
+            run,
+        }
+    }
+}
 
 /// A printable data series: the reproduction of one figure.
 #[derive(Debug, Clone, serde::Serialize)]

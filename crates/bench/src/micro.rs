@@ -39,7 +39,9 @@ pub struct MicroPoint {
 }
 
 /// Run the overlap microbenchmark: `reps` transfers of `bytes` for each
-/// inserted-computation value.
+/// inserted-computation value. Sweep points are independent seeded
+/// simulations, so they run on the shared `--jobs` worker budget; results
+/// come back in input order regardless of scheduling.
 pub fn overlap_sweep(
     cfg: MpiConfig,
     bytes: usize,
@@ -47,10 +49,9 @@ pub fn overlap_sweep(
     computes_ns: &[u64],
     pairing: Pairing,
 ) -> Vec<MicroPoint> {
-    computes_ns
-        .iter()
-        .map(|&c| run_point(cfg.clone(), bytes, reps, c, pairing))
-        .collect()
+    crate::runner::par_map(computes_ns, |&c| {
+        run_point(cfg.clone(), bytes, reps, c, pairing)
+    })
 }
 
 fn run_point(

@@ -1,0 +1,323 @@
+//! Parallel deterministic harness runner.
+//!
+//! Every harness is a pure function of a fully seeded virtual-time
+//! simulation, so harnesses (and the grid points inside the big ablation
+//! sweeps) are embarrassingly parallel. This module provides the small
+//! job-pool layer that exploits that:
+//!
+//! * a global worker budget set once from `--jobs N` ([`set_jobs`], default:
+//!   available cores),
+//! * [`par_map`] — order-preserving parallel map used inside harnesses for
+//!   sweep grids,
+//! * [`run_harnesses`] — runs a selection of harnesses concurrently but
+//!   *prints in canonical order*, so stdout is byte-identical to a serial
+//!   (`--jobs 1`) run,
+//! * [`parse_cli`] / [`RunReport`] — the `repro` binary's argument handling
+//!   and the `--json` machine-readable report used to track the perf
+//!   trajectory across PRs.
+//!
+//! The budget is permit-based: nested `par_map` calls (a harness running
+//! under `run_harnesses` that fans out its own grid) draw from the same
+//! pool, so total compute-thread concurrency stays near `--jobs` instead of
+//! multiplying.
+
+use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use crate::{Harness, HarnessKind, Series};
+
+/// Configured worker count; 0 means "not yet set" (defaults on first use).
+static CONFIGURED_JOBS: AtomicUsize = AtomicUsize::new(0);
+/// Spawnable-worker permits remaining out of the configured budget.
+static PERMITS: AtomicIsize = AtomicIsize::new(0);
+
+/// Default worker count: the number of available cores.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Set the global worker budget (clamped to at least 1). Call once, before
+/// running harnesses; nested [`par_map`] calls share the budget.
+pub fn set_jobs(n: usize) {
+    let n = n.max(1);
+    CONFIGURED_JOBS.store(n, Ordering::SeqCst);
+    PERMITS.store(n as isize, Ordering::SeqCst);
+}
+
+/// The configured worker budget (initializing to [`default_jobs`] on first
+/// use).
+pub fn jobs() -> usize {
+    let c = CONFIGURED_JOBS.load(Ordering::SeqCst);
+    if c != 0 {
+        return c;
+    }
+    let d = default_jobs();
+    set_jobs(d);
+    d
+}
+
+/// Take up to `want` worker permits from the global budget; returns how many
+/// were actually granted (possibly 0 — caller then runs inline).
+fn acquire_workers(want: usize) -> usize {
+    let _ = jobs(); // ensure the budget is initialized
+    let mut got = 0usize;
+    while got < want {
+        let cur = PERMITS.load(Ordering::SeqCst);
+        if cur <= 0 {
+            break;
+        }
+        let take = cur.min((want - got) as isize);
+        if PERMITS
+            .compare_exchange(cur, cur - take, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            got += take as usize;
+        }
+    }
+    got
+}
+
+fn release_workers(n: usize) {
+    if n > 0 {
+        PERMITS.fetch_add(n as isize, Ordering::SeqCst);
+    }
+}
+
+/// Order-preserving parallel map: apply `f` to every item, using up to the
+/// remaining `--jobs` budget worth of extra worker threads (the calling
+/// thread always participates). Results come back in input order, so output
+/// is identical to a serial `items.iter().map(f)` — only wall-clock changes.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let extra = acquire_workers(n - 1);
+    if extra == 0 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let work = || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        let r = f(&items[i]);
+        *slots[i].lock().unwrap() = Some(r);
+    };
+    std::thread::scope(|s| {
+        for _ in 0..extra {
+            s.spawn(work);
+        }
+        work();
+    });
+    release_workers(extra);
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("par_map slot filled"))
+        .collect()
+}
+
+/// One completed harness execution, as recorded for the `--json` report.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct HarnessRun {
+    /// Harness identifier (e.g. `"fig05"`).
+    pub id: &'static str,
+    /// Figure or ablation.
+    pub kind: HarnessKind,
+    /// Simulated ranks/agents the harness spins up (largest configuration).
+    pub ranks: usize,
+    /// Host wall-clock seconds this harness took.
+    pub wall_s: f64,
+    /// The rendered data series.
+    pub series: Series,
+}
+
+/// Machine-readable report written by `repro --json <path>`: per-harness
+/// wall-clock, rank counts, and series, for tracking the perf trajectory
+/// (`BENCH_*.json`) across PRs.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct RunReport {
+    /// Worker budget the run used.
+    pub jobs: usize,
+    /// Total wall-clock seconds for the whole selection.
+    pub total_wall_s: f64,
+    /// Per-harness results in canonical order.
+    pub harnesses: Vec<HarnessRun>,
+}
+
+/// Run `harnesses` on the global worker budget, invoking `on_done` for each
+/// **in canonical (input) order** as soon as that harness and all its
+/// predecessors have finished. With the sink printing `render()`, stdout is
+/// byte-identical to a serial run regardless of `--jobs`.
+pub fn run_harnesses(
+    harnesses: &[Harness],
+    mut on_done: impl FnMut(&HarnessRun),
+) -> Vec<HarnessRun> {
+    let n = harnesses.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = acquire_workers(n).max(1);
+    type Slot = Option<std::thread::Result<HarnessRun>>;
+    let done: Mutex<Vec<Slot>> = Mutex::new((0..n).map(|_| None).collect());
+    let cv = Condvar::new();
+    let next = AtomicUsize::new(0);
+    let work = || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        let h = harnesses[i];
+        let res = std::panic::catch_unwind(move || {
+            let t0 = Instant::now();
+            let series = (h.run)();
+            HarnessRun {
+                id: h.id,
+                kind: h.kind,
+                ranks: h.ranks,
+                wall_s: t0.elapsed().as_secs_f64(),
+                series,
+            }
+        });
+        let mut g = done.lock().unwrap();
+        g[i] = Some(res);
+        cv.notify_all();
+    };
+    let out = std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(work);
+        }
+        // This thread only reprints: wait for each slot in canonical order.
+        let mut out = Vec::with_capacity(n);
+        let mut g = done.lock().unwrap();
+        for i in 0..n {
+            while g[i].is_none() {
+                g = cv.wait(g).unwrap();
+            }
+            let res = g[i].take().expect("slot ready");
+            drop(g);
+            match res {
+                Ok(run) => {
+                    on_done(&run);
+                    out.push(run);
+                }
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+            g = done.lock().unwrap();
+        }
+        drop(g);
+        out
+    });
+    release_workers(workers);
+    out
+}
+
+/// Parsed `repro` command line.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Worker budget (`--jobs N`, default: available cores).
+    pub jobs: usize,
+    /// Where to write the machine-readable [`RunReport`] (`--json <path>`).
+    pub json: Option<std::path::PathBuf>,
+    /// `list` was requested.
+    pub list: bool,
+    /// The selected harnesses, in canonical order (figures, then ablations).
+    pub selection: Vec<Harness>,
+}
+
+/// Parse `repro` arguments against the harness registries.
+///
+/// Selection rules: bare ids select individual harnesses; the group words
+/// `figures` / `ablations` select a whole family; both compose (`repro fig05
+/// ablations` runs fig05 *and* every ablation). Unknown ids or flags are an
+/// error, not silently ignored.
+pub fn parse_cli(
+    args: &[String],
+    figures: &[Harness],
+    ablations: &[Harness],
+) -> Result<Cli, String> {
+    let mut jobs: Option<usize> = None;
+    let mut json: Option<std::path::PathBuf> = None;
+    let mut list = false;
+    let mut want_figures = false;
+    let mut want_ablations = false;
+    let mut ids: Vec<&str> = Vec::new();
+
+    let parse_jobs = |v: &str| -> Result<usize, String> {
+        v.parse::<usize>()
+            .map_err(|_| format!("invalid --jobs value {v:?} (expected a positive integer)"))
+            .and_then(|n| {
+                if n == 0 {
+                    Err("--jobs must be at least 1".to_string())
+                } else {
+                    Ok(n)
+                }
+            })
+    };
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "list" => list = true,
+            "figures" => want_figures = true,
+            "ablations" => want_ablations = true,
+            "--jobs" | "-j" => {
+                let v = it.next().ok_or_else(|| format!("{arg} requires a value"))?;
+                jobs = Some(parse_jobs(v)?);
+            }
+            "--json" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--json requires a path".to_string())?;
+                json = Some(std::path::PathBuf::from(v));
+            }
+            a if a.starts_with("--jobs=") => {
+                jobs = Some(parse_jobs(&a["--jobs=".len()..])?);
+            }
+            a if a.starts_with("--json=") => {
+                json = Some(std::path::PathBuf::from(&a["--json=".len()..]));
+            }
+            a if a.starts_with('-') => return Err(format!("unknown flag {a:?}")),
+            a => ids.push(a),
+        }
+    }
+
+    let known = |id: &str| figures.iter().chain(ablations).any(|h| h.id == id);
+    let unknown: Vec<&str> = ids.iter().copied().filter(|id| !known(id)).collect();
+    if !unknown.is_empty() {
+        return Err(format!(
+            "unknown harness id(s): {} (see `repro list`)",
+            unknown.join(", ")
+        ));
+    }
+
+    let select_all = ids.is_empty() && !want_figures && !want_ablations;
+    let mut selection = Vec::new();
+    for h in figures {
+        if select_all || want_figures || ids.contains(&h.id) {
+            selection.push(*h);
+        }
+    }
+    for h in ablations {
+        if select_all || want_ablations || ids.contains(&h.id) {
+            selection.push(*h);
+        }
+    }
+
+    Ok(Cli {
+        jobs: jobs.unwrap_or_else(default_jobs),
+        json,
+        list,
+        selection,
+    })
+}

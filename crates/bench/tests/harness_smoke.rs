@@ -19,8 +19,8 @@ fn assert_well_formed(s: &Series) {
 fn harness_registry_ids_are_unique_and_match() {
     let mut ids: Vec<&str> = bench::figures::all()
         .iter()
-        .map(|&(id, _)| id)
-        .chain(bench::ablations::all().iter().map(|&(id, _)| id))
+        .map(|h| h.id)
+        .chain(bench::ablations::all().iter().map(|h| h.id))
         .collect();
     let n = ids.len();
     ids.sort_unstable();
@@ -31,6 +31,9 @@ fn harness_registry_ids_are_unique_and_match() {
         18,
         "one harness per paper figure 3..20"
     );
+    for h in bench::figures::all().iter().chain(&bench::ablations::all()) {
+        assert!(h.ranks >= 2, "{}: implausible rank count", h.id);
+    }
 }
 
 #[test]

@@ -78,6 +78,7 @@ pub use bounds::{OverlapBounds, XferCase};
 pub use clock::{Clock, ManualClock};
 pub use event::{Event, EventKind};
 pub use observer::{EventObserver, TraceSink};
+pub use queue::{EventRing, RingFull};
 pub use recorder::{Recorder, RecorderOpts};
 pub use report::{CallStats, ClusterSummary, OverlapReport, OverlapStats, SectionReport};
 pub use xfer_table::XferTimeTable;

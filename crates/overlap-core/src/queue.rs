@@ -8,6 +8,12 @@
 
 use crate::event::Event;
 
+/// Returned by [`EventRing::push`] when the ring is at capacity. Carries the
+/// rejected event back so the caller can fold it after draining — the ring
+/// itself never allocates past its bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingFull(pub Event);
+
 /// Fixed-capacity event ring.
 #[derive(Debug)]
 pub struct EventRing {
@@ -46,11 +52,18 @@ impl EventRing {
         self.buf.len() == self.capacity
     }
 
-    /// Append an event. Caller must drain when full (debug-asserted).
+    /// Append an event. When the ring is full the event is handed back in
+    /// [`RingFull`] instead of growing the buffer — the constant-memory
+    /// invariant holds in every build profile, not just under
+    /// `debug_assertions`. Callers drain (or fold) and retry.
     #[inline]
-    pub fn push(&mut self, e: Event) {
-        debug_assert!(!self.is_full(), "EventRing overflow: drain before push");
+    #[must_use = "a rejected event must be folded or dropped explicitly"]
+    pub fn push(&mut self, e: Event) -> Result<(), RingFull> {
+        if self.is_full() {
+            return Err(RingFull(e));
+        }
         self.buf.push(e);
+        Ok(())
     }
 
     /// Drain all queued events in insertion order, resetting the head
@@ -72,15 +85,36 @@ mod tests {
     #[test]
     fn fills_and_drains_in_order() {
         let mut q = EventRing::new(3);
-        q.push(ev(1));
-        q.push(ev(2));
-        q.push(ev(3));
+        q.push(ev(1)).unwrap();
+        q.push(ev(2)).unwrap();
+        q.push(ev(3)).unwrap();
         assert!(q.is_full());
         let times: Vec<u64> = q.drain().map(|e| e.t).collect();
         assert_eq!(times, vec![1, 2, 3]);
         assert!(q.is_empty());
         // Reusable after drain.
-        q.push(ev(4));
+        q.push(ev(4)).unwrap();
+        assert_eq!(q.len(), 1);
+    }
+
+    /// The constant-memory bound must hold in *release* builds too (this
+    /// test is profile-independent by design; CI runs it under
+    /// `cargo test --release`): a push into a full ring is rejected and
+    /// hands the event back rather than growing the Vec.
+    #[test]
+    fn overflow_is_rejected_in_all_profiles() {
+        let mut q = EventRing::new(2);
+        q.push(ev(1)).unwrap();
+        q.push(ev(2)).unwrap();
+        assert!(q.is_full());
+        let rejected = q.push(ev(3)).unwrap_err();
+        assert_eq!(rejected, RingFull(ev(3)));
+        // Still exactly at capacity; queued events untouched.
+        assert_eq!(q.len(), q.capacity());
+        let times: Vec<u64> = q.drain().map(|e| e.t).collect();
+        assert_eq!(times, vec![1, 2]);
+        // Usable again after the drain.
+        q.push(ev(4)).unwrap();
         assert_eq!(q.len(), 1);
     }
 
@@ -95,7 +129,7 @@ mod tests {
         let mut q = EventRing::new(8);
         for round in 0..5 {
             for i in 0..8 {
-                q.push(ev(round * 8 + i));
+                q.push(ev(round * 8 + i)).unwrap();
             }
             assert!(q.is_full());
             assert_eq!(q.drain().count(), 8);

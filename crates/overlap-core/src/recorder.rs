@@ -113,14 +113,16 @@ impl Recorder {
             return;
         }
         let t = self.clock.now();
-        if self.ring.is_full() {
-            self.flush();
-        }
         let e = Event::new(t, kind);
         if let Some(obs) = &mut self.observer {
             obs.on_event(&e);
         }
-        self.ring.push(e);
+        if let Err(crate::queue::RingFull(e)) = self.ring.push(e) {
+            // Ring at capacity: fold the backlog into the processor and
+            // retry. Capacity is at least 2, so the retry cannot fail.
+            self.flush();
+            self.ring.push(e).expect("ring has room after flush");
+        }
         self.events += 1;
     }
 

@@ -66,6 +66,9 @@ impl XferTimeTable {
     /// Linear interpolation between bracketing points; clamped to the first
     /// point below the table range; linearly extrapolated from the last two
     /// points above it (transfer time is asymptotically linear in size).
+    /// Both the interpolation and extrapolation paths round to the nearest
+    /// nanosecond; a decreasing tail extrapolates downward and clamps at 0
+    /// rather than silently flattening.
     pub fn lookup(&self, bytes: u64) -> u64 {
         let pts = &self.points;
         if bytes <= pts[0].0 {
@@ -77,8 +80,9 @@ impl XferTimeTable {
                     return last_t;
                 }
                 let (pb, pt) = pts[pts.len() - 2];
-                let slope = (last_t.saturating_sub(pt)) as f64 / (last_b - pb) as f64;
-                return last_t + (slope * (bytes - last_b) as f64) as u64;
+                let slope = (last_t as f64 - pt as f64) / (last_b - pb) as f64;
+                let v = last_t as f64 + slope * (bytes - last_b) as f64;
+                return v.round().max(0.0) as u64;
             }
         }
         let idx = pts.partition_point(|&(b, _)| b <= bytes);
@@ -135,6 +139,24 @@ mod tests {
         assert_eq!(t.lookup(1 << 20), 5000 + (1 << 20));
         // interior power of two sampled exactly
         assert_eq!(t.lookup(4096), 5000 + 4096);
+    }
+
+    #[test]
+    fn extrapolation_rounds_like_interpolation() {
+        // Slope 10.01 ns/byte: the extrapolated value lands on x.5 and must
+        // round (truncation would lose a nanosecond relative to the
+        // interpolation path).
+        let t = XferTimeTable::from_points(vec![(100, 0), (200, 1001)]);
+        assert_eq!(t.lookup(250), 1502); // 1001 + 50*10.01 = 1501.5
+        assert_eq!(t.lookup(150), 501); // interpolation: 500.5 rounds too
+    }
+
+    #[test]
+    fn decreasing_tail_extrapolates_down_and_clamps_at_zero() {
+        let t = XferTimeTable::from_points(vec![(100, 2000), (200, 1000)]);
+        assert_eq!(t.lookup(250), 500); // follows the -10 ns/byte slope
+        assert_eq!(t.lookup(300), 0); // hits zero exactly
+        assert_eq!(t.lookup(1000), 0); // clamped, no underflow
     }
 
     #[test]

@@ -61,7 +61,10 @@ impl Bytes {
             Bound::Excluded(&n) => n,
             Bound::Unbounded => len,
         };
-        assert!(lo <= hi && hi <= len, "slice {lo}..{hi} out of range 0..{len}");
+        assert!(
+            lo <= hi && hi <= len,
+            "slice {lo}..{hi} out of range 0..{len}"
+        );
         Bytes {
             data: Arc::clone(&self.data),
             start: self.start + lo,

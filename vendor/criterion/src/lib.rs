@@ -76,7 +76,10 @@ fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &str, f: &mut F) {
     };
     if b.iters > 0 {
         let per_iter = b.total_ns / b.iters as u128;
-        println!("bench {label:<40} {per_iter:>12} ns/iter ({} iters)", b.iters);
+        println!(
+            "bench {label:<40} {per_iter:>12} ns/iter ({} iters)",
+            b.iters
+        );
     } else {
         println!("bench {label:<40} (no iterations)");
     }

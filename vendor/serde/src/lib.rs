@@ -291,7 +291,11 @@ impl<A: Serialize, B: Serialize> Serialize for (A, B) {
 
 impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
     fn to_value(&self) -> Value {
-        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
     }
 }
 
@@ -361,7 +365,9 @@ impl Deserialize for bool {
 
 impl Deserialize for String {
     fn from_value(v: &Value) -> Result<Self, DeError> {
-        v.as_str().map(str::to_string).ok_or_else(|| want(v, "string"))
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| want(v, "string"))
     }
 }
 
@@ -409,9 +415,7 @@ impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
 impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         match v {
-            Value::Array(a) if a.len() == 2 => {
-                Ok((A::from_value(&a[0])?, B::from_value(&a[1])?))
-            }
+            Value::Array(a) if a.len() == 2 => Ok((A::from_value(&a[0])?, B::from_value(&a[1])?)),
             _ => Err(want(v, "2-element array")),
         }
     }

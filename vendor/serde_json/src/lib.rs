@@ -6,8 +6,8 @@
 
 use std::fmt;
 
-pub use serde::{Number, Value};
 use serde::{Deserialize, Serialize};
+pub use serde::{Number, Value};
 
 /// Error produced by JSON parsing or value conversion.
 #[derive(Debug, Clone)]
@@ -201,10 +201,7 @@ impl Parser<'_> {
             Some(b'[') => self.parse_array(),
             Some(b'{') => self.parse_object(),
             Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
-            other => Err(Error(format!(
-                "unexpected {other:?} at byte {}",
-                self.pos
-            ))),
+            other => Err(Error(format!("unexpected {other:?} at byte {}", self.pos))),
         }
     }
 
