@@ -76,6 +76,7 @@ fn bench_processor(c: &mut Criterion) {
                             queue_capacity: capacity,
                             bins: SizeBins::default(),
                             enabled: true,
+                            trace: false,
                         },
                     );
                     (clock, rec)

@@ -219,6 +219,7 @@ pub fn ablation_queue_capacity() -> Series {
             queue_capacity: cap,
             bins: SizeBins::default(),
             enabled: true,
+            trace: false,
         };
         let out = run_mpi(2, NetConfig::default(), MpiConfig::default(), rec, |mpi| {
             for i in 0..200 {

@@ -7,13 +7,23 @@
 //! repro fig05 ablations          # a figure plus all ablations
 //! repro --jobs 4                 # bound the worker pool (default: cores)
 //! repro --json report.json       # also write a machine-readable report
+//! repro fig03 --trace out/       # also export time-resolved traces
 //! repro list                     # list available harnesses
 //! ```
 //!
 //! Harnesses run concurrently on `--jobs` workers but print in canonical
-//! order, so stdout is byte-identical to a serial (`--jobs 1`) run.
+//! order, so stdout is byte-identical to a serial (`--jobs 1`) run. With
+//! `--trace <dir>`, each selected harness additionally writes
+//! `<dir>/<id>.trace.json` (Chrome trace event format — load in Perfetto or
+//! `chrome://tracing`) and `<dir>/<id>.events.jsonl` (one JSON object per
+//! event, for `jq`-style analysis); windowed time-resolved summaries are
+//! merged into the `--json` report. Trace files are deterministic: the same
+//! selection produces byte-identical files regardless of `--jobs`.
+
+use std::collections::BTreeMap;
 
 use bench::runner;
+use overlap_core::trace::{chrome_json, default_window_width, jsonl, windowed, TraceBundle};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,6 +50,10 @@ fn main() {
         return;
     }
 
+    if cli.trace.is_some() {
+        bench::tracecap::enable();
+    }
+
     runner::set_jobs(cli.jobs);
     let t0 = std::time::Instant::now();
     let runs = runner::run_harnesses(&cli.selection, |run| {
@@ -47,11 +61,51 @@ fn main() {
         println!();
     });
 
+    let mut trace_windows = Vec::new();
+    if let Some(dir) = &cli.trace {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("repro: cannot create {dir:?}: {e}");
+            std::process::exit(1);
+        }
+        // Group captured scopes by harness id (the part before the first
+        // '/'): one Chrome-trace + JSONL file pair per harness. The store is
+        // scope-ordered, so files and their contents are deterministic.
+        let mut by_id: BTreeMap<String, Vec<TraceBundle>> = BTreeMap::new();
+        for (scope, bundle) in bench::tracecap::drain() {
+            let width = default_window_width(&bundle);
+            trace_windows.push(runner::ScopeWindows {
+                scope: scope.clone(),
+                window_ns: width,
+                windows: windowed(&bundle, width),
+            });
+            let id = scope.split('/').next().unwrap_or(&scope).to_string();
+            by_id.entry(id).or_default().push(bundle);
+        }
+        for (id, bundles) in &by_id {
+            for (suffix, contents) in [
+                ("trace.json", chrome_json(bundles)),
+                ("events.jsonl", jsonl(bundles)),
+            ] {
+                let path = dir.join(format!("{id}.{suffix}"));
+                if let Err(e) = std::fs::write(&path, contents) {
+                    eprintln!("repro: cannot write {path:?}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        eprintln!(
+            "wrote traces for {} harness(es) to {}",
+            by_id.len(),
+            dir.display()
+        );
+    }
+
     if let Some(path) = &cli.json {
         let report = runner::RunReport {
             jobs: cli.jobs,
             total_wall_s: t0.elapsed().as_secs_f64(),
             harnesses: runs,
+            trace_windows,
         };
         let json = serde_json::to_string_pretty(&report).expect("report serializes");
         if let Err(e) = std::fs::write(path, json) {

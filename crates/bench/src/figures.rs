@@ -9,7 +9,7 @@ use overlap_core::RecorderOpts;
 use simmpi::MpiConfig;
 use simnet::NetConfig;
 
-use crate::micro::{overlap_sweep, MicroPoint, Pairing};
+use crate::micro::{overlap_sweep_scoped, MicroPoint, Pairing};
 use crate::{f_ms, f_us, pct, Series};
 
 /// Transfers per microbenchmark point (paper used 1000; percentages are
@@ -26,7 +26,7 @@ fn micro_series(
     show: Side,
 ) -> Series {
     let computes_ns: Vec<u64> = computes_us.iter().map(|&c| c * 1_000).collect();
-    let points = overlap_sweep(cfg, bytes, MICRO_REPS, &computes_ns, pairing);
+    let points = overlap_sweep_scoped(id, cfg, bytes, MICRO_REPS, &computes_ns, pairing);
     let mut columns = vec!["compute_us".to_string()];
     match show {
         Side::Sender => columns.extend(["snd_min%", "snd_max%", "snd_wait_us"].map(String::from)),
@@ -182,7 +182,12 @@ fn nas_series(
             class,
             np,
             NetConfig::default(),
-            RecorderOpts::default(),
+            crate::tracecap::rec_opts(),
+        );
+        crate::tracecap::record(
+            format!("{id}/{class}np{np}"),
+            art.traces().to_vec(),
+            art.faults(),
         );
         let s = summarize(bench, class, np, &art);
         vec![
@@ -289,14 +294,24 @@ fn sp_compare(id: &'static str, title: &str, class: Class, whole_code: bool) -> 
             class,
             np,
             NetConfig::default(),
-            RecorderOpts::default(),
+            crate::tracecap::rec_opts(),
         );
         let modi = run_benchmark(
             NasBenchmark::SpModified,
             class,
             np,
             NetConfig::default(),
-            RecorderOpts::default(),
+            crate::tracecap::rec_opts(),
+        );
+        crate::tracecap::record(
+            format!("{id}/np{np}/orig"),
+            orig.traces().to_vec(),
+            orig.faults(),
+        );
+        crate::tracecap::record(
+            format!("{id}/np{np}/mod"),
+            modi.traces().to_vec(),
+            modi.faults(),
         );
         let stats = |art: &nasbench::runner::RunArtifacts| {
             let r = &art.reports()[0];
@@ -373,14 +388,24 @@ pub fn fig18() -> Series {
             class,
             np,
             NetConfig::default(),
-            RecorderOpts::default(),
+            crate::tracecap::rec_opts(),
         );
         let modi = run_benchmark(
             NasBenchmark::SpModified,
             class,
             np,
             NetConfig::default(),
-            RecorderOpts::default(),
+            crate::tracecap::rec_opts(),
+        );
+        crate::tracecap::record(
+            format!("fig18/{class}np{np}/orig"),
+            orig.traces().to_vec(),
+            orig.faults(),
+        );
+        crate::tracecap::record(
+            format!("fig18/{class}np{np}/mod"),
+            modi.traces().to_vec(),
+            modi.faults(),
         );
         let o = orig.reports()[0].comm_call_time as f64 / 1e6;
         let m = modi.reports()[0].comm_call_time as f64 / 1e6;
@@ -411,14 +436,24 @@ pub fn fig19() -> Series {
             Class::B,
             np,
             NetConfig::default(),
-            RecorderOpts::default(),
+            crate::tracecap::rec_opts(),
         );
         let nb = run_benchmark(
             NasBenchmark::MgArmciNonBlocking,
             Class::B,
             np,
             NetConfig::default(),
-            RecorderOpts::default(),
+            crate::tracecap::rec_opts(),
+        );
+        crate::tracecap::record(
+            format!("fig19/np{np}/blocking"),
+            bl.traces().to_vec(),
+            bl.faults(),
+        );
+        crate::tracecap::record(
+            format!("fig19/np{np}/nonblocking"),
+            nb.traces().to_vec(),
+            nb.faults(),
         );
         let b = &bl.reports()[0].total;
         let n = &nb.reports()[0].total;

@@ -14,6 +14,7 @@ pub mod ablations;
 pub mod figures;
 pub mod micro;
 pub mod runner;
+pub mod tracecap;
 
 /// A named harness entry point producing one [`Series`].
 pub type HarnessFn = fn() -> Series;

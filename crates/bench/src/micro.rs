@@ -49,66 +49,84 @@ pub fn overlap_sweep(
     computes_ns: &[u64],
     pairing: Pairing,
 ) -> Vec<MicroPoint> {
+    overlap_sweep_scoped("", cfg, bytes, reps, computes_ns, pairing)
+}
+
+/// [`overlap_sweep`], registering each point's traces under
+/// `"<scope>/c<ns>"` when [`crate::tracecap`] is armed. An empty `scope`
+/// disables capture for this sweep.
+pub fn overlap_sweep_scoped(
+    scope: &str,
+    cfg: MpiConfig,
+    bytes: usize,
+    reps: usize,
+    computes_ns: &[u64],
+    pairing: Pairing,
+) -> Vec<MicroPoint> {
     crate::runner::par_map(computes_ns, |&c| {
-        run_point(cfg.clone(), bytes, reps, c, pairing)
+        let label =
+            (!scope.is_empty() && crate::tracecap::enabled()).then(|| format!("{scope}/c{c}"));
+        run_point(label, cfg.clone(), bytes, reps, c, pairing)
     })
 }
 
 fn run_point(
+    scope: Option<String>,
     cfg: MpiConfig,
     bytes: usize,
     reps: usize,
     compute_ns: u64,
     pairing: Pairing,
 ) -> MicroPoint {
-    let out = run_mpi(
-        2,
-        NetConfig::default(),
-        cfg,
-        RecorderOpts::default(),
-        move |mpi| {
-            let msg = vec![0x5Au8; bytes];
-            for i in 0..reps as u64 {
-                if mpi.rank() == 0 {
-                    match pairing {
-                        Pairing::IsendRecv | Pairing::IsendIrecv => {
-                            let r = mpi.isend(1, i, &msg);
-                            if compute_ns > 0 {
-                                mpi.compute(compute_ns);
-                            }
-                            mpi.wait(r);
+    let rec = RecorderOpts {
+        trace: scope.is_some(),
+        ..Default::default()
+    };
+    let out = run_mpi(2, NetConfig::default(), cfg, rec, move |mpi| {
+        let msg = vec![0x5Au8; bytes];
+        for i in 0..reps as u64 {
+            if mpi.rank() == 0 {
+                match pairing {
+                    Pairing::IsendRecv | Pairing::IsendIrecv => {
+                        let r = mpi.isend(1, i, &msg);
+                        if compute_ns > 0 {
+                            mpi.compute(compute_ns);
                         }
-                        Pairing::SendIrecv => {
-                            mpi.send(1, i, &msg);
-                            if compute_ns > 0 {
-                                mpi.compute(compute_ns);
-                            }
-                        }
+                        mpi.wait(r);
                     }
-                } else {
-                    match pairing {
-                        Pairing::SendIrecv | Pairing::IsendIrecv => {
-                            let r = mpi.irecv(Src::Rank(0), TagSel::Is(i));
-                            if compute_ns > 0 {
-                                mpi.compute(compute_ns);
-                            }
-                            mpi.wait(r);
-                        }
-                        Pairing::IsendRecv => {
-                            mpi.recv(Src::Rank(0), TagSel::Is(i));
-                            if compute_ns > 0 {
-                                mpi.compute(compute_ns);
-                            }
+                    Pairing::SendIrecv => {
+                        mpi.send(1, i, &msg);
+                        if compute_ns > 0 {
+                            mpi.compute(compute_ns);
                         }
                     }
                 }
-                // Keep the iterations in lock-step so the pattern reflects a
-                // steady state rather than unbounded sender run-ahead.
-                mpi.barrier();
+            } else {
+                match pairing {
+                    Pairing::SendIrecv | Pairing::IsendIrecv => {
+                        let r = mpi.irecv(Src::Rank(0), TagSel::Is(i));
+                        if compute_ns > 0 {
+                            mpi.compute(compute_ns);
+                        }
+                        mpi.wait(r);
+                    }
+                    Pairing::IsendRecv => {
+                        mpi.recv(Src::Rank(0), TagSel::Is(i));
+                        if compute_ns > 0 {
+                            mpi.compute(compute_ns);
+                        }
+                    }
+                }
             }
-        },
-    )
+            // Keep the iterations in lock-step so the pattern reflects a
+            // steady state rather than unbounded sender run-ahead.
+            mpi.barrier();
+        }
+    })
     .expect("microbenchmark run failed");
+    if let Some(s) = scope {
+        crate::tracecap::record(s, out.traces.clone(), &out.faults);
+    }
 
     let wait_avg = |rank: usize| {
         out.reports[rank]

@@ -153,6 +153,22 @@ pub struct RunReport {
     pub total_wall_s: f64,
     /// Per-harness results in canonical order.
     pub harnesses: Vec<HarnessRun>,
+    /// Windowed time-resolved series per traced scope (empty without
+    /// `--trace`), ordered by scope label.
+    pub trace_windows: Vec<ScopeWindows>,
+}
+
+/// Time-resolved summary of one traced scope: the scope's virtual-time span
+/// cut into fixed windows, each with transfer counts, summed overlap
+/// bounds, in-call (wait) time, and fault/flag counts.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ScopeWindows {
+    /// Scope label (`"<harness>/<point>"`).
+    pub scope: String,
+    /// Window width, virtual ns.
+    pub window_ns: u64,
+    /// The windows, in time order.
+    pub windows: Vec<overlap_core::trace::WindowRow>,
 }
 
 /// Run `harnesses` on the global worker budget, invoking `on_done` for each
@@ -229,6 +245,9 @@ pub struct Cli {
     pub jobs: usize,
     /// Where to write the machine-readable [`RunReport`] (`--json <path>`).
     pub json: Option<std::path::PathBuf>,
+    /// Where to write per-harness Chrome-trace + JSONL files
+    /// (`--trace <dir>`); also arms trace capture.
+    pub trace: Option<std::path::PathBuf>,
     /// `list` was requested.
     pub list: bool,
     /// The selected harnesses, in canonical order (figures, then ablations).
@@ -248,6 +267,7 @@ pub fn parse_cli(
 ) -> Result<Cli, String> {
     let mut jobs: Option<usize> = None;
     let mut json: Option<std::path::PathBuf> = None;
+    let mut trace: Option<std::path::PathBuf> = None;
     let mut list = false;
     let mut want_figures = false;
     let mut want_ablations = false;
@@ -281,11 +301,20 @@ pub fn parse_cli(
                     .ok_or_else(|| "--json requires a path".to_string())?;
                 json = Some(std::path::PathBuf::from(v));
             }
+            "--trace" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--trace requires a directory".to_string())?;
+                trace = Some(std::path::PathBuf::from(v));
+            }
             a if a.starts_with("--jobs=") => {
                 jobs = Some(parse_jobs(&a["--jobs=".len()..])?);
             }
             a if a.starts_with("--json=") => {
                 json = Some(std::path::PathBuf::from(&a["--json=".len()..]));
+            }
+            a if a.starts_with("--trace=") => {
+                trace = Some(std::path::PathBuf::from(&a["--trace=".len()..]));
             }
             a if a.starts_with('-') => return Err(format!("unknown flag {a:?}")),
             a => ids.push(a),
@@ -317,6 +346,7 @@ pub fn parse_cli(
     Ok(Cli {
         jobs: jobs.unwrap_or_else(default_jobs),
         json,
+        trace,
         list,
         selection,
     })

@@ -1,0 +1,74 @@
+//! Process-global trace capture for the `repro --trace <dir>` flow.
+//!
+//! Harnesses are plain `fn() -> Series` entry points, so they cannot take a
+//! "capture traces" argument; instead the `repro` binary arms this module
+//! once (before any harness runs) and harnesses consult it when building
+//! their [`overlap_core::RecorderOpts`]. Each instrumented simulation run
+//! registers its per-rank traces under a unique scope label
+//! (`"<harness>/<point>"`); after all harnesses finish, `repro` drains the
+//! store and writes one Chrome-trace + JSONL file pair per harness.
+//!
+//! The store is keyed by a `BTreeMap`, so drained output is ordered by scope
+//! label — independent of which `--jobs` worker finished first. Combined
+//! with the deterministic per-rank traces, the emitted files are
+//! byte-identical across worker counts.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use overlap_core::trace::{ExtraEvent, RankTrace, TraceBundle};
+use overlap_core::RecorderOpts;
+use simnet::FaultEvent;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static STORE: Mutex<BTreeMap<String, TraceBundle>> = Mutex::new(BTreeMap::new());
+
+/// Arm trace capture for the rest of the process. Call once, before running
+/// harnesses.
+pub fn enable() {
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Whether capture is armed.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::SeqCst)
+}
+
+/// Recorder options for an instrumented harness run: the defaults, with
+/// trace capture switched on when this module is armed.
+pub fn rec_opts() -> RecorderOpts {
+    RecorderOpts {
+        trace: enabled(),
+        ..Default::default()
+    }
+}
+
+/// Register one simulation run's traces under `scope`. Fabric fault events
+/// become generic extra markers (`fault.<kind>`) on the bundle. No-op while
+/// capture is disarmed or when the run produced no traces.
+pub fn record(scope: impl Into<String>, traces: Vec<RankTrace>, faults: &[FaultEvent]) {
+    if !enabled() || traces.is_empty() {
+        return;
+    }
+    let scope = scope.into();
+    let extras = faults
+        .iter()
+        .map(|f| ExtraEvent {
+            t: f.at,
+            name: format!("fault.{}", f.kind.label()),
+            detail: f.describe(),
+        })
+        .collect();
+    let bundle = TraceBundle {
+        scope: scope.clone(),
+        ranks: traces,
+        extras,
+    };
+    STORE.lock().unwrap().insert(scope, bundle);
+}
+
+/// Remove and return everything captured so far, ordered by scope label.
+pub fn drain() -> BTreeMap<String, TraceBundle> {
+    std::mem::take(&mut *STORE.lock().unwrap())
+}

@@ -1,0 +1,40 @@
+//! Trace export must be a pure function of the selection: the same harness
+//! produces byte-identical Chrome-trace and JSONL output whether its sweep
+//! points run serially (`--jobs 1`) or on a full worker pool (`--jobs 8`).
+//!
+//! Lives in its own test binary: trace capture and the worker budget are
+//! process-global, so this test must not share a process with tests that
+//! configure them differently.
+
+use overlap_core::trace::{chrome_json, jsonl};
+
+fn capture_fig03(jobs: usize) -> (String, String) {
+    bench::runner::set_jobs(jobs);
+    let series = bench::figures::fig03();
+    assert!(!series.rows.is_empty());
+    let bundles: Vec<_> = bench::tracecap::drain().into_values().collect();
+    assert_eq!(bundles.len(), 7, "one bundle per sweep point");
+    (chrome_json(&bundles), jsonl(&bundles))
+}
+
+#[test]
+fn trace_export_is_identical_across_worker_counts() {
+    bench::tracecap::enable();
+    let (chrome1, jsonl1) = capture_fig03(1);
+    let (chrome8, jsonl8) = capture_fig03(8);
+    assert_eq!(chrome1, chrome8, "chrome trace must not depend on --jobs");
+    assert_eq!(jsonl1, jsonl8, "jsonl trace must not depend on --jobs");
+
+    // The emitted Chrome trace must actually be valid JSON with the
+    // expected envelope.
+    let v: serde_json::Value = serde_json::from_str(&chrome1).expect("chrome trace parses");
+    assert_eq!(v["displayTimeUnit"], "ns");
+    assert!(
+        v["traceEvents"].as_array().map_or(0, Vec::len) > 100,
+        "trace should contain real events"
+    );
+    // And every JSONL line parses on its own.
+    for line in jsonl1.lines() {
+        let _: serde_json::Value = serde_json::from_str(line).expect("jsonl line parses");
+    }
+}

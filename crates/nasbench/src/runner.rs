@@ -91,6 +91,24 @@ impl RunArtifacts {
             RunArtifacts::Armci(o) => o.end_time,
         }
     }
+
+    /// Per-rank time-resolved traces (empty unless `RecorderOpts::trace`
+    /// was set on the run).
+    pub fn traces(&self) -> &[overlap_core::trace::RankTrace] {
+        match self {
+            RunArtifacts::Mpi(o) => &o.traces,
+            RunArtifacts::Armci(o) => &o.traces,
+        }
+    }
+
+    /// Ground-truth injected fabric faults (always empty for ARMCI runs:
+    /// one-sided RDMA channels are not perturbed by the fault layer).
+    pub fn faults(&self) -> &[simnet::FaultEvent] {
+        match self {
+            RunArtifacts::Mpi(o) => &o.faults,
+            RunArtifacts::Armci(_) => &[],
+        }
+    }
 }
 
 /// Run a benchmark in its paper environment.

@@ -223,6 +223,7 @@ mod tests {
             events_recorded: 0,
             queue_flushes: 0,
             anomalies: Default::default(),
+            metrics: Default::default(),
         }
     }
 

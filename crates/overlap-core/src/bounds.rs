@@ -16,6 +16,29 @@ pub enum XferCase {
 }
 
 /// Minimum and maximum overlapped transfer time for one transfer.
+///
+/// Precise overlap is unknowable from host-side stamps alone, so each
+/// transfer gets a `[min, max]` interval derived from one of the three
+/// constructors (the paper's three cases). See `docs/BOUNDS.md` for the
+/// full derivation.
+///
+/// ```
+/// use overlap_core::OverlapBounds;
+///
+/// // xfer 100 ns, 150 ns of user computation between the stamps, 20 ns of
+/// // in-library time: the transfer fits inside the computation (max = 100),
+/// // and at most 20 ns of it can hide in the library (min = 80).
+/// let b = OverlapBounds::split_calls(100, 150, 20);
+/// assert_eq!((b.min, b.max), (80, 100));
+///
+/// // Both stamps inside one call: no overlap was possible.
+/// assert_eq!(OverlapBounds::same_call().max, 0);
+///
+/// // Only one stamp observed: nothing conclusive, the bounds span
+/// // everything.
+/// assert_eq!(OverlapBounds::single_stamp(100).min, 0);
+/// assert_eq!(OverlapBounds::single_stamp(100).max, 100);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OverlapBounds {
     /// Lower bound on overlapped transfer time, ns.

@@ -36,6 +36,24 @@
 //! (`simmpi`) and ARMCI (`simarmci`) libraries, exactly as the paper
 //! instrumented Open MPI, MVAPICH2 and ARMCI.
 //!
+//! ## Observability extensions (beyond the paper)
+//!
+//! * [`metrics::MetricsRegistry`] — per-process named counters and
+//!   fixed-bucket histograms (call latency, transfer times, per-size-bin
+//!   overlap bounds), populated at fold time and carried in every
+//!   [`report::OverlapReport`],
+//! * [`trace`] — optional time-resolved capture
+//!   ([`RecorderOpts::trace`]): the raw event stream plus one
+//!   [`trace::BoundRecord`] per transfer, exportable as Chrome-trace JSON
+//!   ([`trace::chrome_json`], loadable in Perfetto), JSON lines
+//!   ([`trace::jsonl`]), and windowed time-resolved series
+//!   ([`trace::windowed`]),
+//! * [`observer`] — PERUSE-style synchronous observer hook on the raw
+//!   stream (predates the trace module; still useful for live filtering).
+//!
+//! See `docs/ARCHITECTURE.md` for how these layers fit together and
+//! `docs/BOUNDS.md` for the bound algorithm itself.
+//!
 //! ## Example
 //!
 //! ```
@@ -65,11 +83,13 @@ pub mod bins;
 pub mod bounds;
 pub mod clock;
 pub mod event;
+pub mod metrics;
 pub mod observer;
 pub mod processor;
 pub mod queue;
 pub mod recorder;
 pub mod report;
+pub mod trace;
 pub mod xfer_table;
 
 pub use advice::{analyze, AdviceOpts, Finding, Severity};
@@ -77,8 +97,10 @@ pub use bins::SizeBins;
 pub use bounds::{OverlapBounds, XferCase};
 pub use clock::{Clock, ManualClock};
 pub use event::{Event, EventKind};
+pub use metrics::{Histogram, MetricsRegistry};
 pub use observer::{EventObserver, TraceSink};
 pub use queue::{EventRing, RingFull};
 pub use recorder::{Recorder, RecorderOpts};
 pub use report::{CallStats, ClusterSummary, OverlapReport, OverlapStats, SectionReport};
+pub use trace::{BoundRecord, ExtraEvent, RankTrace, TraceBundle, WindowRow};
 pub use xfer_table::XferTimeTable;

@@ -14,7 +14,9 @@ use std::collections::{BTreeMap, HashMap};
 use crate::bins::SizeBins;
 use crate::bounds::OverlapBounds;
 use crate::event::{Event, EventKind};
+use crate::metrics::{Histogram, MetricsRegistry};
 use crate::report::{Anomalies, CallStats, OverlapReport, OverlapStats, SectionReport};
+use crate::trace::{BoundRecord, RankTrace};
 use crate::xfer_table::XferTimeTable;
 
 #[derive(Debug)]
@@ -59,6 +61,12 @@ pub struct Processor {
     call_stack: Vec<(&'static str, u64)>,
     calls: BTreeMap<&'static str, CallStats>,
     anomalies: Anomalies,
+    metrics: MetricsRegistry,
+    /// Precomputed per-bin histogram names (`overlap_min_ns/<label>`,
+    /// `overlap_max_ns/<label>`), so the fold path never formats strings.
+    bin_metric_names: Vec<(String, String)>,
+    /// Time-resolved capture; `None` keeps the paper's no-tracing default.
+    trace: Option<RankTrace>,
 }
 
 impl Processor {
@@ -66,6 +74,11 @@ impl Processor {
     /// message-size `bins`.
     pub fn new(table: XferTimeTable, bins: SizeBins) -> Self {
         let nbins = bins.count();
+        let bin_metric_names = bins
+            .labels()
+            .into_iter()
+            .map(|l| (format!("overlap_min_ns/{l}"), format!("overlap_max_ns/{l}")))
+            .collect();
         Processor {
             table,
             bins,
@@ -83,6 +96,18 @@ impl Processor {
             call_stack: Vec::new(),
             calls: BTreeMap::new(),
             anomalies: Anomalies::default(),
+            metrics: MetricsRegistry::new(),
+            bin_metric_names,
+            trace: None,
+        }
+    }
+
+    /// Capture a time-resolved [`RankTrace`] alongside the aggregates: raw
+    /// events on every fold, one [`BoundRecord`] per closed transfer.
+    /// Retrieve it via [`Processor::finish_traced`].
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(RankTrace::default());
         }
     }
 
@@ -132,9 +157,13 @@ impl Processor {
         self.cursor = t;
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn close_transfer(
         &mut self,
+        id: u64,
         bytes: u64,
+        begin_t: Option<u64>,
+        end_t: u64,
         bounds: OverlapBounds,
         section: Option<&'static str>,
         flagged: bool,
@@ -162,10 +191,54 @@ impl Processor {
             note(&mut acc.total);
             note(&mut acc.by_bin[bin]);
         }
+        self.metrics.inc("xfers_closed", 1);
+        if flagged {
+            self.metrics.inc("xfers_flagged", 1);
+        }
+        if clamped {
+            self.metrics.inc("xfers_clamped", 1);
+        }
+        self.metrics
+            .observe("xfer_apriori_ns", xfer_time, Histogram::latency_default);
+        if let Some(t0) = begin_t {
+            self.metrics.observe(
+                "xfer_wall_ns",
+                end_t.saturating_sub(t0),
+                Histogram::latency_default,
+            );
+        }
+        let (min_name, max_name) = &self.bin_metric_names[bin];
+        self.metrics
+            .histograms
+            .entry(min_name.clone())
+            .or_insert_with(Histogram::latency_default)
+            .observe(bounds.min);
+        self.metrics
+            .histograms
+            .entry(max_name.clone())
+            .or_insert_with(Histogram::latency_default)
+            .observe(bounds.max);
+        if let Some(tr) = &mut self.trace {
+            tr.bounds.push(BoundRecord {
+                id: Some(id),
+                bytes,
+                begin_t,
+                end_t,
+                xfer_time,
+                min: bounds.min,
+                max: bounds.max,
+                case: bounds.case,
+                flagged,
+                clamped,
+            });
+        }
     }
 
     /// Consume one event. Events must arrive in time order.
     pub fn process(&mut self, e: Event) {
+        if let Some(tr) = &mut self.trace {
+            tr.events.push(e);
+        }
         self.advance_to(e.t);
         match e.kind {
             EventKind::CallEnter { name } => {
@@ -183,7 +256,11 @@ impl Processor {
                     if let Some((name, t0)) = self.call_stack.pop() {
                         let c = self.calls.entry(name).or_default();
                         c.count += 1;
-                        c.total_time += e.t.saturating_sub(t0);
+                        let dt = e.t.saturating_sub(t0);
+                        c.total_time += dt;
+                        self.metrics.inc("calls_completed", 1);
+                        self.metrics
+                            .observe("call_latency_ns", dt, Histogram::latency_default);
                     }
                 }
             }
@@ -208,7 +285,16 @@ impl Processor {
                     // its bounds stay sound, and count the irregularity.
                     self.anomalies.duplicate_begin += 1;
                     let bounds = OverlapBounds::single_stamp(self.table.lookup(prev.bytes));
-                    self.close_transfer(prev.bytes, bounds, prev.section, prev.flagged, false);
+                    self.close_transfer(
+                        id,
+                        prev.bytes,
+                        Some(prev.begin_t),
+                        e.t,
+                        bounds,
+                        prev.section,
+                        prev.flagged,
+                        false,
+                    );
                 }
             }
             EventKind::XferEnd { id, bytes } => {
@@ -250,13 +336,22 @@ impl Processor {
                         // the bounds themselves are already sound.
                         flagged = true;
                     }
-                    self.close_transfer(ax.bytes, bounds, ax.section, flagged, clamped);
+                    self.close_transfer(
+                        id,
+                        ax.bytes,
+                        Some(ax.begin_t),
+                        e.t,
+                        bounds,
+                        ax.section,
+                        flagged,
+                        clamped,
+                    );
                 } else {
                     // End-only stamp (case 3): e.g. the receive side of an
                     // eager transfer, whose initiation this process never saw.
                     let bounds = OverlapBounds::single_stamp(self.table.lookup(bytes));
                     let section = self.section_stack.last().copied();
-                    self.close_transfer(bytes, bounds, section, false, false);
+                    self.close_transfer(id, bytes, None, e.t, bounds, section, false, false);
                 }
             }
             EventKind::XferFlag { id } => {
@@ -284,24 +379,55 @@ impl Processor {
     /// still-active transfers as single-stamp (case 3), and produces the
     /// per-process report.
     pub fn finish(
-        mut self,
+        self,
         end_time: u64,
         rank: usize,
         events_recorded: u64,
         queue_flushes: u64,
     ) -> OverlapReport {
+        self.finish_traced(end_time, rank, events_recorded, queue_flushes)
+            .0
+    }
+
+    /// [`Processor::finish`], additionally returning the captured
+    /// [`RankTrace`] when [`Processor::enable_trace`] was called (`None`
+    /// otherwise). The trace includes the bound records of transfers closed
+    /// by the finish sweep itself.
+    pub fn finish_traced(
+        mut self,
+        end_time: u64,
+        rank: usize,
+        events_recorded: u64,
+        queue_flushes: u64,
+    ) -> (OverlapReport, Option<RankTrace>) {
         self.advance_to(end_time);
-        let leftovers: Vec<(u64, Option<&'static str>, bool)> = self
+        let mut leftovers: Vec<(u64, u64, u64, Option<&'static str>, bool)> = self
             .active
             .drain()
-            .map(|(_, ax)| (ax.bytes, ax.section, ax.flagged))
+            .map(|(id, ax)| (id, ax.bytes, ax.begin_t, ax.section, ax.flagged))
             .collect();
-        for (bytes, section, flagged) in leftovers {
+        // Drain order of the HashMap is arbitrary; sort so reports, metrics
+        // and traces are deterministic.
+        leftovers.sort_unstable_by_key(|&(id, ..)| id);
+        for (id, bytes, begin_t, section, flagged) in leftovers {
             let bounds = OverlapBounds::single_stamp(self.table.lookup(bytes));
-            self.close_transfer(bytes, bounds, section, flagged, false);
+            self.close_transfer(
+                id,
+                bytes,
+                Some(begin_t),
+                end_time,
+                bounds,
+                section,
+                flagged,
+                false,
+            );
         }
         let elapsed = end_time.saturating_sub(self.first_event.unwrap_or(end_time));
-        OverlapReport {
+        let trace = self.trace.take().map(|mut tr| {
+            tr.rank = rank;
+            tr
+        });
+        let report = OverlapReport {
             rank,
             elapsed,
             user_compute_time: self.user_compute,
@@ -332,7 +458,9 @@ impl Processor {
             events_recorded,
             queue_flushes,
             anomalies: self.anomalies,
-        }
+            metrics: self.metrics,
+        };
+        (report, trace)
     }
 }
 

@@ -26,6 +26,12 @@ pub struct RecorderOpts {
     pub bins: SizeBins,
     /// Master switch; when false the recorder is a no-op.
     pub enabled: bool,
+    /// Capture a time-resolved [`crate::trace::RankTrace`] alongside the
+    /// aggregates (raw events + per-transfer bound records, copied at fold
+    /// time). Off by default: a trace grows with run length, which is
+    /// exactly the overhead the paper's aggregate-only design avoids.
+    /// Retrieve the capture with [`Recorder::finish_traced`].
+    pub trace: bool,
 }
 
 impl Default for RecorderOpts {
@@ -34,6 +40,7 @@ impl Default for RecorderOpts {
             queue_capacity: 4096,
             bins: SizeBins::default(),
             enabled: true,
+            trace: false,
         }
     }
 }
@@ -59,10 +66,14 @@ impl Recorder {
         table: XferTimeTable,
         opts: RecorderOpts,
     ) -> Self {
+        let mut proc = Processor::new(table, opts.bins);
+        if opts.trace {
+            proc.enable_trace();
+        }
         Recorder {
             clock,
             ring: EventRing::new(opts.queue_capacity),
-            proc: Processor::new(table, opts.bins),
+            proc,
             enabled: opts.enabled,
             rank,
             events: 0,
@@ -175,10 +186,18 @@ impl Recorder {
 
     /// Finish instrumentation and produce the per-process report (written to
     /// the per-process output file by the caller if desired).
-    pub fn finish(mut self) -> OverlapReport {
+    pub fn finish(self) -> OverlapReport {
+        self.finish_traced().0
+    }
+
+    /// [`Recorder::finish`], additionally returning the time-resolved
+    /// [`crate::trace::RankTrace`] when [`RecorderOpts::trace`] was set
+    /// (`None` otherwise).
+    pub fn finish_traced(mut self) -> (OverlapReport, Option<crate::trace::RankTrace>) {
         let end = self.clock.now();
         self.flush();
-        self.proc.finish(end, self.rank, self.events, self.flushes)
+        self.proc
+            .finish_traced(end, self.rank, self.events, self.flushes)
     }
 }
 

@@ -6,6 +6,7 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 
 use crate::bounds::{OverlapBounds, XferCase};
+use crate::metrics::MetricsRegistry;
 
 /// Aggregated overlap measures for a set of transfers.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -217,6 +218,10 @@ pub struct OverlapReport {
     pub queue_flushes: u64,
     /// Instrumentation-stream irregularities absorbed during processing.
     pub anomalies: Anomalies,
+    /// Named counters and fixed-bucket histograms (call latency, transfer
+    /// times, per-size-bin overlap bounds) populated at fold time. Absent in
+    /// reports written by older versions; deserializes as empty then.
+    pub metrics: MetricsRegistry,
 }
 
 impl OverlapReport {

@@ -1,0 +1,662 @@
+//! Time-resolved trace export: Chrome-trace JSON, JSON-lines, and windowed
+//! series.
+//!
+//! The paper's framework deliberately keeps only running aggregates, but the
+//! *explanation* of an overlap number usually needs the time axis back:
+//! which calls blocked, which transfers were flagged, when the retransmits
+//! clustered. This module provides that view without touching the hot path:
+//!
+//! * [`RankTrace`] — the per-process capture: the raw four-event stream plus
+//!   one derived [`BoundRecord`] per closed transfer. It is filled by the
+//!   processor *at fold time* (when the event ring drains), so the
+//!   instrumented library still only pushes into the fixed-size ring.
+//! * [`TraceBundle`] — one scope's worth of rank traces plus fabric-side
+//!   [`ExtraEvent`]s (e.g. injected faults), labelled for grouping.
+//! * [`chrome_json`] — serializes bundles into the Chrome trace event format
+//!   (load in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev)).
+//! * [`jsonl`] — one self-describing JSON object per line, for `jq`-style
+//!   offline analysis.
+//! * [`windowed`] — folds a bundle into per-virtual-time-window rows
+//!   (transfers, overlap bounds, in-call time, flags, faults): the
+//!   time-resolved series merged into machine-readable run reports.
+//!
+//! All output is a pure function of the captured traces: byte-identical
+//! across runs and across worker counts.
+
+use std::fmt::Write as _;
+
+use serde::Serialize;
+
+use crate::bounds::XferCase;
+use crate::event::{Event, EventKind};
+
+/// One derived record per closed transfer: the inputs and outputs of the
+/// bound computation, time-stamped so offline tools can re-derive or audit
+/// the aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct BoundRecord {
+    /// Transfer id (`None` for synthetic closes without an id, e.g. a
+    /// duplicate-begin orphan).
+    pub id: Option<u64>,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// `XFER_BEGIN` stamp, if one was observed.
+    pub begin_t: Option<u64>,
+    /// Close time: the `XFER_END` stamp, or the finish sweep time for
+    /// transfers still open at shutdown.
+    pub end_t: u64,
+    /// A-priori transfer time from the table, ns.
+    pub xfer_time: u64,
+    /// Lower overlap bound, ns (post-degradation).
+    pub min: u64,
+    /// Upper overlap bound, ns.
+    pub max: u64,
+    /// Which of the three bound cases applied.
+    pub case: XferCase,
+    /// Fault-disturbed (explicit `XFER_FLAG` or the long-window heuristic).
+    pub flagged: bool,
+    /// Min bound clamped to the observed window (table overestimate).
+    pub clamped: bool,
+}
+
+/// The per-process trace: raw events in time order plus derived bound
+/// records in close order.
+#[derive(Debug, Clone, Default)]
+pub struct RankTrace {
+    /// Rank this trace belongs to.
+    pub rank: usize,
+    /// The raw instrumentation event stream.
+    pub events: Vec<Event>,
+    /// One record per closed transfer.
+    pub bounds: Vec<BoundRecord>,
+}
+
+/// A fabric- or library-level instant event carried alongside the rank
+/// traces (injected faults, NIC stalls, ...). `overlap-core` knows nothing
+/// about the fabric; producers render their own `name`/`detail`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ExtraEvent {
+    /// Virtual time, ns.
+    pub t: u64,
+    /// Short machine-friendly name (e.g. `"fault.dropped"`).
+    pub name: String,
+    /// Free-form human-readable detail (e.g. `"src 0 -> dst 1"`).
+    pub detail: String,
+}
+
+/// One traced scope: a label (e.g. `"fig03/c10us"`), its per-rank traces,
+/// and fabric-side extras.
+#[derive(Debug, Clone, Default)]
+pub struct TraceBundle {
+    /// Scope label; used as the Chrome-trace process name and the JSONL
+    /// `scope` field.
+    pub scope: String,
+    /// Per-rank traces.
+    pub ranks: Vec<RankTrace>,
+    /// Fabric-side instant events (ground-truth faults etc.).
+    pub extras: Vec<ExtraEvent>,
+}
+
+impl TraceBundle {
+    /// Total events across all ranks (raw + bounds + extras).
+    pub fn len(&self) -> usize {
+        self.ranks
+            .iter()
+            .map(|r| r.events.len() + r.bounds.len())
+            .sum::<usize>()
+            + self.extras.len()
+    }
+
+    /// True when nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `[first, last]` virtual-time span covered by any record, or
+    /// `None` when empty.
+    pub fn span(&self) -> Option<(u64, u64)> {
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        let mut any = false;
+        let mut see = |t: u64| {
+            lo = lo.min(t);
+            hi = hi.max(t);
+            any = true;
+        };
+        for r in &self.ranks {
+            for e in &r.events {
+                see(e.t);
+            }
+            for b in &r.bounds {
+                see(b.end_t);
+                if let Some(t) = b.begin_t {
+                    see(t);
+                }
+            }
+        }
+        for x in &self.extras {
+            see(x.t);
+        }
+        any.then_some((lo, hi))
+    }
+}
+
+/// Stable short label for a bound case.
+pub fn case_label(c: XferCase) -> &'static str {
+    match c {
+        XferCase::SameCall => "same_call",
+        XferCase::SplitCalls => "split_calls",
+        XferCase::SingleStamp => "single_stamp",
+    }
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Nanoseconds → Chrome's microsecond `ts`, exact to the nanosecond.
+fn ts_us(t: u64) -> String {
+    format!("{}.{:03}", t / 1_000, t % 1_000)
+}
+
+/// Serialize bundles as a Chrome trace event file (the JSON object form,
+/// with `displayTimeUnit` set to nanoseconds).
+///
+/// Layout: each bundle becomes one *process* (`pid` = bundle index, named
+/// after the scope); each rank contributes two *threads* — `tid = 2*rank`
+/// carries the call/section stack as `B`/`E` duration events, `tid =
+/// 2*rank + 1` carries per-transfer `X` spans (begin→end, with the computed
+/// bounds in `args`) plus instant events for end-only transfers and
+/// `XFER_FLAG`s. Fabric extras land on one additional `fabric` thread per
+/// process.
+pub fn chrome_json(bundles: &[TraceBundle]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+    let mut first = true;
+    let mut push = |out: &mut String, line: String| {
+        if !std::mem::replace(&mut first, false) {
+            out.push_str(",\n");
+        }
+        out.push_str(&line);
+    };
+    for (pid, b) in bundles.iter().enumerate() {
+        push(
+            &mut out,
+            format!(
+                r#"{{"ph":"M","pid":{pid},"tid":0,"name":"process_name","args":{{"name":"{}"}}}}"#,
+                esc(&b.scope)
+            ),
+        );
+        let fabric_tid = 2 * b.ranks.len();
+        for r in &b.ranks {
+            let (calls_tid, xfers_tid) = (2 * r.rank, 2 * r.rank + 1);
+            push(
+                &mut out,
+                format!(
+                    r#"{{"ph":"M","pid":{pid},"tid":{calls_tid},"name":"thread_name","args":{{"name":"rank {} calls"}}}}"#,
+                    r.rank
+                ),
+            );
+            push(
+                &mut out,
+                format!(
+                    r#"{{"ph":"M","pid":{pid},"tid":{xfers_tid},"name":"thread_name","args":{{"name":"rank {} transfers"}}}}"#,
+                    r.rank
+                ),
+            );
+            // Call/section stack as B/E pairs; a stack keeps E names matched
+            // and drops unbalanced exits rather than corrupting the file.
+            let mut stack: Vec<(&'static str, &'static str)> = Vec::new();
+            for e in &r.events {
+                match e.kind {
+                    EventKind::CallEnter { name } => {
+                        stack.push((name, "call"));
+                        push(
+                            &mut out,
+                            format!(
+                                r#"{{"ph":"B","pid":{pid},"tid":{calls_tid},"ts":{},"cat":"call","name":"{}"}}"#,
+                                ts_us(e.t),
+                                esc(name)
+                            ),
+                        );
+                    }
+                    EventKind::SectionBegin { name } => {
+                        stack.push((name, "section"));
+                        push(
+                            &mut out,
+                            format!(
+                                r#"{{"ph":"B","pid":{pid},"tid":{calls_tid},"ts":{},"cat":"section","name":"{}"}}"#,
+                                ts_us(e.t),
+                                esc(name)
+                            ),
+                        );
+                    }
+                    EventKind::CallExit | EventKind::SectionEnd => {
+                        if let Some((name, cat)) = stack.pop() {
+                            push(
+                                &mut out,
+                                format!(
+                                    r#"{{"ph":"E","pid":{pid},"tid":{calls_tid},"ts":{},"cat":"{cat}","name":"{}"}}"#,
+                                    ts_us(e.t),
+                                    esc(name)
+                                ),
+                            );
+                        }
+                    }
+                    EventKind::XferFlag { id } => {
+                        push(
+                            &mut out,
+                            format!(
+                                r#"{{"ph":"i","s":"t","pid":{pid},"tid":{xfers_tid},"ts":{},"cat":"flag","name":"xfer_flag #{id}"}}"#,
+                                ts_us(e.t)
+                            ),
+                        );
+                    }
+                    // Raw transfer stamps are represented by the bound spans
+                    // below; the JSONL stream keeps the raw form.
+                    EventKind::XferBegin { .. } | EventKind::XferEnd { .. } => {}
+                }
+            }
+            for bd in &r.bounds {
+                let id = bd
+                    .id
+                    .map(|i| format!("#{i}"))
+                    .unwrap_or_else(|| "#?".to_string());
+                let args = format!(
+                    r#"{{"bytes":{},"xfer_time_ns":{},"min_ns":{},"max_ns":{},"case":"{}","flagged":{},"clamped":{}}}"#,
+                    bd.bytes,
+                    bd.xfer_time,
+                    bd.min,
+                    bd.max,
+                    case_label(bd.case),
+                    bd.flagged,
+                    bd.clamped
+                );
+                match bd.begin_t {
+                    Some(t0) => push(
+                        &mut out,
+                        format!(
+                            r#"{{"ph":"X","pid":{pid},"tid":{xfers_tid},"ts":{},"dur":{},"cat":"xfer","name":"xfer {id} {}B","args":{args}}}"#,
+                            ts_us(t0),
+                            ts_us(bd.end_t.saturating_sub(t0)),
+                            bd.bytes
+                        ),
+                    ),
+                    None => push(
+                        &mut out,
+                        format!(
+                            r#"{{"ph":"i","s":"t","pid":{pid},"tid":{xfers_tid},"ts":{},"cat":"xfer","name":"xfer {id} {}B (end-only)","args":{args}}}"#,
+                            ts_us(bd.end_t),
+                            bd.bytes
+                        ),
+                    ),
+                }
+            }
+        }
+        if !b.extras.is_empty() {
+            push(
+                &mut out,
+                format!(
+                    r#"{{"ph":"M","pid":{pid},"tid":{fabric_tid},"name":"thread_name","args":{{"name":"fabric"}}}}"#
+                ),
+            );
+            for x in &b.extras {
+                push(
+                    &mut out,
+                    format!(
+                        r#"{{"ph":"i","s":"p","pid":{pid},"tid":{fabric_tid},"ts":{},"cat":"fault","name":"{}","args":{{"detail":"{}"}}}}"#,
+                        ts_us(x.t),
+                        esc(&x.name),
+                        esc(&x.detail)
+                    ),
+                );
+            }
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Serialize bundles as JSON lines: one self-describing object per record.
+///
+/// Lines are grouped (per scope: each rank's raw events in time order, then
+/// its bound records, then the fabric extras), not globally time-sorted;
+/// every line carries `scope`, and rank lines carry `rank`, so offline tools
+/// can regroup freely.
+pub fn jsonl(bundles: &[TraceBundle]) -> String {
+    let mut out = String::new();
+    for b in bundles {
+        let scope = esc(&b.scope);
+        for r in &b.ranks {
+            for e in &r.events {
+                let body = match e.kind {
+                    EventKind::CallEnter { name } => {
+                        format!(r#""ev":"call_enter","name":"{}""#, esc(name))
+                    }
+                    EventKind::CallExit => r#""ev":"call_exit""#.to_string(),
+                    EventKind::XferBegin { id, bytes } => {
+                        format!(r#""ev":"xfer_begin","id":{id},"bytes":{bytes}"#)
+                    }
+                    EventKind::XferEnd { id, bytes } => {
+                        format!(r#""ev":"xfer_end","id":{id},"bytes":{bytes}"#)
+                    }
+                    EventKind::SectionBegin { name } => {
+                        format!(r#""ev":"section_begin","name":"{}""#, esc(name))
+                    }
+                    EventKind::SectionEnd => r#""ev":"section_end""#.to_string(),
+                    EventKind::XferFlag { id } => format!(r#""ev":"xfer_flag","id":{id}"#),
+                };
+                let _ = writeln!(
+                    out,
+                    r#"{{"scope":"{scope}","rank":{},"t":{},{body}}}"#,
+                    r.rank, e.t
+                );
+            }
+            for bd in &r.bounds {
+                let id = bd
+                    .id
+                    .map(|i| i.to_string())
+                    .unwrap_or_else(|| "null".to_string());
+                let begin = bd
+                    .begin_t
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "null".to_string());
+                let _ = writeln!(
+                    out,
+                    r#"{{"scope":"{scope}","rank":{},"t":{},"ev":"xfer_bounds","id":{id},"bytes":{},"begin_t":{begin},"xfer_time":{},"min":{},"max":{},"case":"{}","flagged":{},"clamped":{}}}"#,
+                    r.rank,
+                    bd.end_t,
+                    bd.bytes,
+                    bd.xfer_time,
+                    bd.min,
+                    bd.max,
+                    case_label(bd.case),
+                    bd.flagged,
+                    bd.clamped
+                );
+            }
+        }
+        for x in &b.extras {
+            let _ = writeln!(
+                out,
+                r#"{{"scope":"{scope}","t":{},"ev":"fault","name":"{}","detail":"{}"}}"#,
+                x.t,
+                esc(&x.name),
+                esc(&x.detail)
+            );
+        }
+    }
+    out
+}
+
+/// One virtual-time window of the time-resolved series.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct WindowRow {
+    /// Window start, ns (inclusive).
+    pub start: u64,
+    /// Window end, ns (exclusive; the final window is extended to cover the
+    /// trace's last timestamp).
+    pub end: u64,
+    /// Transfers whose bounds were closed inside the window.
+    pub transfers: u64,
+    /// Σ lower overlap bounds of those transfers, ns.
+    pub min_overlap_ns: u64,
+    /// Σ upper overlap bounds of those transfers, ns.
+    pub max_overlap_ns: u64,
+    /// Time any rank spent inside library calls during the window, ns
+    /// (summed across ranks — the time-resolved analogue of
+    /// `comm_call_time`).
+    pub wait_ns: u64,
+    /// `XFER_FLAG` events (library-observed disturbances, e.g. reliability
+    /// retransmits) stamped inside the window.
+    pub flags: u64,
+    /// Fabric extras (ground-truth fault injections) inside the window.
+    pub faults: u64,
+}
+
+/// Fold a bundle into fixed-width virtual-time windows. Returns an empty
+/// vector for an empty bundle; `width` is clamped to at least 1 ns.
+///
+/// Transfers are attributed to the window containing their close time;
+/// in-call (`wait`) time is split exactly across window boundaries.
+pub fn windowed(bundle: &TraceBundle, width: u64) -> Vec<WindowRow> {
+    let Some((t0, t1)) = bundle.span() else {
+        return Vec::new();
+    };
+    let width = width.max(1);
+    let span = t1.saturating_sub(t0);
+    let n = (span / width + 1) as usize;
+    let mut rows: Vec<WindowRow> = (0..n)
+        .map(|i| WindowRow {
+            start: t0 + i as u64 * width,
+            end: t0 + (i as u64 + 1) * width,
+            ..WindowRow::default()
+        })
+        .collect();
+    rows[n - 1].end = rows[n - 1].end.max(t1 + 1);
+    let idx = |t: u64| (((t.saturating_sub(t0)) / width) as usize).min(n - 1);
+    for r in &bundle.ranks {
+        for b in &r.bounds {
+            let w = &mut rows[idx(b.end_t)];
+            w.transfers += 1;
+            w.min_overlap_ns += b.min;
+            w.max_overlap_ns += b.max;
+        }
+        // In-call time: split each top-level call span across windows.
+        let mut depth = 0u32;
+        let mut span_start = 0u64;
+        let credit = |from: u64, to: u64, rows: &mut Vec<WindowRow>| {
+            let mut cur = from;
+            while cur < to {
+                let i = idx(cur);
+                let stop = rows[i].end.min(to);
+                rows[i].wait_ns += stop - cur;
+                cur = stop;
+            }
+        };
+        for e in &r.events {
+            match e.kind {
+                EventKind::CallEnter { .. } => {
+                    if depth == 0 {
+                        span_start = e.t;
+                    }
+                    depth += 1;
+                }
+                EventKind::CallExit if depth > 0 => {
+                    depth -= 1;
+                    if depth == 0 {
+                        credit(span_start, e.t, &mut rows);
+                    }
+                }
+                EventKind::XferFlag { .. } => rows[idx(e.t)].flags += 1,
+                _ => {}
+            }
+        }
+        if depth > 0 {
+            credit(span_start, t1, &mut rows);
+        }
+    }
+    for x in &bundle.extras {
+        rows[idx(x.t)].faults += 1;
+    }
+    rows
+}
+
+/// A reasonable default window width for a bundle: 1/16th of the covered
+/// span (at least 1 ns).
+pub fn default_window_width(bundle: &TraceBundle) -> u64 {
+    match bundle.span() {
+        Some((t0, t1)) => (t1.saturating_sub(t0) / 16).max(1),
+        None => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, kind: EventKind) -> Event {
+        Event::new(t, kind)
+    }
+
+    fn sample_bundle() -> TraceBundle {
+        TraceBundle {
+            scope: "test/one".to_string(),
+            ranks: vec![RankTrace {
+                rank: 0,
+                events: vec![
+                    ev(0, EventKind::CallEnter { name: "MPI_Isend" }),
+                    ev(5, EventKind::XferBegin { id: 1, bytes: 1024 }),
+                    ev(10, EventKind::CallExit),
+                    ev(1_000, EventKind::CallEnter { name: "MPI_Wait" }),
+                    ev(1_200, EventKind::XferFlag { id: 1 }),
+                    ev(1_500, EventKind::XferEnd { id: 1, bytes: 1024 }),
+                    ev(1_510, EventKind::CallExit),
+                ],
+                bounds: vec![BoundRecord {
+                    id: Some(1),
+                    bytes: 1024,
+                    begin_t: Some(5),
+                    end_t: 1_500,
+                    xfer_time: 400,
+                    min: 0,
+                    max: 400,
+                    case: XferCase::SplitCalls,
+                    flagged: true,
+                    clamped: false,
+                }],
+            }],
+            extras: vec![ExtraEvent {
+                t: 1_100,
+                name: "fault.dropped".to_string(),
+                detail: "src 0 -> dst 1 ty 3".to_string(),
+            }],
+        }
+    }
+
+    #[test]
+    fn chrome_json_parses_and_is_structured() {
+        let text = chrome_json(&[sample_bundle()]);
+        let v: serde_json::Value = serde_json::from_str(&text).expect("chrome trace parses");
+        assert_eq!(v["displayTimeUnit"], "ns");
+        let evs = v["traceEvents"].as_array().unwrap();
+        // Metadata (process + 2 threads + fabric), 2 B + 2 E, 1 flag instant,
+        // 1 X span, 1 fault instant.
+        let phs: Vec<&str> = evs.iter().map(|e| e["ph"].as_str().unwrap()).collect();
+        assert_eq!(phs.iter().filter(|p| **p == "M").count(), 4);
+        assert_eq!(phs.iter().filter(|p| **p == "B").count(), 2);
+        assert_eq!(phs.iter().filter(|p| **p == "E").count(), 2);
+        assert_eq!(phs.iter().filter(|p| **p == "X").count(), 1);
+        assert_eq!(phs.iter().filter(|p| **p == "i").count(), 2);
+        // The X span carries the bounds and exact ns-resolution timestamps.
+        let x = evs.iter().find(|e| e["ph"] == "X").unwrap();
+        assert_eq!(x["args"]["min_ns"].as_u64(), Some(0));
+        assert_eq!(x["args"]["max_ns"].as_u64(), Some(400));
+        assert_eq!(x["args"]["case"], "split_calls");
+        assert_eq!(x["ts"].as_f64(), Some(0.005)); // 5 ns in us
+        assert_eq!(x["dur"].as_f64(), Some(1.495));
+        // B/E names match through the stack.
+        let b0 = evs.iter().find(|e| e["ph"] == "B").unwrap();
+        assert_eq!(b0["name"], "MPI_Isend");
+    }
+
+    #[test]
+    fn chrome_end_only_transfer_is_instant() {
+        let mut b = sample_bundle();
+        b.ranks[0].bounds[0].begin_t = None;
+        let text = chrome_json(&[b]);
+        let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let evs = v["traceEvents"].as_array().unwrap();
+        assert!(evs.iter().all(|e| e["ph"] != "X"));
+        assert!(evs
+            .iter()
+            .any(|e| e["ph"] == "i" && e["name"].as_str().unwrap().contains("end-only")));
+    }
+
+    #[test]
+    fn jsonl_every_line_parses() {
+        let text = jsonl(&[sample_bundle()]);
+        let lines: Vec<&str> = text.lines().collect();
+        // 7 raw events + 1 bound record + 1 extra.
+        assert_eq!(lines.len(), 9);
+        for l in &lines {
+            let v: serde_json::Value = serde_json::from_str(l).expect("jsonl line parses");
+            assert_eq!(v["scope"], "test/one");
+            assert!(v["t"].is_u64());
+        }
+        let bound: serde_json::Value = serde_json::from_str(
+            lines
+                .iter()
+                .find(|l| l.contains("xfer_bounds"))
+                .expect("bound line present"),
+        )
+        .unwrap();
+        assert_eq!(bound["begin_t"].as_u64(), Some(5));
+        assert_eq!(bound["flagged"].as_bool(), Some(true));
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let mut b = sample_bundle();
+        b.scope = "we\"ird\\scope\n".to_string();
+        for text in [chrome_json(&[b.clone()]), jsonl(&[b])] {
+            for l in text.lines().filter(|l| l.contains("ird")) {
+                let _: serde_json::Value =
+                    serde_json::from_str(l.trim_end_matches(',')).expect("escaped line parses");
+            }
+        }
+    }
+
+    #[test]
+    fn windows_partition_the_span() {
+        let b = sample_bundle();
+        let rows = windowed(&b, 500);
+        // Span 0..=1510 → windows starting at 0, 500, 1000, 1500.
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].start, 0);
+        assert_eq!(rows[3].start, 1500);
+        assert!(rows[3].end > 1510 - 1);
+        // Transfer closed at t=1500 → last window.
+        assert_eq!(rows[3].transfers, 1);
+        assert_eq!(rows[3].max_overlap_ns, 400);
+        // Flag at 1200 and fault at 1100 → third window.
+        assert_eq!(rows[2].flags, 1);
+        assert_eq!(rows[2].faults, 1);
+        // In-call time splits exactly: calls cover [0,10) and [1000,1510).
+        let total_wait: u64 = rows.iter().map(|r| r.wait_ns).sum();
+        assert_eq!(total_wait, 10 + 510);
+        assert_eq!(rows[0].wait_ns, 10);
+        assert_eq!(rows[2].wait_ns, 500);
+        assert_eq!(rows[3].wait_ns, 10);
+    }
+
+    #[test]
+    fn empty_bundle_has_no_windows() {
+        let b = TraceBundle::default();
+        assert!(b.is_empty());
+        assert!(windowed(&b, 100).is_empty());
+        assert_eq!(default_window_width(&b), 1);
+    }
+
+    #[test]
+    fn window_width_clamps_to_one() {
+        let b = sample_bundle();
+        let rows = windowed(&b, 0);
+        assert_eq!(rows.len(), 1511);
+        assert_eq!(rows.iter().map(|r| r.transfers).sum::<u64>(), 1);
+    }
+}

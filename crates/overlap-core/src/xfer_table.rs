@@ -69,6 +69,16 @@ impl XferTimeTable {
     /// Both the interpolation and extrapolation paths round to the nearest
     /// nanosecond; a decreasing tail extrapolates downward and clamps at 0
     /// rather than silently flattening.
+    ///
+    /// ```
+    /// use overlap_core::XferTimeTable;
+    ///
+    /// let t = XferTimeTable::from_points(vec![(1_000, 500), (2_000, 900)]);
+    /// assert_eq!(t.lookup(1_000), 500);  // exact point
+    /// assert_eq!(t.lookup(1_500), 700);  // interpolated
+    /// assert_eq!(t.lookup(100), 500);    // clamped below the range
+    /// assert_eq!(t.lookup(3_000), 1300); // extrapolated above it
+    /// ```
     pub fn lookup(&self, bytes: u64) -> u64 {
         let pts = &self.points;
         if bytes <= pts[0].0 {

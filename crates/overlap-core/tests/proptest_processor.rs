@@ -49,6 +49,7 @@ fn execute(actions: &[Action], queue_capacity: usize) -> OverlapReport {
             queue_capacity,
             bins: SizeBins::default(),
             enabled: true,
+            trace: false,
         },
     );
     let mut pending: Vec<(u64, u64)> = Vec::new(); // (id, bytes)

@@ -126,11 +126,17 @@ impl<'a> Armci<'a> {
     }
 
     /// Shut down and emit the per-process overlap report.
-    pub fn finalize(mut self) -> OverlapReport {
+    pub fn finalize(self) -> OverlapReport {
+        self.finalize_traced().0
+    }
+
+    /// [`Armci::finalize`], additionally returning the time-resolved trace
+    /// when `RecorderOpts::trace` was set on init (`None` otherwise).
+    pub fn finalize_traced(mut self) -> (OverlapReport, Option<overlap_core::trace::RankTrace>) {
         self.rec.call_enter("ARMCI_Finalize");
         self.barrier_inner();
         self.rec.call_exit();
-        self.rec.finish()
+        self.rec.finish_traced()
     }
 
     /// Collectively allocate `seg_len` bytes of global memory on every rank

@@ -18,6 +18,9 @@ pub struct ArmciRunOutcome {
     pub transfers: Vec<TransferRecord>,
     /// Ground-truth activity logs.
     pub activity: Vec<ActivityLog>,
+    /// Per-rank time-resolved traces (empty unless `RecorderOpts::trace`
+    /// was set; ordered by rank when present).
+    pub traces: Vec<overlap_core::trace::RankTrace>,
     /// Virtual end time.
     pub end_time: Time,
 }
@@ -82,26 +85,30 @@ where
     F: Fn(&mut Armci) + Send + Sync + 'static,
 {
     let cluster = Cluster::new(nranks, net);
-    let reports: Arc<Mutex<Vec<Option<OverlapReport>>>> =
-        Arc::new(Mutex::new((0..nranks).map(|_| None).collect()));
-    let reports_in = Arc::clone(&reports);
+    type PerRank = Vec<Option<(OverlapReport, Option<overlap_core::trace::RankTrace>)>>;
+    let collected: Arc<Mutex<PerRank>> = Arc::new(Mutex::new((0..nranks).map(|_| None).collect()));
+    let collected_in = Arc::clone(&collected);
     let out = cluster.run(opts, move |ctx, world| {
         let rank = ctx.rank();
         let mut armci = Armci::init(ctx, world.clone(), table.clone(), rec_opts.clone());
         body(&mut armci);
-        let report = armci.finalize();
-        reports_in.lock()[rank] = Some(report);
+        collected_in.lock()[rank] = Some(armci.finalize_traced());
     })?;
-    let reports = Arc::try_unwrap(reports)
+    let mut reports = Vec::with_capacity(nranks);
+    let mut traces = Vec::new();
+    for slot in Arc::try_unwrap(collected)
         .expect("report collector uniquely owned after run")
         .into_inner()
-        .into_iter()
-        .map(|r| r.expect("every rank produced a report"))
-        .collect();
+    {
+        let (report, trace) = slot.expect("every rank produced a report");
+        reports.push(report);
+        traces.extend(trace);
+    }
     Ok(ArmciRunOutcome {
         reports,
         transfers: out.transfers,
         activity: out.activity,
+        traces,
         end_time: out.end_time,
     })
 }

@@ -24,6 +24,9 @@ pub struct MpiRunOutcome {
     pub faults: Vec<FaultEvent>,
     /// Per-rank reliability-layer counters (all zero on a loss-free fabric).
     pub rel_stats: Vec<crate::RelStats>,
+    /// Per-rank time-resolved traces (empty unless `RecorderOpts::trace`
+    /// was set; ordered by rank when present).
+    pub traces: Vec<overlap_core::trace::RankTrace>,
     /// Virtual end time of the run.
     pub end_time: Time,
     /// Engine queue entries processed.
@@ -47,6 +50,16 @@ impl MpiRunOutcome {
             .filter(|t| t.src == rank || t.dst == rank)
             .map(|t| t.duration().saturating_sub(table.lookup(t.bytes as u64)))
             .sum()
+    }
+
+    /// All ranks' metrics registries folded into one (counters add,
+    /// histograms merge per name).
+    pub fn metrics(&self) -> overlap_core::MetricsRegistry {
+        let mut m = overlap_core::MetricsRegistry::new();
+        for r in &self.reports {
+            m.merge(&r.metrics);
+        }
+        m
     }
 }
 
@@ -110,7 +123,13 @@ where
     F: Fn(&mut Mpi) + Send + Sync + 'static,
 {
     let cluster = Cluster::new(nranks, net);
-    type PerRank = Vec<Option<(OverlapReport, crate::RelStats)>>;
+    type PerRank = Vec<
+        Option<(
+            OverlapReport,
+            crate::RelStats,
+            Option<overlap_core::trace::RankTrace>,
+        )>,
+    >;
     let collected: Arc<Mutex<PerRank>> = Arc::new(Mutex::new((0..nranks).map(|_| None).collect()));
     let collected_in = Arc::clone(&collected);
     let out = cluster.run(opts, move |ctx, world| {
@@ -123,20 +142,27 @@ where
             rec_opts.clone(),
         );
         body(&mut mpi);
-        collected_in.lock()[rank] = Some(mpi.finalize_with_stats());
+        collected_in.lock()[rank] = Some(mpi.finalize_full());
     })?;
-    let (reports, rel_stats) = Arc::try_unwrap(collected)
+    let mut reports = Vec::with_capacity(nranks);
+    let mut rel_stats = Vec::with_capacity(nranks);
+    let mut traces = Vec::new();
+    for slot in Arc::try_unwrap(collected)
         .expect("report collector uniquely owned after run")
         .into_inner()
-        .into_iter()
-        .map(|r| r.expect("every rank produced a report"))
-        .unzip();
+    {
+        let (report, stats, trace) = slot.expect("every rank produced a report");
+        reports.push(report);
+        rel_stats.push(stats);
+        traces.extend(trace);
+    }
     Ok(MpiRunOutcome {
         reports,
         transfers: out.transfers,
         activity: out.activity,
         faults: out.faults,
         rel_stats,
+        traces,
         end_time: out.end_time,
         events_processed: out.events_processed,
     })

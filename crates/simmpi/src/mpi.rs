@@ -310,7 +310,21 @@ impl<'a> Mpi<'a> {
 
     /// [`Mpi::finalize`], additionally returning the reliability-layer
     /// counters (final values: the teardown flush may still bump them).
-    pub fn finalize_with_stats(mut self) -> (OverlapReport, RelStats) {
+    pub fn finalize_with_stats(self) -> (OverlapReport, RelStats) {
+        let (report, stats, _) = self.finalize_full();
+        (report, stats)
+    }
+
+    /// [`Mpi::finalize_with_stats`], additionally returning the
+    /// time-resolved trace when `RecorderOpts::trace` was set on init
+    /// (`None` otherwise).
+    pub fn finalize_full(
+        mut self,
+    ) -> (
+        OverlapReport,
+        RelStats,
+        Option<overlap_core::trace::RankTrace>,
+    ) {
         self.call_enter("MPI_Finalize");
         self.barrier_inner();
         // Reliability flush: a rank must not tear down while any of its
@@ -324,7 +338,8 @@ impl<'a> Mpi<'a> {
         }
         self.rec.call_exit();
         let stats = self.rel.stats();
-        (self.rec.finish(), stats)
+        let (report, trace) = self.rec.finish_traced();
+        (report, stats, trace)
     }
 
     // ---- public point-to-point API ------------------------------------

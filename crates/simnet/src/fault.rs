@@ -156,6 +156,34 @@ pub enum FaultKind {
     },
 }
 
+impl FaultKind {
+    /// Stable lowercase tag for this fault kind (trace/export naming).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::Dropped => "dropped",
+            FaultKind::Duplicated => "duplicated",
+            FaultKind::Delayed { .. } => "delayed",
+            FaultKind::LinkDegraded { .. } => "link_degraded",
+            FaultKind::NicStalled { .. } => "nic_stalled",
+        }
+    }
+}
+
+impl FaultEvent {
+    /// One-line human-readable description of the affected packet and the
+    /// fault parameters (used as the `detail` of trace fault markers).
+    pub fn describe(&self) -> String {
+        let extra = match self.kind {
+            FaultKind::Delayed { extra } | FaultKind::LinkDegraded { extra } => {
+                format!(" extra {extra} ns")
+            }
+            FaultKind::NicStalled { released_at } => format!(" released at {released_at} ns"),
+            _ => String::new(),
+        };
+        format!("{} -> {} ty {}{extra}", self.src, self.dst, self.packet_ty)
+    }
+}
+
 /// Ground-truth record of one fault-layer decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultEvent {
