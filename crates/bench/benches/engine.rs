@@ -1,0 +1,36 @@
+//! Engine scheduler smoke bench: locked binary heap vs. timing wheel.
+//!
+//! Exercises the same hold-model code the `repro --bench-json` perf
+//! trajectory records (`bench::enginebench`), so the CI smoke run and the
+//! committed `BENCH_*.json` numbers come from one implementation. Run with
+//! `cargo bench -p bench --bench engine`.
+
+use bench::enginebench::{
+    heap_hold_secs, sim_events_per_sec, wheel_hold_secs, TRAJECTORY_OUTSTANDING,
+};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+/// Smaller than the trajectory event count: criterion repeats each closure
+/// many times, the trajectory runs it once.
+const EVENTS: u64 = 50_000;
+
+fn sched_hold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sched_hold");
+    g.throughput(Throughput::Elements(EVENTS));
+    g.bench_function("heap_locked", |b| {
+        b.iter(|| heap_hold_secs(EVENTS, TRAJECTORY_OUTSTANDING))
+    });
+    g.bench_function("wheel_inbox", |b| {
+        b.iter(|| wheel_hold_secs(EVENTS, TRAJECTORY_OUTSTANDING))
+    });
+    g.finish();
+}
+
+fn engine_throughput(c: &mut Criterion) {
+    c.bench_function("sim_4ranks_events", |b| {
+        b.iter(|| sim_events_per_sec(4, 2_500))
+    });
+}
+
+criterion_group!(benches, sched_hold, engine_throughput);
+criterion_main!(benches);

@@ -8,6 +8,7 @@
 //! repro --jobs 4                 # bound the worker pool (default: cores)
 //! repro --json report.json       # also write a machine-readable report
 //! repro fig03 --trace out/       # also export time-resolved traces
+//! repro --bench-json BENCH.json  # also write the perf-trajectory record
 //! repro list                     # list available harnesses
 //! ```
 //!
@@ -19,11 +20,21 @@
 //! event, for `jq`-style analysis); windowed time-resolved summaries are
 //! merged into the `--json` report. Trace files are deterministic: the same
 //! selection produces byte-identical files regardless of `--jobs`.
+//!
+//! With `--bench-json <path>`, the run additionally executes the scheduler
+//! hold-model comparison and engine throughput probe from
+//! [`bench::enginebench`] and writes a [`bench::enginebench::BenchReport`]
+//! (wall-clock per harness, events/sec, allocation counts) — the
+//! `BENCH_*.json` perf trajectory described in `docs/BENCHMARKS.md`.
 
 use std::collections::BTreeMap;
 
 use bench::runner;
 use overlap_core::trace::{chrome_json, default_window_width, jsonl, windowed, TraceBundle};
+
+/// Counting allocator so `--bench-json` can report allocation pressure.
+#[global_allocator]
+static ALLOC: bench::alloc::CountingAlloc = bench::alloc::CountingAlloc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -100,10 +111,34 @@ fn main() {
         );
     }
 
+    let total_wall_s = t0.elapsed().as_secs_f64();
+
+    if let Some(path) = &cli.bench_json {
+        let harnesses = runs
+            .iter()
+            .map(|r| bench::enginebench::HarnessSummary {
+                id: r.id,
+                ranks: r.ranks,
+                wall_s: r.wall_s,
+            })
+            .collect();
+        let report = bench::enginebench::bench_report(cli.jobs, total_wall_s, harnesses);
+        let json = serde_json::to_string_pretty(&report).expect("bench report serializes");
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("repro: cannot write {path:?}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wrote {} (sched speedup {:.2}x)",
+            path.display(),
+            report.engine.sched.speedup
+        );
+    }
+
     if let Some(path) = &cli.json {
         let report = runner::RunReport {
             jobs: cli.jobs,
-            total_wall_s: t0.elapsed().as_secs_f64(),
+            total_wall_s,
             harnesses: runs,
             trace_windows,
         };

@@ -1,0 +1,246 @@
+//! Scheduler and engine micro-benchmarks.
+//!
+//! Shared by the criterion bench target (`benches/engine.rs`) and the
+//! `repro --bench-json` perf-trajectory emitter, so the number CI smoke-runs
+//! is computed by exactly the code that writes `BENCH_*.json`.
+//!
+//! The headline measurement is a classic *hold model* over the two
+//! schedulers in `simcore::sched`, each driven through the locking protocol
+//! its engine generation actually used:
+//!
+//! * **heap** — one global `Mutex<BinaryHeapSched>`, locked once per push
+//!   and once per pop: in the pre-wheel engine *every* schedule, including
+//!   the run loop's own timer wakes, went through that mutex,
+//! * **wheel** — a run-loop-owned `TimingWheel`: the loop's own wakes are
+//!   pushed directly (no lock), and before each pop an atomic inbox mask is
+//!   swapped to detect pending cross-thread insertions (the current
+//!   engine's drain protocol; shard mutexes are only taken when the mask
+//!   says a producer actually queued something).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use simcore::sched::{BinaryHeapSched, TimingWheel};
+use simcore::{SimOpts, Simulation};
+
+/// Deterministic 64-bit LCG (same constants as `rand`'s `Lcg64`): the bench
+/// workload must not depend on platform RNG state.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+}
+
+/// Maximum delay added to a popped entry's time when it is re-pushed.
+const HOLD_SPREAD: u64 = 10_000;
+
+/// Result of one scheduler hold-model comparison.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SchedThroughput {
+    /// Pop-push operations timed per scheduler.
+    pub events: u64,
+    /// Entries kept pending throughout (the hold population).
+    pub outstanding: usize,
+    /// Locked `BinaryHeap` reference (pre-wheel engine protocol).
+    pub heap_events_per_sec: f64,
+    /// Timing wheel behind an insertion buffer (current engine protocol).
+    pub wheel_events_per_sec: f64,
+    /// `wheel_events_per_sec / heap_events_per_sec`.
+    pub speedup: f64,
+}
+
+/// Hold-model seconds for the locked-heap protocol.
+pub fn heap_hold_secs(events: u64, outstanding: usize) -> f64 {
+    let q = Mutex::new(BinaryHeapSched::new());
+    let mut rng = Lcg(0x5eed);
+    let mut seq = 0u64;
+    for _ in 0..outstanding {
+        q.lock().push(rng.next() % HOLD_SPREAD, seq, ());
+        seq += 1;
+    }
+    let start = Instant::now();
+    for _ in 0..events {
+        let (t, ..) = q.lock().pop().expect("hold population never empties");
+        let nt = t + 1 + rng.next() % HOLD_SPREAD;
+        q.lock().push(nt, seq, ());
+        seq += 1;
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// Hold-model seconds for the wheel-plus-inbox drain protocol: re-pushes
+/// are the run loop's own wakes (direct, no lock — as the engine inserts
+/// its timer events), and each pop is preceded by the atomic inbox-mask
+/// swap the engine uses to detect cross-thread insertions.
+pub fn wheel_hold_secs(events: u64, outstanding: usize) -> f64 {
+    let inbox_mask = AtomicU64::new(0);
+    let inbox: Mutex<Vec<(u64, u64)>> = Mutex::new(Vec::new());
+    let mut wheel = TimingWheel::new();
+    let mut rng = Lcg(0x5eed);
+    let mut seq = 0u64;
+    // Seed through the producer path, as ranks would.
+    {
+        let mut buf = inbox.lock();
+        for _ in 0..outstanding {
+            buf.push((rng.next() % HOLD_SPREAD, seq));
+            seq += 1;
+        }
+    }
+    inbox_mask.store(1, Ordering::Release);
+    let start = Instant::now();
+    for _ in 0..events {
+        if inbox_mask.swap(0, Ordering::Acquire) != 0 {
+            for (t, s) in inbox.lock().drain(..) {
+                wheel.push(t, s, ());
+            }
+        }
+        let (t, ..) = wheel.pop().expect("hold population never empties");
+        let nt = t + 1 + rng.next() % HOLD_SPREAD;
+        wheel.push(nt, seq, ());
+        seq += 1;
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// Run the hold-model comparison at the given size.
+pub fn sched_throughput(events: u64, outstanding: usize) -> SchedThroughput {
+    let heap_s = heap_hold_secs(events, outstanding);
+    let wheel_s = wheel_hold_secs(events, outstanding);
+    let heap_eps = events as f64 / heap_s;
+    let wheel_eps = events as f64 / wheel_s;
+    SchedThroughput {
+        events,
+        outstanding,
+        heap_events_per_sec: heap_eps,
+        wheel_events_per_sec: wheel_eps,
+        speedup: wheel_eps / heap_eps,
+    }
+}
+
+/// End-to-end engine event throughput: `nranks` ranks each advancing through
+/// `steps` compute slices (every slice is one scheduled wake-up), with a
+/// token chain ticking alongside. Returns processed events per host second.
+pub fn sim_events_per_sec(nranks: usize, steps: u64) -> f64 {
+    let sim = Simulation::new(nranks);
+    let handle = sim.handle();
+    handle.set_token_handler(move |h, tok| {
+        if tok > 0 {
+            h.schedule_token(h.now() + 7, tok - 1);
+        }
+    });
+    handle.schedule_token(1, steps);
+    let start = Instant::now();
+    let out = sim
+        .run(SimOpts::default(), move |ctx| {
+            for _ in 0..steps {
+                ctx.compute(5);
+            }
+        })
+        .expect("bench simulation completes");
+    out.events_processed as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Canonical hold-model size for the perf trajectory (`BENCH_*.json`) and
+/// the CI bench smoke: large enough that the heap pays its `O(log n)`
+/// comparisons and the wheel amortizes cascades, small enough to finish in
+/// well under a second.
+pub const TRAJECTORY_EVENTS: u64 = 200_000;
+/// Canonical hold population for the perf trajectory.
+pub const TRAJECTORY_OUTSTANDING: usize = 1 << 14;
+
+/// Allocation counters captured from [`crate::alloc::snapshot`].
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct AllocStats {
+    /// Allocation calls (alloc + realloc) since process start.
+    pub calls: u64,
+    /// Bytes requested across those calls.
+    pub bytes: u64,
+}
+
+/// One harness line in the perf trajectory.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct HarnessSummary {
+    /// Harness identifier (e.g. `"fig03"`).
+    pub id: &'static str,
+    /// Simulated ranks the harness spins up (largest configuration).
+    pub ranks: usize,
+    /// Host wall-clock seconds.
+    pub wall_s: f64,
+}
+
+/// Engine-level throughput numbers.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct EngineBench {
+    /// Full-`Simulation` processed events per host second.
+    pub sim_events_per_sec: f64,
+    /// Hold-model comparison of the two scheduler generations.
+    pub sched: SchedThroughput,
+}
+
+/// Top-level perf-trajectory record written by `repro --bench-json`.
+///
+/// One file of this shape is committed per PR that touches the hot path
+/// (`BENCH_pr4.json`, ...), seeding a comparable wall-clock/throughput
+/// series across the repo's history. See `docs/BENCHMARKS.md`.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct BenchReport {
+    /// Record-format identifier (`"overlap-bench-v1"`).
+    pub schema: &'static str,
+    /// Worker budget the harness run used.
+    pub jobs: usize,
+    /// Total wall-clock seconds for the harness selection.
+    pub total_wall_s: f64,
+    /// Per-harness wall-clock, in canonical order.
+    pub harnesses: Vec<HarnessSummary>,
+    /// Process-wide allocation counters at report time.
+    pub allocations: AllocStats,
+    /// Scheduler/engine micro-benchmarks at the canonical trajectory sizes.
+    pub engine: EngineBench,
+}
+
+/// Assemble the perf-trajectory record: runs the canonical hold-model
+/// comparison and the full-simulation throughput probe, then snapshots the
+/// allocation counters (so the micro-benchmarks' own allocations are
+/// included — they are identical run to run).
+pub fn bench_report(jobs: usize, total_wall_s: f64, harnesses: Vec<HarnessSummary>) -> BenchReport {
+    let sched = sched_throughput(TRAJECTORY_EVENTS, TRAJECTORY_OUTSTANDING);
+    let sim = sim_events_per_sec(4, 25_000);
+    let (calls, bytes) = crate::alloc::snapshot();
+    BenchReport {
+        schema: "overlap-bench-v1",
+        jobs,
+        total_wall_s,
+        harnesses,
+        allocations: AllocStats { calls, bytes },
+        engine: EngineBench {
+            sim_events_per_sec: sim,
+            sched,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hold_models_complete_and_report_positive_rates() {
+        let r = sched_throughput(10_000, 1 << 10);
+        assert_eq!(r.events, 10_000);
+        assert!(r.heap_events_per_sec > 0.0);
+        assert!(r.wheel_events_per_sec > 0.0);
+        assert!(r.speedup > 0.0);
+    }
+
+    #[test]
+    fn sim_throughput_is_positive() {
+        assert!(sim_events_per_sec(2, 500) > 0.0);
+    }
+}

@@ -11,6 +11,8 @@
 //! `EXPERIMENTS.md`.
 
 pub mod ablations;
+pub mod alloc;
+pub mod enginebench;
 pub mod figures;
 pub mod micro;
 pub mod runner;

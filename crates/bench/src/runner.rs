@@ -248,6 +248,11 @@ pub struct Cli {
     /// Where to write per-harness Chrome-trace + JSONL files
     /// (`--trace <dir>`); also arms trace capture.
     pub trace: Option<std::path::PathBuf>,
+    /// Where to write the perf-trajectory benchmark record
+    /// (`--bench-json <path>`): scheduler hold-model throughput, engine
+    /// events/sec, and allocation counts alongside per-harness wall-clock
+    /// (see [`crate::enginebench::BenchReport`]).
+    pub bench_json: Option<std::path::PathBuf>,
     /// `list` was requested.
     pub list: bool,
     /// The selected harnesses, in canonical order (figures, then ablations).
@@ -268,6 +273,7 @@ pub fn parse_cli(
     let mut jobs: Option<usize> = None;
     let mut json: Option<std::path::PathBuf> = None;
     let mut trace: Option<std::path::PathBuf> = None;
+    let mut bench_json: Option<std::path::PathBuf> = None;
     let mut list = false;
     let mut want_figures = false;
     let mut want_ablations = false;
@@ -307,6 +313,12 @@ pub fn parse_cli(
                     .ok_or_else(|| "--trace requires a directory".to_string())?;
                 trace = Some(std::path::PathBuf::from(v));
             }
+            "--bench-json" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--bench-json requires a path".to_string())?;
+                bench_json = Some(std::path::PathBuf::from(v));
+            }
             a if a.starts_with("--jobs=") => {
                 jobs = Some(parse_jobs(&a["--jobs=".len()..])?);
             }
@@ -315,6 +327,9 @@ pub fn parse_cli(
             }
             a if a.starts_with("--trace=") => {
                 trace = Some(std::path::PathBuf::from(&a["--trace=".len()..]));
+            }
+            a if a.starts_with("--bench-json=") => {
+                bench_json = Some(std::path::PathBuf::from(&a["--bench-json=".len()..]));
             }
             a if a.starts_with('-') => return Err(format!("unknown flag {a:?}")),
             a => ids.push(a),
@@ -347,6 +362,7 @@ pub fn parse_cli(
         jobs: jobs.unwrap_or_else(default_jobs),
         json,
         trace,
+        bench_json,
         list,
         selection,
     })

@@ -62,11 +62,50 @@ pub struct Processor {
     calls: BTreeMap<&'static str, CallStats>,
     anomalies: Anomalies,
     metrics: MetricsRegistry,
+    /// Built-in hot-path metrics as plain fields; folded into the
+    /// string-keyed `metrics` registry once, at finish. Keeping them out of
+    /// the `BTreeMap` means closing a transfer does no key allocation and no
+    /// map lookups.
+    builtin: BuiltinMetrics,
     /// Precomputed per-bin histogram names (`overlap_min_ns/<label>`,
     /// `overlap_max_ns/<label>`), so the fold path never formats strings.
     bin_metric_names: Vec<(String, String)>,
     /// Time-resolved capture; `None` keeps the paper's no-tracing default.
     trace: Option<RankTrace>,
+}
+
+/// The registry entries the processor maintains itself, held as direct
+/// fields while events stream through. [`Processor::finish_traced`] folds
+/// them into the [`MetricsRegistry`] under the same names (and only when
+/// they fired), so the serialized report is identical to one produced by
+/// per-event registry calls.
+struct BuiltinMetrics {
+    xfers_closed: u64,
+    xfers_flagged: u64,
+    xfers_clamped: u64,
+    calls_completed: u64,
+    xfer_apriori_ns: Histogram,
+    xfer_wall_ns: Histogram,
+    call_latency_ns: Histogram,
+    /// `(overlap_min_ns, overlap_max_ns)` histograms per size bin.
+    by_bin: Vec<(Histogram, Histogram)>,
+}
+
+impl BuiltinMetrics {
+    fn new(nbins: usize) -> Self {
+        BuiltinMetrics {
+            xfers_closed: 0,
+            xfers_flagged: 0,
+            xfers_clamped: 0,
+            calls_completed: 0,
+            xfer_apriori_ns: Histogram::latency_default(),
+            xfer_wall_ns: Histogram::latency_default(),
+            call_latency_ns: Histogram::latency_default(),
+            by_bin: (0..nbins)
+                .map(|_| (Histogram::latency_default(), Histogram::latency_default()))
+                .collect(),
+        }
+    }
 }
 
 impl Processor {
@@ -97,6 +136,7 @@ impl Processor {
             calls: BTreeMap::new(),
             anomalies: Anomalies::default(),
             metrics: MetricsRegistry::new(),
+            builtin: BuiltinMetrics::new(nbins),
             bin_metric_names,
             trace: None,
         }
@@ -191,33 +231,20 @@ impl Processor {
             note(&mut acc.total);
             note(&mut acc.by_bin[bin]);
         }
-        self.metrics.inc("xfers_closed", 1);
+        self.builtin.xfers_closed += 1;
         if flagged {
-            self.metrics.inc("xfers_flagged", 1);
+            self.builtin.xfers_flagged += 1;
         }
         if clamped {
-            self.metrics.inc("xfers_clamped", 1);
+            self.builtin.xfers_clamped += 1;
         }
-        self.metrics
-            .observe("xfer_apriori_ns", xfer_time, Histogram::latency_default);
+        self.builtin.xfer_apriori_ns.observe(xfer_time);
         if let Some(t0) = begin_t {
-            self.metrics.observe(
-                "xfer_wall_ns",
-                end_t.saturating_sub(t0),
-                Histogram::latency_default,
-            );
+            self.builtin.xfer_wall_ns.observe(end_t.saturating_sub(t0));
         }
-        let (min_name, max_name) = &self.bin_metric_names[bin];
-        self.metrics
-            .histograms
-            .entry(min_name.clone())
-            .or_insert_with(Histogram::latency_default)
-            .observe(bounds.min);
-        self.metrics
-            .histograms
-            .entry(max_name.clone())
-            .or_insert_with(Histogram::latency_default)
-            .observe(bounds.max);
+        let (min_hist, max_hist) = &mut self.builtin.by_bin[bin];
+        min_hist.observe(bounds.min);
+        max_hist.observe(bounds.max);
         if let Some(tr) = &mut self.trace {
             tr.bounds.push(BoundRecord {
                 id: Some(id),
@@ -258,9 +285,8 @@ impl Processor {
                         c.count += 1;
                         let dt = e.t.saturating_sub(t0);
                         c.total_time += dt;
-                        self.metrics.inc("calls_completed", 1);
-                        self.metrics
-                            .observe("call_latency_ns", dt, Histogram::latency_default);
+                        self.builtin.calls_completed += 1;
+                        self.builtin.call_latency_ns.observe(dt);
                     }
                 }
             }
@@ -423,6 +449,35 @@ impl Processor {
             );
         }
         let elapsed = end_time.saturating_sub(self.first_event.unwrap_or(end_time));
+        // Fold the built-in hot-path metrics into the registry, creating
+        // entries only for names that actually fired — exactly the set the
+        // old per-event registry calls would have created.
+        let b = self.builtin;
+        for (name, v) in [
+            ("xfers_closed", b.xfers_closed),
+            ("xfers_flagged", b.xfers_flagged),
+            ("xfers_clamped", b.xfers_clamped),
+            ("calls_completed", b.calls_completed),
+        ] {
+            if v > 0 {
+                self.metrics.inc(name, v);
+            }
+        }
+        let named = [
+            ("xfer_apriori_ns", b.xfer_apriori_ns),
+            ("xfer_wall_ns", b.xfer_wall_ns),
+            ("call_latency_ns", b.call_latency_ns),
+        ];
+        let bins = b.by_bin.into_iter().zip(&self.bin_metric_names).flat_map(
+            |((min_h, max_h), (min_name, max_name))| {
+                [(min_name.as_str(), min_h), (max_name.as_str(), max_h)]
+            },
+        );
+        for (name, h) in named.into_iter().chain(bins) {
+            if h.count() > 0 {
+                self.metrics.histograms.insert(name.to_string(), h);
+            }
+        }
         let trace = self.trace.take().map(|mut tr| {
             tr.rank = rank;
             tr

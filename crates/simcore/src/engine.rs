@@ -1,15 +1,29 @@
 //! The discrete-event engine and cooperative rank scheduler.
 //!
 //! The engine owns a time-ordered queue of entries, each either a
-//! state-mutating callback (used by the network model) or a rank wake-up.
-//! Ranks execute on dedicated OS threads but the engine hands control to at
-//! most one of them at a time through a rendezvous channel pair, so the whole
-//! simulation is logically single-threaded and deterministic: entries are
-//! ordered by `(time, sequence-number)`.
+//! state-mutating callback (used by the network model), a token delivery
+//! (a pre-registered handler applied to a `u64`, the allocation-free fast
+//! path), or a rank wake-up. Ranks execute on dedicated OS threads but the
+//! engine hands control to at most one of them at a time through a
+//! rendezvous channel pair, so the whole simulation is logically
+//! single-threaded and deterministic: entries are ordered by
+//! `(time, sequence-number)`.
+//!
+//! # Queue architecture
+//!
+//! The pending-event set lives in a hierarchical [`TimingWheel`] owned by
+//! the run loop itself — popping takes no lock. Producers (rank threads and
+//! event callbacks) append to one of a small number of sharded insertion
+//! buffers, picked per thread, and flag the shard in an atomic occupancy
+//! mask. Before each pop the engine drains exactly the flagged shards into
+//! the wheel, so a shard lock is taken once per drain batch rather than
+//! once per event, and an idle shard costs nothing. Global `(time, seq)`
+//! order is restored inside the wheel no matter which shard an entry
+//! travelled through, because sequence numbers are allocated in program
+//! order at push time.
 
-use std::collections::BinaryHeap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Arc;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
@@ -17,6 +31,7 @@ use parking_lot::Mutex;
 
 use crate::error::SimError;
 use crate::rank::RankCtx;
+use crate::sched::TimingWheel;
 use crate::time::{Duration, Time};
 use crate::truth::ActivityLog;
 
@@ -24,37 +39,20 @@ use crate::truth::ActivityLog;
 /// it can schedule follow-up events and wake ranks.
 type Callback = Box<dyn FnOnce(&EngineHandle) + Send>;
 
+/// Handler for [`Action::Token`] entries, registered once per simulation via
+/// [`EngineHandle::set_token_handler`].
+type TokenHandler = Arc<dyn Fn(&EngineHandle, u64) + Send + Sync>;
+
 pub(crate) enum Action {
     WakeRank(usize),
     Call(Callback),
+    Token(u64),
 }
 
 pub(crate) struct Entry {
     time: Time,
     seq: u64,
     action: Action,
-}
-
-impl PartialEq for Entry {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Entry {}
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Entry {
-    // Reversed so that `BinaryHeap` (a max-heap) pops the smallest
-    // `(time, seq)` first.
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,24 +70,76 @@ struct RankSlot {
 }
 
 /// Library-supplied diagnostic notes for one rank, dumped on deadlock.
+///
+/// Updated on the rank's hot yield path, so the fields are designed to be
+/// cheap to refresh: the blocked-on note is a shared `Arc<str>` the library
+/// re-clones only when its state fingerprint changes, and the last-call name
+/// is a `&'static str` stored by pointer.
 #[derive(Default)]
 pub(crate) struct DiagSlot {
-    pub(crate) blocked_on: Option<String>,
-    pub(crate) last_call: Option<String>,
+    pub(crate) blocked_on: Option<Arc<str>>,
+    pub(crate) last_call: Option<&'static str>,
+}
+
+/// Number of insertion-buffer shards. Power of two; at most 64 so the
+/// occupancy mask fits one `u64`.
+const INBOX_SHARDS: usize = 16;
+
+/// One insertion buffer, padded to its own cache line so producers on
+/// different shards never false-share.
+#[repr(align(64))]
+struct InboxShard {
+    buf: Mutex<Vec<Entry>>,
+}
+
+/// Global producer counter used to spread threads across inbox shards.
+static PRODUCER_IDS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's inbox shard index.
+    static MY_SHARD: usize =
+        PRODUCER_IDS.fetch_add(1, AtomicOrdering::Relaxed) % INBOX_SHARDS;
 }
 
 pub(crate) struct EngineShared {
-    queue: Mutex<BinaryHeap<Entry>>,
+    inbox: Box<[InboxShard]>,
+    /// Bit `s` set ⇒ shard `s` may hold entries; swapped to zero on drain.
+    inbox_mask: AtomicU64,
     now: AtomicU64,
     seq: AtomicU64,
     slots: Mutex<Vec<RankSlot>>,
-    pub(crate) diags: Mutex<Vec<DiagSlot>>,
+    pub(crate) diags: Box<[Mutex<DiagSlot>]>,
+    token_handler: Mutex<Option<TokenHandler>>,
 }
 
 impl EngineShared {
+    fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, AtomicOrdering::Relaxed)
+    }
+
     fn push(&self, time: Time, action: Action) {
-        let seq = self.seq.fetch_add(1, AtomicOrdering::Relaxed);
-        self.queue.lock().push(Entry { time, seq, action });
+        let seq = self.next_seq();
+        let shard = MY_SHARD.with(|s| *s);
+        self.inbox[shard]
+            .buf
+            .lock()
+            .push(Entry { time, seq, action });
+        self.inbox_mask
+            .fetch_or(1 << shard, AtomicOrdering::Release);
+    }
+
+    /// Move every buffered entry into the wheel. Only shards flagged in the
+    /// occupancy mask are visited (and locked), once per drain.
+    fn drain_inbox(&self, wheel: &mut TimingWheel<Action>) {
+        let mut mask = self.inbox_mask.swap(0, AtomicOrdering::Acquire);
+        while mask != 0 {
+            let s = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let mut buf = self.inbox[s].buf.lock();
+            for e in buf.drain(..) {
+                wheel.push(e.time, e.seq, e.action);
+            }
+        }
     }
 }
 
@@ -122,6 +172,26 @@ impl EngineHandle {
         F: FnOnce(&EngineHandle) + Send + 'static,
     {
         self.schedule_at(self.now().saturating_add(delay), f);
+    }
+
+    /// Register the handler invoked for every token scheduled with
+    /// [`EngineHandle::schedule_token`]. One handler per simulation (a later
+    /// call replaces the previous one); it must be installed before
+    /// [`crate::Simulation::run`], which snapshots it once at startup.
+    pub fn set_token_handler<F>(&self, f: F)
+    where
+        F: Fn(&EngineHandle, u64) + Send + Sync + 'static,
+    {
+        *self.shared.token_handler.lock() = Some(Arc::new(f));
+    }
+
+    /// Schedule the registered token handler to run on `token` at absolute
+    /// virtual time `t` (clamped to `now`). Unlike [`EngineHandle::schedule_at`]
+    /// this allocates nothing: the token is a plain `u64`, typically an index
+    /// into a caller-owned arena describing the work.
+    pub fn schedule_token(&self, t: Time, token: u64) {
+        let t = t.max(self.now());
+        self.shared.push(t, Action::Token(token));
     }
 
     /// Wake rank `r` if it is parked. No-op for running, sleeping (a rank
@@ -186,11 +256,19 @@ impl Simulation {
             .collect();
         Simulation {
             shared: Arc::new(EngineShared {
-                queue: Mutex::new(BinaryHeap::new()),
+                inbox: (0..INBOX_SHARDS)
+                    .map(|_| InboxShard {
+                        buf: Mutex::new(Vec::new()),
+                    })
+                    .collect(),
+                inbox_mask: AtomicU64::new(0),
                 now: AtomicU64::new(0),
                 seq: AtomicU64::new(0),
                 slots: Mutex::new(slots),
-                diags: Mutex::new((0..nranks).map(|_| DiagSlot::default()).collect()),
+                diags: (0..nranks)
+                    .map(|_| Mutex::new(DiagSlot::default()))
+                    .collect(),
+                token_handler: Mutex::new(None),
             }),
             nranks,
         }
@@ -265,17 +343,28 @@ impl Simulation {
             }
         }
 
+        // The pending-event set. Owned by this loop: pops never lock. The
+        // handler snapshot is taken once — tokens are dispatched without
+        // touching the registration mutex again.
+        let mut wheel: TimingWheel<Action> = TimingWheel::new();
+        let token_handler = self.shared.token_handler.lock().clone();
+
         // Kick off every rank at t = 0.
         for r in 0..n {
-            self.shared.push(0, Action::WakeRank(r));
+            let seq = self.shared.next_seq();
+            wheel.push(0, seq, Action::WakeRank(r));
         }
 
         let handle = self.handle();
         let mut logs: Vec<Option<ActivityLog>> = (0..n).map(|_| None).collect();
         let mut events: u64 = 0;
         let result = 'main: loop {
-            let entry = self.shared.queue.lock().pop();
-            let Some(entry) = entry else {
+            // Adopt everything produced since the last entry ran. Ranks only
+            // execute while the engine blocks on their yield channel, so by
+            // this point all their pushes are visible and nothing new can
+            // arrive before the pop below.
+            self.shared.drain_inbox(&mut wheel);
+            let Some((time, _seq, action)) = wheel.pop() else {
                 let slots = self.shared.slots.lock();
                 let stuck: Vec<usize> = slots
                     .iter()
@@ -287,16 +376,17 @@ impl Simulation {
                     break Ok(());
                 }
                 drop(slots);
-                let diag_slots = self.shared.diags.lock();
                 let diags = stuck
                     .iter()
-                    .map(|&r| crate::error::RankDiag {
-                        rank: r,
-                        blocked_on: diag_slots[r].blocked_on.clone(),
-                        last_call: diag_slots[r].last_call.clone(),
+                    .map(|&r| {
+                        let d = self.shared.diags[r].lock();
+                        crate::error::RankDiag {
+                            rank: r,
+                            blocked_on: d.blocked_on.as_ref().map(|s| s.to_string()),
+                            last_call: d.last_call.map(|s| s.to_string()),
+                        }
                     })
                     .collect();
-                drop(diag_slots);
                 break Err(SimError::Deadlock {
                     parked: stuck,
                     at: handle.now(),
@@ -310,15 +400,24 @@ impl Simulation {
                 }
             }
             if let Some(limit) = opts.max_time {
-                if entry.time > limit {
+                if time > limit {
                     break Err(SimError::TimeLimitExceeded { limit });
                 }
             }
-            debug_assert!(entry.time >= handle.now(), "time went backwards");
-            self.shared.now.store(entry.time, AtomicOrdering::Relaxed);
+            debug_assert!(time >= handle.now(), "time went backwards");
+            self.shared.now.store(time, AtomicOrdering::Relaxed);
 
-            match entry.action {
+            match action {
                 Action::Call(f) => f(&handle),
+                Action::Token(tok) => {
+                    debug_assert!(
+                        token_handler.is_some(),
+                        "token {tok} scheduled without a registered handler"
+                    );
+                    if let Some(h) = &token_handler {
+                        h(&handle, tok);
+                    }
+                }
                 Action::WakeRank(r) => {
                     let should_run = {
                         let mut slots = self.shared.slots.lock();
@@ -345,7 +444,10 @@ impl Simulation {
                     match yield_rxs[r].recv() {
                         Ok(YieldMsg::Sleep(t)) => {
                             self.shared.slots.lock()[r].phase = Phase::Sleeping;
-                            self.shared.push(t.max(handle.now()), Action::WakeRank(r));
+                            // Engine-local: straight into the wheel, skipping
+                            // the inbox (same seq counter, same order).
+                            let seq = self.shared.next_seq();
+                            wheel.push(t.max(handle.now()), seq, Action::WakeRank(r));
                         }
                         Ok(YieldMsg::Park) => {
                             self.shared.slots.lock()[r].phase = Phase::Parked;
@@ -592,5 +694,45 @@ mod tests {
         }
         sim.run(SimOpts::default(), |ctx| ctx.park()).unwrap();
         assert_eq!(&*seen.lock(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn tokens_dispatch_through_handler_in_order() {
+        let sim = Simulation::new(1);
+        let handle = sim.handle();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        handle.set_token_handler(move |h, tok| {
+            seen2.lock().push((h.now(), tok));
+            if tok == 7 {
+                h.wake_rank(0);
+            }
+        });
+        handle.schedule_token(30, 7);
+        handle.schedule_token(10, 3);
+        handle.schedule_token(10, 4);
+        sim.run(SimOpts::default(), |ctx| ctx.park()).unwrap();
+        assert_eq!(&*seen.lock(), &[(10, 3), (10, 4), (30, 7)]);
+    }
+
+    #[test]
+    fn tokens_and_callbacks_interleave_by_schedule_order() {
+        let sim = Simulation::new(1);
+        let handle = sim.handle();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        handle.set_token_handler(move |_h, tok| seen2.lock().push(tok as i64));
+        let seen3 = Arc::clone(&seen);
+        handle.schedule_token(5, 1);
+        handle.schedule_at(5, move |h| {
+            seen3.lock().push(-1);
+            h.wake_rank(0);
+        });
+        handle.schedule_token(5, 2);
+        let err = sim.run(SimOpts::default(), |ctx| ctx.park());
+        // Token 2 runs after the callback that wakes rank 0; the rank then
+        // finishes, so the run completes cleanly.
+        err.unwrap();
+        assert_eq!(&*seen.lock(), &[1, -1, 2]);
     }
 }

@@ -59,6 +59,7 @@ pub mod engine;
 pub mod error;
 pub mod intervals;
 pub mod rank;
+pub mod sched;
 pub mod time;
 pub mod truth;
 

@@ -93,20 +93,27 @@ impl RankCtx {
         self.yield_to_engine(YieldMsg::Park);
         let end = self.now();
         self.log.record(start, end, Activity::LibraryWait);
-        self.shared.diags.lock()[self.rank].blocked_on = None;
+        self.shared.diags[self.rank].lock().blocked_on = None;
     }
 
     /// Describe what this rank is about to block on. Dumped per rank in
     /// [`crate::SimError::Deadlock`] if the simulation wedges; cleared
     /// automatically when [`RankCtx::park`] returns.
-    pub fn note_blocked_on(&self, what: impl Into<String>) {
-        self.shared.diags.lock()[self.rank].blocked_on = Some(what.into());
+    ///
+    /// This sits on the park hot path, so the note is shared, not copied:
+    /// pass a cached `Arc<str>` (re-rendered only when the underlying state
+    /// actually changes) and the call is a refcount bump plus a store into
+    /// this rank's own diagnostic slot. Plain `&str` / `String` arguments
+    /// still work and allocate once here.
+    pub fn note_blocked_on(&self, what: impl Into<Arc<str>>) {
+        self.shared.diags[self.rank].lock().blocked_on = Some(what.into());
     }
 
     /// Record the name of the library call the rank just entered (also
-    /// dumped in the deadlock diagnostic).
-    pub fn note_call(&self, name: &str) {
-        self.shared.diags.lock()[self.rank].last_call = Some(name.to_string());
+    /// dumped in the deadlock diagnostic). Stored by pointer — no
+    /// allocation or copy.
+    pub fn note_call(&self, name: &'static str) {
+        self.shared.diags[self.rank].lock().last_call = Some(name);
     }
 
     /// Ground-truth log recorded so far (read-only).

@@ -20,11 +20,12 @@
 //! `simnet::world` module docs for why this is load-bearing).
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 use bytes::Bytes;
 use overlap_core::{OverlapReport, Recorder, RecorderOpts, XferTimeTable};
 use simcore::{Activity, Duration, RankCtx, Time};
-use simnet::{Completion, NetConfig, Packet, RegionId, SharedWorld, XferId};
+use simnet::{Completion, NetConfig, NicStats, Packet, RegionId, SharedWorld, XferId};
 
 use crate::config::{MpiConfig, RndvMode};
 use crate::proto::{self, wr_kind};
@@ -180,7 +181,16 @@ pub struct Mpi<'a> {
     next_icoll: u64,
     /// Sequence/ACK/retransmission layer; pass-through on loss-free fabrics.
     rel: Reliability,
+    /// Rendered blocked-on note plus the state fingerprint it describes.
+    /// `wait_for_event` parks on every poll miss, so the note is reformatted
+    /// only when the fingerprint changes and shared with the engine as an
+    /// `Arc<str>` otherwise.
+    blocked_note_cache: Option<(BlockedFingerprint, Arc<str>)>,
 }
+
+/// The pieces of per-rank state the blocked-on diagnostic renders. Two equal
+/// fingerprints produce the same note text.
+type BlockedFingerprint = (usize, usize, usize, usize, usize, usize);
 
 impl<'a> Mpi<'a> {
     /// Initialize the library on this rank (the `MPI_Init` analogue: loads
@@ -236,6 +246,7 @@ impl<'a> Mpi<'a> {
             icolls: HashMap::new(),
             next_icoll: 0,
             rel,
+            blocked_note_cache: None,
         };
         mpi.call_enter("MPI_Init");
         mpi.barrier_inner();
@@ -1460,28 +1471,44 @@ impl<'a> Mpi<'a> {
     /// Before parking, leave a blocked-on note so a deadlock dump can say
     /// what this rank was waiting for.
     fn wait_for_event(&mut self) {
-        let has = self.world.lock().has_host_events(self.rank);
+        let (has, nic) = {
+            let w = self.world.lock();
+            (w.has_host_events(self.rank), w.nic_stats(self.rank))
+        };
         if !has {
-            self.ctx.note_blocked_on(self.blocked_note());
+            let note = self.blocked_note(nic);
+            self.ctx.note_blocked_on(note);
             self.ctx.park();
         }
     }
 
     /// Snapshot of this rank's pending communication state, for the
-    /// per-rank deadlock diagnostic.
-    fn blocked_note(&self) -> String {
-        let nic = self.world.lock().nic_stats(self.rank);
+    /// per-rank deadlock diagnostic. Cached: the text is re-rendered only
+    /// when the state fingerprint differs from the previous park, which on
+    /// the poll-park hot path almost never happens.
+    fn blocked_note(&mut self, nic: NicStats) -> Arc<str> {
         let open_reqs = self.reqs.values().filter(|r| !r.is_done()).count();
-        format!(
-            "{} incomplete requests ({} posted recvs, {} unexpected arrivals, \
-             {} un-ACKed sends); NIC backlog rx={} cq={}",
+        let fp: BlockedFingerprint = (
             open_reqs,
             self.posted.len(),
             self.unexpected.len(),
             self.rel.pending_packets(),
             nic.rx_backlog,
             nic.cq_backlog,
+        );
+        if let Some((cached_fp, note)) = &self.blocked_note_cache {
+            if *cached_fp == fp {
+                return Arc::clone(note);
+            }
+        }
+        let note: Arc<str> = format!(
+            "{} incomplete requests ({} posted recvs, {} unexpected arrivals, \
+             {} un-ACKed sends); NIC backlog rx={} cq={}",
+            fp.0, fp.1, fp.2, fp.3, fp.4, fp.5,
         )
+        .into();
+        self.blocked_note_cache = Some((fp, Arc::clone(&note)));
+        note
     }
 
     // ---- synchronization helpers (used by collectives) --------------------

@@ -1,0 +1,167 @@
+//! A free-list slab arena for in-flight fabric work.
+//!
+//! Every message the fabric has accepted but not yet delivered lives in one
+//! of these slabs, addressed by a dense `usize` key that doubles as the
+//! engine's scheduling token. Vacated slots are chained into a free list and
+//! reused, so at steady state posting a message performs **zero heap
+//! allocations**: the slab's backing vector stops growing once it covers the
+//! peak number of simultaneously in-flight operations.
+
+/// A slab allocator handing out dense `usize` keys with O(1) insert/remove
+/// and slot reuse via an intrusive free list.
+///
+/// ```
+/// use simnet::arena::Slab;
+///
+/// let mut slab = Slab::new();
+/// let a = slab.insert("alpha");
+/// let b = slab.insert("beta");
+/// assert_eq!(slab.remove(a), "alpha");
+/// let c = slab.insert("gamma"); // reuses slot `a`
+/// assert_eq!(c, a);
+/// assert_eq!(slab.len(), 2);
+/// let _ = b;
+/// ```
+pub struct Slab<T> {
+    entries: Vec<Entry<T>>,
+    free_head: usize,
+    len: usize,
+}
+
+enum Entry<T> {
+    Occupied(T),
+    /// Index of the next vacant slot (`usize::MAX` terminates the list).
+    Vacant(usize),
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Self {
+        Slab {
+            entries: Vec::new(),
+            free_head: usize::MAX,
+            len: 0,
+        }
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no slots are occupied.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total slots allocated (occupied + reusable).
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Store `value`, returning its key. Reuses a vacant slot when one
+    /// exists; grows the backing vector otherwise.
+    pub fn insert(&mut self, value: T) -> usize {
+        self.len += 1;
+        if self.free_head != usize::MAX {
+            let key = self.free_head;
+            match std::mem::replace(&mut self.entries[key], Entry::Occupied(value)) {
+                Entry::Vacant(next) => self.free_head = next,
+                Entry::Occupied(_) => unreachable!("free list pointed at an occupied slot"),
+            }
+            key
+        } else {
+            self.entries.push(Entry::Occupied(value));
+            self.entries.len() - 1
+        }
+    }
+
+    /// Remove and return the value at `key`, recycling its slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is vacant or out of bounds — a token must be redeemed
+    /// exactly once.
+    pub fn remove(&mut self, key: usize) -> T {
+        match std::mem::replace(&mut self.entries[key], Entry::Vacant(self.free_head)) {
+            Entry::Occupied(value) => {
+                self.free_head = key;
+                self.len -= 1;
+                value
+            }
+            Entry::Vacant(next) => {
+                // Restore the list before panicking so the slab stays valid.
+                self.entries[key] = Entry::Vacant(next);
+                panic!("slab key {key} redeemed twice");
+            }
+        }
+    }
+
+    /// Borrow the value at `key`, if occupied.
+    pub fn get(&self, key: usize) -> Option<&T> {
+        match self.entries.get(key) {
+            Some(Entry::Occupied(v)) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut s = Slab::new();
+        let k1 = s.insert(10);
+        let k2 = s.insert(20);
+        let k3 = s.insert(30);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.remove(k2), 20);
+        assert_eq!(s.remove(k1), 10);
+        assert_eq!(s.get(k3), Some(&30));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn slots_are_reused_lifo() {
+        let mut s = Slab::new();
+        let k1 = s.insert("a");
+        let k2 = s.insert("b");
+        s.remove(k1);
+        s.remove(k2);
+        // Most recently freed first.
+        assert_eq!(s.insert("c"), k2);
+        assert_eq!(s.insert("d"), k1);
+        assert_eq!(s.capacity(), 2, "no growth after reuse");
+    }
+
+    #[test]
+    fn capacity_tracks_peak_not_total() {
+        let mut s = Slab::new();
+        for round in 0..100 {
+            let k = s.insert(round);
+            assert!(k < 2, "steady state must reuse the same slots");
+            let k2 = s.insert(round);
+            s.remove(k);
+            s.remove(k2);
+        }
+        assert_eq!(s.capacity(), 2);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "redeemed twice")]
+    fn double_remove_panics() {
+        let mut s = Slab::new();
+        let k = s.insert(1);
+        s.remove(k);
+        s.remove(k);
+    }
+}

@@ -18,6 +18,7 @@
 //! Every data operation is recorded with its physical `[start, end)` interval
 //! so tests can compare the instrumentation's bounds against ground truth.
 
+pub mod arena;
 pub mod cluster;
 pub mod config;
 pub mod fault;

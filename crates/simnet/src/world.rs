@@ -11,12 +11,13 @@
 //! short lock-scoped state transition; time costs are charged by the caller
 //! outside the lock.
 
-use std::sync::{Arc, Weak};
+use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
 use simcore::{EngineHandle, Time};
 
+use crate::arena::Slab;
 use crate::config::NetConfig;
 use crate::fault::{FaultEvent, FaultKind, FaultRng};
 use crate::memory::{NodeMemory, RegionId};
@@ -48,17 +49,102 @@ pub struct NicStats {
     pub cq_backlog: usize,
 }
 
+/// One accepted-but-not-yet-applied fabric operation, parked in the
+/// [`World::pending`] arena until its scheduled virtual time. The arena key
+/// is the engine scheduling token, so dispatching an event is an arena
+/// `remove` plus a state transition — no per-message closure boxing.
+enum Pending {
+    /// Two-sided send reaching `dst`: packet into the receive queue, local
+    /// completion into `src`'s CQ.
+    SendDeliver {
+        src: usize,
+        dst: usize,
+        wr: WrId,
+        user: u64,
+        packet: Packet,
+    },
+    /// A send whose packet the fault injector dropped: only the local
+    /// completion fires (the NIC just saw the bytes leave).
+    SendDropComplete { src: usize, wr: WrId, user: u64 },
+    /// Fault-injected duplicate copy trailing the original delivery.
+    DupDeliver { dst: usize, packet: Packet },
+    /// RDMA Write placement: bytes into `dst`'s registered memory, local
+    /// completion, optional notify packet after the data.
+    WriteApply {
+        src: usize,
+        dst: usize,
+        region: RegionId,
+        off: usize,
+        data: Bytes,
+        wr: WrId,
+        user: u64,
+        notify: Option<Packet>,
+    },
+    /// NIC-atomic elementwise `f64` accumulate into `dst`'s memory.
+    AccApply {
+        src: usize,
+        dst: usize,
+        region: RegionId,
+        off: usize,
+        data: Vec<f64>,
+        wr: WrId,
+        user: u64,
+    },
+    /// Fetch-and-add request arriving at the target NIC; performs the atomic
+    /// and schedules the reply leg.
+    FetchAddRequest {
+        initiator: usize,
+        target: usize,
+        region: RegionId,
+        off: usize,
+        delta: u64,
+        wr: WrId,
+        user: u64,
+    },
+    /// Fetch-and-add reply delivering the previous value to the initiator.
+    FetchAddReply {
+        initiator: usize,
+        wr: WrId,
+        user: u64,
+        old: u64,
+    },
+    /// RDMA Read request arriving at the target NIC; snapshots the region
+    /// and schedules the response leg.
+    ReadRequest {
+        initiator: usize,
+        target: usize,
+        region: RegionId,
+        off: usize,
+        len: usize,
+        wr: WrId,
+        user: u64,
+        notify: Option<Packet>,
+        xfer: Option<XferId>,
+    },
+    /// RDMA Read response delivering the snapshot to the initiator's CQ,
+    /// with an optional notify packet for the target.
+    ReadReply {
+        initiator: usize,
+        target: usize,
+        wr: WrId,
+        user: u64,
+        snapshot: Bytes,
+        notify: Option<Packet>,
+    },
+}
+
 /// All fabric state: NICs, registered memory, ground-truth transfer log.
 pub struct World {
     cfg: NetConfig,
     handle: EngineHandle,
-    self_ref: Weak<Mutex<World>>,
     nics: Vec<Nic>,
     mem: Vec<NodeMemory>,
     next_wr: u64,
     next_region: u64,
     next_xfer: u64,
     transfers: Vec<TransferRecord>,
+    /// Free-list arena of in-flight operations, keyed by scheduling token.
+    pending: Slab<Pending>,
     /// Cached `!cfg.faults.is_empty()` — the fault-free fast path must not
     /// even inspect the plan per packet.
     faulty: bool,
@@ -68,25 +154,250 @@ pub struct World {
 
 impl World {
     /// Build the fabric for `nnodes` nodes on the given engine.
+    ///
+    /// Registers itself as the engine's token handler (the fabric owns the
+    /// simulation's token namespace — tokens are keys into its pending-work
+    /// arena), so this must run before `Simulation::run` and nothing else on
+    /// the same engine may call `set_token_handler`.
     pub fn new_shared(cfg: NetConfig, handle: EngineHandle, nnodes: usize) -> SharedWorld {
         let faulty = !cfg.faults.is_empty();
         let fault_rng = FaultRng::new(cfg.faults.seed);
         let world = Arc::new(Mutex::new(World {
             cfg,
-            handle,
-            self_ref: Weak::new(),
+            handle: handle.clone(),
             nics: (0..nnodes).map(|_| Nic::new()).collect(),
             mem: (0..nnodes).map(|_| NodeMemory::new()).collect(),
             next_wr: 0,
             next_region: 0,
             next_xfer: 0,
             transfers: Vec::new(),
+            pending: Slab::new(),
             faulty,
             fault_rng,
             fault_events: Vec::new(),
         }));
-        world.lock().self_ref = Arc::downgrade(&world);
+        // Weak capture: a strong one would cycle (World holds the engine
+        // handle, the engine holds the handler).
+        let weak = Arc::downgrade(&world);
+        handle.set_token_handler(move |h, token| {
+            if let Some(w) = weak.upgrade() {
+                World::dispatch(&w, h, token);
+            }
+        });
         world
+    }
+
+    /// Redeem `token` from the pending arena and apply the operation.
+    /// Ranks are woken after the world lock is released (the engine's lock
+    /// ordering rule), in the same order the closure-based paths used.
+    fn dispatch(world: &SharedWorld, h: &EngineHandle, token: u64) {
+        let mut w = world.lock();
+        match w.pending.remove(token as usize) {
+            Pending::SendDeliver {
+                src,
+                dst,
+                wr,
+                user,
+                packet,
+            } => {
+                w.nics[dst].rx.push_back(packet);
+                w.nics[dst].packets_delivered += 1;
+                w.nics[src].cq.push_back(Completion {
+                    wr_id: wr,
+                    user,
+                    data: None,
+                });
+                w.nics[src].completions_generated += 1;
+                drop(w);
+                h.wake_rank(dst);
+                h.wake_rank(src);
+            }
+            Pending::SendDropComplete { src, wr, user } => {
+                w.nics[src].cq.push_back(Completion {
+                    wr_id: wr,
+                    user,
+                    data: None,
+                });
+                w.nics[src].completions_generated += 1;
+                drop(w);
+                h.wake_rank(src);
+            }
+            Pending::DupDeliver { dst, packet } => {
+                w.nics[dst].rx.push_back(packet);
+                w.nics[dst].packets_delivered += 1;
+                drop(w);
+                h.wake_rank(dst);
+            }
+            Pending::WriteApply {
+                src,
+                dst,
+                region,
+                off,
+                data,
+                wr,
+                user,
+                notify,
+            } => {
+                let mem = w.mem[dst]
+                    .get_mut(region)
+                    .expect("RDMA write to unknown region");
+                mem[off..off + data.len()].copy_from_slice(&data);
+                w.nics[src].cq.push_back(Completion {
+                    wr_id: wr,
+                    user,
+                    data: None,
+                });
+                w.nics[src].completions_generated += 1;
+                let wake_dst = if let Some(p) = notify {
+                    w.nics[dst].rx.push_back(p);
+                    w.nics[dst].packets_delivered += 1;
+                    true
+                } else {
+                    false
+                };
+                drop(w);
+                h.wake_rank(src);
+                if wake_dst {
+                    h.wake_rank(dst);
+                }
+            }
+            Pending::AccApply {
+                src,
+                dst,
+                region,
+                off,
+                data,
+                wr,
+                user,
+            } => {
+                let mem = w.mem[dst]
+                    .get_mut(region)
+                    .expect("RDMA accumulate into unknown region");
+                for (i, v) in data.iter().enumerate() {
+                    let o = off + i * 8;
+                    let cur = f64::from_le_bytes(mem[o..o + 8].try_into().unwrap());
+                    mem[o..o + 8].copy_from_slice(&(cur + v).to_le_bytes());
+                }
+                w.nics[src].cq.push_back(Completion {
+                    wr_id: wr,
+                    user,
+                    data: None,
+                });
+                w.nics[src].completions_generated += 1;
+                drop(w);
+                h.wake_rank(src);
+            }
+            Pending::FetchAddRequest {
+                initiator,
+                target,
+                region,
+                off,
+                delta,
+                wr,
+                user,
+            } => {
+                let busy = w.cfg.serialize(8);
+                let dma_start = w.nics[target].reserve_dma(h.now(), busy);
+                let mem = w.mem[target]
+                    .get_mut(region)
+                    .expect("fetch-add on unknown region");
+                let old = u64::from_le_bytes(mem[off..off + 8].try_into().unwrap());
+                mem[off..off + 8].copy_from_slice(&(old.wrapping_add(delta)).to_le_bytes());
+                let back = w.latency(target, initiator);
+                let arrival = dma_start + busy + back;
+                let reply = w.pending.insert(Pending::FetchAddReply {
+                    initiator,
+                    wr,
+                    user,
+                    old,
+                });
+                w.handle.schedule_token(arrival, reply as u64);
+            }
+            Pending::FetchAddReply {
+                initiator,
+                wr,
+                user,
+                old,
+            } => {
+                w.nics[initiator].cq.push_back(Completion {
+                    wr_id: wr,
+                    user,
+                    data: Some(Bytes::copy_from_slice(&old.to_le_bytes())),
+                });
+                w.nics[initiator].completions_generated += 1;
+                drop(w);
+                h.wake_rank(initiator);
+            }
+            Pending::ReadRequest {
+                initiator,
+                target,
+                region,
+                off,
+                len,
+                wr,
+                user,
+                notify,
+                xfer,
+            } => {
+                let busy = w.cfg.serialize(len);
+                let dma_start = w.nics[target].reserve_dma(h.now(), busy);
+                let snapshot = Bytes::copy_from_slice(
+                    &w.mem[target]
+                        .get(region)
+                        .expect("RDMA read of unknown region")[off..off + len],
+                );
+                // The response stream is subject to the initiator's ingress
+                // contention, like any other inbound data.
+                let arrival = w.arrival_time(target, initiator, dma_start, len);
+                if let Some(id) = xfer {
+                    w.transfers.push(TransferRecord {
+                        xfer_id: id.0,
+                        src: target,
+                        dst: initiator,
+                        bytes: len,
+                        phys_start: dma_start,
+                        phys_end: arrival,
+                        kind: TransferKind::RdmaRead,
+                    });
+                }
+                let reply = w.pending.insert(Pending::ReadReply {
+                    initiator,
+                    target,
+                    wr,
+                    user,
+                    snapshot,
+                    notify,
+                });
+                w.handle.schedule_token(arrival, reply as u64);
+            }
+            Pending::ReadReply {
+                initiator,
+                target,
+                wr,
+                user,
+                snapshot,
+                notify,
+            } => {
+                w.nics[initiator].cq.push_back(Completion {
+                    wr_id: wr,
+                    user,
+                    data: Some(snapshot),
+                });
+                w.nics[initiator].completions_generated += 1;
+                let wake_target = if let Some(p) = notify {
+                    w.nics[target].rx.push_back(p);
+                    w.nics[target].packets_delivered += 1;
+                    true
+                } else {
+                    false
+                };
+                drop(w);
+                h.wake_rank(initiator);
+                if wake_target {
+                    h.wake_rank(target);
+                }
+            }
+        }
     }
 
     /// Fabric configuration.
@@ -165,10 +476,10 @@ impl World {
         }
     }
 
-    fn upgrade(&self) -> SharedWorld {
-        self.self_ref
-            .upgrade()
-            .expect("world dropped while events in flight")
+    /// Park `op` in the pending arena and schedule its token for `at`.
+    fn schedule_pending(&mut self, at: Time, op: Pending) {
+        let token = self.pending.insert(op);
+        self.handle.schedule_token(at, token as u64);
     }
 
     /// Post a two-sided send. The packet lands in `dst`'s receive queue and a
@@ -276,44 +587,22 @@ impl World {
         }
         if let Some(dup_at) = dup_arrival {
             let copy = packet.clone();
-            let world = self.upgrade();
-            self.handle.schedule_at(dup_at, move |h| {
-                let mut w = world.lock();
-                w.nics[dst].rx.push_back(copy);
-                w.nics[dst].packets_delivered += 1;
-                drop(w);
-                h.wake_rank(dst);
-            });
+            self.schedule_pending(dup_at, Pending::DupDeliver { dst, packet: copy });
         }
-        let world = self.upgrade();
         if deliver {
-            self.handle.schedule_at(arrival, move |h| {
-                let mut w = world.lock();
-                w.nics[dst].rx.push_back(packet);
-                w.nics[dst].packets_delivered += 1;
-                w.nics[src].cq.push_back(Completion {
-                    wr_id: wr,
+            self.schedule_pending(
+                arrival,
+                Pending::SendDeliver {
+                    src,
+                    dst,
+                    wr,
                     user,
-                    data: None,
-                });
-                w.nics[src].completions_generated += 1;
-                drop(w);
-                h.wake_rank(dst);
-                h.wake_rank(src);
-            });
+                    packet,
+                },
+            );
         } else {
             // Dropped in the fabric: the send still completes locally.
-            self.handle.schedule_at(arrival, move |h| {
-                let mut w = world.lock();
-                w.nics[src].cq.push_back(Completion {
-                    wr_id: wr,
-                    user,
-                    data: None,
-                });
-                w.nics[src].completions_generated += 1;
-                drop(w);
-                h.wake_rank(src);
-            });
+            self.schedule_pending(arrival, Pending::SendDropComplete { src, wr, user });
         }
         wr
     }
@@ -353,32 +642,19 @@ impl World {
                 kind: TransferKind::RdmaWrite,
             });
         }
-        let world = self.upgrade();
-        self.handle.schedule_at(arrival, move |h| {
-            let mut w = world.lock();
-            let region = w.mem[dst]
-                .get_mut(dst_region)
-                .expect("RDMA write to unknown region");
-            region[dst_off..dst_off + data.len()].copy_from_slice(&data);
-            w.nics[src].cq.push_back(Completion {
-                wr_id: wr,
+        self.schedule_pending(
+            arrival,
+            Pending::WriteApply {
+                src,
+                dst,
+                region: dst_region,
+                off: dst_off,
+                data,
+                wr,
                 user,
-                data: None,
-            });
-            w.nics[src].completions_generated += 1;
-            let wake_dst = if let Some(p) = notify {
-                w.nics[dst].rx.push_back(p);
-                w.nics[dst].packets_delivered += 1;
-                true
-            } else {
-                false
-            };
-            drop(w);
-            h.wake_rank(src);
-            if wake_dst {
-                h.wake_rank(dst);
-            }
-        });
+                notify,
+            },
+        );
         wr
     }
 
@@ -415,26 +691,18 @@ impl World {
                 kind: TransferKind::RdmaWrite,
             });
         }
-        let world = self.upgrade();
-        self.handle.schedule_at(arrival, move |h| {
-            let mut w = world.lock();
-            let region = w.mem[dst]
-                .get_mut(dst_region)
-                .expect("RDMA accumulate into unknown region");
-            for (i, v) in data.iter().enumerate() {
-                let off = dst_off + i * 8;
-                let cur = f64::from_le_bytes(region[off..off + 8].try_into().unwrap());
-                region[off..off + 8].copy_from_slice(&(cur + v).to_le_bytes());
-            }
-            w.nics[src].cq.push_back(Completion {
-                wr_id: wr,
+        self.schedule_pending(
+            arrival,
+            Pending::AccApply {
+                src,
+                dst,
+                region: dst_region,
+                off: dst_off,
+                data,
+                wr,
                 user,
-                data: None,
-            });
-            w.nics[src].completions_generated += 1;
-            drop(w);
-            h.wake_rank(src);
-        });
+            },
+        );
         wr
     }
 
@@ -455,32 +723,18 @@ impl World {
         let wr = self.alloc_wr();
         let now = self.now();
         let request_at = now + self.latency(initiator, target);
-        let world = self.upgrade();
-        self.handle.schedule_at(request_at, move |h| {
-            let mut w = world.lock();
-            let busy = w.cfg.serialize(8);
-            let dma_start = w.nics[target].reserve_dma(h.now(), busy);
-            let mem = w.mem[target]
-                .get_mut(region)
-                .expect("fetch-add on unknown region");
-            let old = u64::from_le_bytes(mem[off..off + 8].try_into().unwrap());
-            mem[off..off + 8].copy_from_slice(&(old.wrapping_add(delta)).to_le_bytes());
-            let back = w.latency(target, initiator);
-            let arrival = dma_start + busy + back;
-            let world2 = w.upgrade();
-            drop(w);
-            h.schedule_at(arrival, move |h2| {
-                let mut w = world2.lock();
-                w.nics[initiator].cq.push_back(Completion {
-                    wr_id: wr,
-                    user,
-                    data: Some(Bytes::copy_from_slice(&old.to_le_bytes())),
-                });
-                w.nics[initiator].completions_generated += 1;
-                drop(w);
-                h2.wake_rank(initiator);
-            });
-        });
+        self.schedule_pending(
+            request_at,
+            Pending::FetchAddRequest {
+                initiator,
+                target,
+                region,
+                off,
+                delta,
+                wr,
+                user,
+            },
+        );
         wr
     }
 
@@ -505,54 +759,20 @@ impl World {
         let wr = self.alloc_wr();
         let now = self.now();
         let request_at = now + self.latency(initiator, target);
-        let world = self.upgrade();
-        self.handle.schedule_at(request_at, move |h| {
-            let mut w = world.lock();
-            let busy = w.cfg.serialize(len);
-            let dma_start = w.nics[target].reserve_dma(h.now(), busy);
-            let snapshot = Bytes::copy_from_slice(
-                &w.mem[target]
-                    .get(region)
-                    .expect("RDMA read of unknown region")[off..off + len],
-            );
-            // The response stream is subject to the initiator's ingress
-            // contention, like any other inbound data.
-            let arrival = w.arrival_time(target, initiator, dma_start, len);
-            if let Some(id) = xfer {
-                w.transfers.push(TransferRecord {
-                    xfer_id: id.0,
-                    src: target,
-                    dst: initiator,
-                    bytes: len,
-                    phys_start: dma_start,
-                    phys_end: arrival,
-                    kind: TransferKind::RdmaRead,
-                });
-            }
-            let world2 = w.upgrade();
-            drop(w);
-            h.schedule_at(arrival, move |h2| {
-                let mut w = world2.lock();
-                w.nics[initiator].cq.push_back(Completion {
-                    wr_id: wr,
-                    user,
-                    data: Some(snapshot),
-                });
-                w.nics[initiator].completions_generated += 1;
-                let wake_target = if let Some(p) = notify_target {
-                    w.nics[target].rx.push_back(p);
-                    w.nics[target].packets_delivered += 1;
-                    true
-                } else {
-                    false
-                };
-                drop(w);
-                h2.wake_rank(initiator);
-                if wake_target {
-                    h2.wake_rank(target);
-                }
-            });
-        });
+        self.schedule_pending(
+            request_at,
+            Pending::ReadRequest {
+                initiator,
+                target,
+                region,
+                off,
+                len,
+                wr,
+                user,
+                notify: notify_target,
+                xfer,
+            },
+        );
         wr
     }
 
