@@ -498,7 +498,7 @@ pub fn ablation_faults() -> Series {
             4,
             net,
             MpiConfig::default(),
-            RecorderOpts::default(),
+            crate::tracecap::rec_opts(),
             move |mpi| {
                 let me = mpi.rank();
                 let n = mpi.nranks();
@@ -514,6 +514,11 @@ pub fn ablation_faults() -> Series {
             },
         )
         .expect("run failed");
+        crate::tracecap::record(
+            format!("ablation-faults/loss{loss_pct}-{}K", size >> 10),
+            out.traces.clone(),
+            &out.faults,
+        );
         let r = &out.reports[0].total;
         let retrans: u64 = out.rel_stats.iter().map(|s| s.retransmissions).sum();
         let dropped = out

@@ -8,6 +8,7 @@
 //! repro --jobs 4                 # bound the worker pool (default: cores)
 //! repro --json report.json       # also write a machine-readable report
 //! repro fig03 --trace out/       # also export time-resolved traces
+//! repro fig03 --critical-path cp/  # also export wait-state attribution
 //! repro --bench-json BENCH.json  # also write the perf-trajectory record
 //! repro list                     # list available harnesses
 //! ```
@@ -20,6 +21,15 @@
 //! event, for `jq`-style analysis); windowed time-resolved summaries are
 //! merged into the `--json` report. Trace files are deterministic: the same
 //! selection produces byte-identical files regardless of `--jobs`.
+//!
+//! With `--critical-path <dir>`, each selected harness writes
+//! `<dir>/<id>.critpath.folded` (flamegraph-collapsed dominant wait chains)
+//! and `<dir>/<id>.attribution.json` (per-transfer cause records reconciled
+//! against the overlap bounds, plus the instrumentation self-overhead
+//! meter); per-rank wait-state breakdowns are merged into the `--json`
+//! report. Like traces, these artifacts are byte-identical across `--jobs`.
+//! Export failures (unwritable directory, path is a file) exit with code 2
+//! and a one-line message.
 //!
 //! With `--bench-json <path>`, the run additionally executes the scheduler
 //! hold-model comparison and engine throughput probe from
@@ -61,7 +71,7 @@ fn main() {
         return;
     }
 
-    if cli.trace.is_some() {
+    if cli.trace.is_some() || cli.critical_path.is_some() {
         bench::tracecap::enable();
     }
 
@@ -72,42 +82,77 @@ fn main() {
         println!();
     });
 
+    // Drain the capture once; both exporters read from it. The store is
+    // scope-ordered, so grouping and file contents are deterministic.
+    let captured: Vec<(String, TraceBundle)> = if cli.trace.is_some() || cli.critical_path.is_some()
+    {
+        bench::tracecap::drain().into_iter().collect()
+    } else {
+        Vec::new()
+    };
+
     let mut trace_windows = Vec::new();
     if let Some(dir) = &cli.trace {
-        if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("repro: cannot create {dir:?}: {e}");
-            std::process::exit(1);
-        }
+        ensure_dir(dir);
         // Group captured scopes by harness id (the part before the first
-        // '/'): one Chrome-trace + JSONL file pair per harness. The store is
-        // scope-ordered, so files and their contents are deterministic.
+        // '/'): one Chrome-trace + JSONL file pair per harness.
         let mut by_id: BTreeMap<String, Vec<TraceBundle>> = BTreeMap::new();
-        for (scope, bundle) in bench::tracecap::drain() {
-            let width = default_window_width(&bundle);
+        for (scope, bundle) in &captured {
+            let width = default_window_width(bundle);
             trace_windows.push(runner::ScopeWindows {
                 scope: scope.clone(),
                 window_ns: width,
-                windows: windowed(&bundle, width),
+                windows: windowed(bundle, width),
             });
-            let id = scope.split('/').next().unwrap_or(&scope).to_string();
-            by_id.entry(id).or_default().push(bundle);
+            let id = scope.split('/').next().unwrap_or(scope).to_string();
+            by_id.entry(id).or_default().push(bundle.clone());
         }
         for (id, bundles) in &by_id {
             for (suffix, contents) in [
                 ("trace.json", chrome_json(bundles)),
                 ("events.jsonl", jsonl(bundles)),
             ] {
-                let path = dir.join(format!("{id}.{suffix}"));
-                if let Err(e) = std::fs::write(&path, contents) {
-                    eprintln!("repro: cannot write {path:?}: {e}");
-                    std::process::exit(1);
-                }
+                write_or_die(&dir.join(format!("{id}.{suffix}")), &contents);
             }
         }
         eprintln!(
             "wrote traces for {} harness(es) to {}",
             by_id.len(),
             dir.display()
+        );
+    }
+
+    let mut wait_states = Vec::new();
+    if let Some(dir) = &cli.critical_path {
+        ensure_dir(dir);
+        let cp0 = std::time::Instant::now();
+        let mut by_id: BTreeMap<String, Vec<(String, &TraceBundle)>> = BTreeMap::new();
+        for (scope, bundle) in &captured {
+            wait_states.push(bench::critpath::wait_states(scope, bundle));
+            let id = scope.split('/').next().unwrap_or(scope).to_string();
+            by_id.entry(id).or_default().push((scope.clone(), bundle));
+        }
+        let mut intervals = 0u64;
+        for (id, scoped) in &by_id {
+            let artifact = bench::critpath::attribution_artifact(id, scoped);
+            intervals += artifact.overhead.wait_intervals;
+            let json =
+                serde_json::to_string_pretty(&artifact).expect("attribution artifact serializes");
+            write_or_die(&dir.join(format!("{id}.attribution.json")), &json);
+            write_or_die(
+                &dir.join(format!("{id}.critpath.folded")),
+                &bench::critpath::collapsed(scoped),
+            );
+        }
+        // Self-overhead: wall-clock is nondeterministic, so it goes to
+        // stderr only — artifacts carry the deterministic counters.
+        eprintln!(
+            "wrote critical-path artifacts for {} harness(es) to {} \
+             ({} wait intervals attributed in {:.1} ms)",
+            by_id.len(),
+            dir.display(),
+            intervals,
+            cp0.elapsed().as_secs_f64() * 1e3,
         );
     }
 
@@ -141,6 +186,7 @@ fn main() {
             total_wall_s,
             harnesses: runs,
             trace_windows,
+            wait_states,
         };
         let json = serde_json::to_string_pretty(&report).expect("report serializes");
         if let Err(e) = std::fs::write(path, json) {
@@ -148,5 +194,22 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("wrote {}", path.display());
+    }
+}
+
+/// Create an export directory, or exit 2 with a one-line message (covers
+/// unwritable parents and the path already existing as a file).
+fn ensure_dir(dir: &std::path::Path) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("repro: cannot create directory {}: {e}", dir.display());
+        std::process::exit(2);
+    }
+}
+
+/// Write an export file, or exit 2 with a one-line message.
+fn write_or_die(path: &std::path::Path, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("repro: cannot write {}: {e}", path.display());
+        std::process::exit(2);
     }
 }

@@ -1,0 +1,311 @@
+//! Critical-path artifacts for `repro --critical-path <dir>`.
+//!
+//! Folds captured [`TraceBundle`]s through `overlap-core`'s
+//! [attribution] layer into the three artifacts
+//! the CLI exports per harness:
+//!
+//! * a per-rank **wait-state breakdown** ([`ScopeWaitStates`]) merged into
+//!   the `--json` run report,
+//! * a **collapsed-stack** file (`<id>.critpath.folded`, one
+//!   `frame;frame;... weight` line per dominant wait chain — feed to any
+//!   flamegraph renderer),
+//! * a structured **attribution artifact** (`<id>.attribution.json`) with
+//!   the per-transfer cause records and the instrumentation self-overhead
+//!   meter.
+//!
+//! Everything here is a pure function of the captured traces (virtual time
+//! only), so all artifacts are byte-identical across runs and `--jobs`
+//! values. Host wall-clock — the one nondeterministic quantity — is
+//! reported by the CLI on stderr only.
+
+use overlap_core::attribution::{self, WaitCause};
+use overlap_core::trace::TraceBundle;
+
+/// Total attributed nanoseconds for one cause (stable label from
+/// [`WaitCause::label`]).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct CauseTotal {
+    /// Cause label (e.g. `"late_sender"`).
+    pub cause: String,
+    /// Attributed nanoseconds.
+    pub ns: u64,
+}
+
+/// One rank's wait-state summary within a scope.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct RankWaitStates {
+    /// Rank index.
+    pub rank: usize,
+    /// Blocking intervals the library classified.
+    pub wait_intervals: usize,
+    /// Σ provably-non-overlapped transfer time, ns (`xfer_time −
+    /// max_overlap` over all transfers).
+    pub nonoverlap_ns: u64,
+    /// Per-cause attributed totals in canonical cause order, zero causes
+    /// omitted. Sums to `nonoverlap_ns`.
+    pub causes: Vec<CauseTotal>,
+}
+
+/// Per-rank wait-state breakdown of one traced scope, as merged into the
+/// `--json` run report.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ScopeWaitStates {
+    /// Scope label (`"<harness>/<point>"`).
+    pub scope: String,
+    /// Per-rank summaries, rank order.
+    pub ranks: Vec<RankWaitStates>,
+}
+
+/// One cause slice of a transfer's breakdown (serialized form).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SliceJson {
+    /// Cause label.
+    pub cause: String,
+    /// Attributed nanoseconds.
+    pub ns: u64,
+}
+
+/// One per-transfer cause record (serialized form of
+/// [`overlap_core::attribution::CauseRecord`]).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct TransferJson {
+    /// Transfer id, if the instrumentation saw one.
+    pub id: Option<u64>,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// A-priori wire time, ns.
+    pub xfer_time: u64,
+    /// Upper overlap bound, ns.
+    pub max_overlap: u64,
+    /// Non-overlapped time the breakdown explains, ns.
+    pub nonoverlap: u64,
+    /// Fault-disturbed transfer.
+    pub flagged: bool,
+    /// Cause breakdown; sums to `nonoverlap` exactly.
+    pub breakdown: Vec<SliceJson>,
+}
+
+/// One rank's full attribution inside the artifact file.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct RankAttributionJson {
+    /// Rank index.
+    pub rank: usize,
+    /// Blocking intervals the library classified.
+    pub wait_intervals: usize,
+    /// Per-transfer records, close order.
+    pub transfers: Vec<TransferJson>,
+}
+
+/// One scope's section of the artifact file.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ScopeAttributionJson {
+    /// Scope label.
+    pub scope: String,
+    /// Per-rank attributions.
+    pub ranks: Vec<RankAttributionJson>,
+}
+
+/// Instrumentation self-overhead meter: what the observability layer itself
+/// cost, in deterministic units (counts and virtual-time nanoseconds — host
+/// wall-clock goes to stderr, not into artifacts).
+#[derive(Debug, Clone, Default, serde::Serialize)]
+pub struct OverheadMeter {
+    /// Traced scopes folded.
+    pub scopes: usize,
+    /// Rank traces folded.
+    pub ranks: usize,
+    /// Raw instrumentation events captured.
+    pub events: u64,
+    /// Per-transfer bound records derived.
+    pub bound_records: u64,
+    /// Wait intervals classified and recorded.
+    pub wait_intervals: u64,
+    /// Σ attributed non-overlap across all transfers, ns.
+    pub attributed_ns: u64,
+}
+
+/// The `<id>.attribution.json` artifact: per-scope, per-rank, per-transfer
+/// cause records plus the self-overhead meter.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct AttributionArtifact {
+    /// Harness id the artifact covers.
+    pub id: String,
+    /// Per-scope attributions, scope order.
+    pub scopes: Vec<ScopeAttributionJson>,
+    /// What the instrumentation itself cost.
+    pub overhead: OverheadMeter,
+}
+
+/// Summarize one scope's bundle into the per-rank wait-state breakdown for
+/// the `--json` report.
+pub fn wait_states(scope: &str, bundle: &TraceBundle) -> ScopeWaitStates {
+    let ranks = bundle
+        .ranks
+        .iter()
+        .map(|tr| {
+            let attr = attribution::attribute(tr);
+            let causes = WaitCause::ALL
+                .iter()
+                .filter_map(|c| {
+                    attr.totals.get(c.label()).map(|&ns| CauseTotal {
+                        cause: c.label().to_string(),
+                        ns,
+                    })
+                })
+                .collect();
+            RankWaitStates {
+                rank: tr.rank,
+                wait_intervals: attr.wait_intervals,
+                nonoverlap_ns: attr.total_nonoverlap(),
+                causes,
+            }
+        })
+        .collect();
+    ScopeWaitStates {
+        scope: scope.to_string(),
+        ranks,
+    }
+}
+
+/// Build the attribution artifact for one harness from its scope bundles
+/// (scope order), accumulating the self-overhead meter as it goes.
+pub fn attribution_artifact(id: &str, scoped: &[(String, &TraceBundle)]) -> AttributionArtifact {
+    let mut overhead = OverheadMeter::default();
+    let scopes = scoped
+        .iter()
+        .map(|(scope, bundle)| {
+            overhead.scopes += 1;
+            let ranks = bundle
+                .ranks
+                .iter()
+                .map(|tr| {
+                    overhead.ranks += 1;
+                    overhead.events += tr.events.len() as u64;
+                    overhead.bound_records += tr.bounds.len() as u64;
+                    overhead.wait_intervals += tr.waits.len() as u64;
+                    let attr = attribution::attribute(tr);
+                    overhead.attributed_ns += attr.total_nonoverlap();
+                    RankAttributionJson {
+                        rank: tr.rank,
+                        wait_intervals: attr.wait_intervals,
+                        transfers: attr
+                            .records
+                            .iter()
+                            .map(|r| TransferJson {
+                                id: r.id,
+                                bytes: r.bytes,
+                                xfer_time: r.xfer_time,
+                                max_overlap: r.max_overlap,
+                                nonoverlap: r.nonoverlap,
+                                flagged: r.flagged,
+                                breakdown: r
+                                    .breakdown
+                                    .iter()
+                                    .map(|s| SliceJson {
+                                        cause: s.cause.label().to_string(),
+                                        ns: s.ns,
+                                    })
+                                    .collect(),
+                            })
+                            .collect(),
+                    }
+                })
+                .collect();
+            ScopeAttributionJson {
+                scope: scope.clone(),
+                ranks,
+            }
+        })
+        .collect();
+    AttributionArtifact {
+        id: id.to_string(),
+        scopes,
+        overhead,
+    }
+}
+
+/// Collapsed-stack (flamegraph) text for one harness: each scope's dominant
+/// wait chains concatenated in scope order. Lines are
+/// `scope;rank N;<call>;<cause> <ns>`.
+pub fn collapsed(scoped: &[(String, &TraceBundle)]) -> String {
+    let mut out = String::new();
+    for (_, bundle) in scoped {
+        out.push_str(&attribution::collapsed_stack(bundle));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overlap_core::attribution::{WaitCause, WaitInterval};
+    use overlap_core::bounds::XferCase;
+    use overlap_core::trace::{BoundRecord, RankTrace};
+    use overlap_core::{Event, EventKind};
+
+    fn bundle() -> TraceBundle {
+        TraceBundle {
+            scope: "t/a".into(),
+            ranks: vec![RankTrace {
+                rank: 0,
+                events: vec![
+                    Event::new(0, EventKind::CallEnter { name: "MPI_Recv" }),
+                    Event::new(500, EventKind::XferEnd { id: 1, bytes: 256 }),
+                    Event::new(500, EventKind::CallExit),
+                ],
+                bounds: vec![BoundRecord {
+                    id: Some(1),
+                    bytes: 256,
+                    begin_t: Some(0),
+                    end_t: 500,
+                    xfer_time: 300,
+                    min: 0,
+                    max: 0,
+                    case: XferCase::SameCall,
+                    flagged: false,
+                    clamped: false,
+                }],
+                waits: vec![WaitInterval {
+                    start: 100,
+                    end: 400,
+                    cause: WaitCause::LateSender,
+                    xfer: Some(1),
+                }],
+            }],
+            extras: vec![],
+        }
+    }
+
+    #[test]
+    fn wait_states_reconcile_per_rank() {
+        let b = bundle();
+        let ws = wait_states("t/a", &b);
+        assert_eq!(ws.ranks.len(), 1);
+        let r = &ws.ranks[0];
+        assert_eq!(r.nonoverlap_ns, 300);
+        let total: u64 = r.causes.iter().map(|c| c.ns).sum();
+        assert_eq!(total, r.nonoverlap_ns);
+        assert!(r.causes.iter().any(|c| c.cause == "late_sender"));
+    }
+
+    #[test]
+    fn artifact_carries_overhead_meter() {
+        let b = bundle();
+        let scoped = vec![("t/a".to_string(), &b)];
+        let art = attribution_artifact("t", &scoped);
+        assert_eq!(art.overhead.scopes, 1);
+        assert_eq!(art.overhead.events, 3);
+        assert_eq!(art.overhead.bound_records, 1);
+        assert_eq!(art.overhead.wait_intervals, 1);
+        assert_eq!(art.overhead.attributed_ns, 300);
+        assert_eq!(art.scopes[0].ranks[0].transfers[0].nonoverlap, 300);
+    }
+
+    #[test]
+    fn collapsed_concatenates_scopes_in_order() {
+        let b = bundle();
+        let scoped = vec![("t/a".to_string(), &b)];
+        let s = collapsed(&scoped);
+        assert_eq!(s, "t/a;rank 0;MPI_Recv;late_sender 300\n");
+    }
+}

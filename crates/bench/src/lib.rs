@@ -12,6 +12,7 @@
 
 pub mod ablations;
 pub mod alloc;
+pub mod critpath;
 pub mod enginebench;
 pub mod figures;
 pub mod micro;

@@ -156,6 +156,9 @@ pub struct RunReport {
     /// Windowed time-resolved series per traced scope (empty without
     /// `--trace`), ordered by scope label.
     pub trace_windows: Vec<ScopeWindows>,
+    /// Per-rank wait-state breakdowns per traced scope (empty without
+    /// `--critical-path`), ordered by scope label.
+    pub wait_states: Vec<crate::critpath::ScopeWaitStates>,
 }
 
 /// Time-resolved summary of one traced scope: the scope's virtual-time span
@@ -248,6 +251,11 @@ pub struct Cli {
     /// Where to write per-harness Chrome-trace + JSONL files
     /// (`--trace <dir>`); also arms trace capture.
     pub trace: Option<std::path::PathBuf>,
+    /// Where to write per-harness critical-path artifacts
+    /// (`--critical-path <dir>`: `<id>.critpath.folded` collapsed stacks +
+    /// `<id>.attribution.json` cause records); also arms trace capture and
+    /// merges per-rank wait-state breakdowns into the `--json` report.
+    pub critical_path: Option<std::path::PathBuf>,
     /// Where to write the perf-trajectory benchmark record
     /// (`--bench-json <path>`): scheduler hold-model throughput, engine
     /// events/sec, and allocation counts alongside per-harness wall-clock
@@ -273,6 +281,7 @@ pub fn parse_cli(
     let mut jobs: Option<usize> = None;
     let mut json: Option<std::path::PathBuf> = None;
     let mut trace: Option<std::path::PathBuf> = None;
+    let mut critical_path: Option<std::path::PathBuf> = None;
     let mut bench_json: Option<std::path::PathBuf> = None;
     let mut list = false;
     let mut want_figures = false;
@@ -319,6 +328,12 @@ pub fn parse_cli(
                     .ok_or_else(|| "--bench-json requires a path".to_string())?;
                 bench_json = Some(std::path::PathBuf::from(v));
             }
+            "--critical-path" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--critical-path requires a directory".to_string())?;
+                critical_path = Some(std::path::PathBuf::from(v));
+            }
             a if a.starts_with("--jobs=") => {
                 jobs = Some(parse_jobs(&a["--jobs=".len()..])?);
             }
@@ -330,6 +345,9 @@ pub fn parse_cli(
             }
             a if a.starts_with("--bench-json=") => {
                 bench_json = Some(std::path::PathBuf::from(&a["--bench-json=".len()..]));
+            }
+            a if a.starts_with("--critical-path=") => {
+                critical_path = Some(std::path::PathBuf::from(&a["--critical-path=".len()..]));
             }
             a if a.starts_with('-') => return Err(format!("unknown flag {a:?}")),
             a => ids.push(a),
@@ -362,6 +380,7 @@ pub fn parse_cli(
         jobs: jobs.unwrap_or_else(default_jobs),
         json,
         trace,
+        critical_path,
         bench_json,
         list,
         selection,

@@ -1,0 +1,80 @@
+//! Critical-path artifacts must be a pure function of the selection: the
+//! same harness produces byte-identical attribution JSON, collapsed-stack
+//! text, and wait-state breakdowns whether its sweep points run serially
+//! (`--jobs 1`) or on a full worker pool (`--jobs 4`).
+//!
+//! Lives in its own test binary: trace capture and the worker budget are
+//! process-global, so this test must not share a process with tests that
+//! configure them differently.
+
+use overlap_core::trace::TraceBundle;
+
+/// What `repro fig03 --critical-path <dir>` derives from one capture:
+/// (attribution artifact JSON, collapsed-stack text, wait-states JSON).
+fn capture_fig03(jobs: usize) -> (String, String, String) {
+    bench::runner::set_jobs(jobs);
+    let series = bench::figures::fig03();
+    assert!(!series.rows.is_empty());
+    let captured: Vec<(String, TraceBundle)> = bench::tracecap::drain().into_iter().collect();
+    assert_eq!(captured.len(), 7, "one bundle per sweep point");
+    let scoped: Vec<(String, &TraceBundle)> = captured
+        .iter()
+        .map(|(scope, bundle)| (scope.clone(), bundle))
+        .collect();
+    let artifact = bench::critpath::attribution_artifact("fig03", &scoped);
+    let waits: Vec<_> = captured
+        .iter()
+        .map(|(scope, bundle)| bench::critpath::wait_states(scope, bundle))
+        .collect();
+    (
+        serde_json::to_string_pretty(&artifact).expect("artifact serializes"),
+        bench::critpath::collapsed(&scoped),
+        serde_json::to_string_pretty(&waits).expect("wait states serialize"),
+    )
+}
+
+#[test]
+fn critpath_artifacts_are_identical_across_worker_counts() {
+    bench::tracecap::enable();
+    let (art1, folded1, waits1) = capture_fig03(1);
+    let (art4, folded4, waits4) = capture_fig03(4);
+    assert_eq!(art1, art4, "attribution JSON must not depend on --jobs");
+    assert_eq!(
+        folded1, folded4,
+        "collapsed stack must not depend on --jobs"
+    );
+    assert_eq!(waits1, waits4, "wait states must not depend on --jobs");
+
+    // The artifact must be real: transfers attributed, every breakdown
+    // reconciled, and the overhead meter populated.
+    let v: serde_json::Value = serde_json::from_str(&art1).expect("artifact parses");
+    assert_eq!(v["id"], "fig03");
+    assert!(v["overhead"]["wait_intervals"].as_u64().unwrap() > 0);
+    assert!(v["overhead"]["attributed_ns"].as_u64().unwrap() > 0);
+    let mut transfers = 0;
+    for scope in v["scopes"].as_array().unwrap() {
+        for rank in scope["ranks"].as_array().unwrap() {
+            for t in rank["transfers"].as_array().unwrap() {
+                let total: u64 = t["breakdown"]
+                    .as_array()
+                    .unwrap()
+                    .iter()
+                    .map(|s| s["ns"].as_u64().unwrap())
+                    .sum();
+                assert_eq!(total, t["nonoverlap"].as_u64().unwrap());
+                transfers += 1;
+            }
+        }
+    }
+    assert!(transfers > 100, "fig03 should attribute many transfers");
+
+    // Collapsed-stack lines carry the scope;rank;call;cause frame shape.
+    let mut lines = 0;
+    for line in folded1.lines() {
+        let (frames, weight) = line.rsplit_once(' ').expect("weight-terminated line");
+        weight.parse::<u64>().expect("numeric weight");
+        assert_eq!(frames.split(';').count(), 4, "four frames per line: {line}");
+        lines += 1;
+    }
+    assert!(lines > 10, "collapsed stack should contain real chains");
+}

@@ -117,6 +117,29 @@ fn cli_flags_parse_and_default() {
         "no ids and no groups selects everything"
     );
 
+    let args: Vec<String> = ["--critical-path", "cp", "fig04"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let cli = runner::parse_cli(&args, &figures, &ablations).unwrap();
+    assert_eq!(
+        cli.critical_path.as_deref(),
+        Some(std::path::Path::new("cp"))
+    );
+    assert!(cli.trace.is_none());
+
+    let cli = runner::parse_cli(
+        &["--critical-path=cp/dir".to_string()],
+        &figures,
+        &ablations,
+    )
+    .unwrap();
+    assert_eq!(
+        cli.critical_path.as_deref(),
+        Some(std::path::Path::new("cp/dir"))
+    );
+
+    assert!(runner::parse_cli(&["--critical-path".to_string()], &figures, &ablations).is_err());
     assert!(runner::parse_cli(&["--jobs".to_string()], &figures, &ablations).is_err());
     assert!(runner::parse_cli(
         &["--jobs".to_string(), "0".to_string()],

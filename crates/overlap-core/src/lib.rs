@@ -49,7 +49,11 @@
 //!   ([`trace::jsonl`]), and windowed time-resolved series
 //!   ([`trace::windowed`]),
 //! * [`observer`] — PERUSE-style synchronous observer hook on the raw
-//!   stream (predates the trace module; still useful for live filtering).
+//!   stream (predates the trace module; still useful for live filtering),
+//! * [`attribution`] — wait-state attribution: folds library-classified
+//!   blocking intervals ([`attribution::WaitInterval`]) into per-transfer
+//!   cause breakdowns that reconcile exactly with the overlap bounds, plus
+//!   flamegraph-collapsed critical-path export.
 //!
 //! See `docs/ARCHITECTURE.md` for how these layers fit together and
 //! `docs/BOUNDS.md` for the bound algorithm itself.
@@ -79,6 +83,7 @@
 //! ```
 
 pub mod advice;
+pub mod attribution;
 pub mod bins;
 pub mod bounds;
 pub mod clock;
@@ -93,6 +98,9 @@ pub mod trace;
 pub mod xfer_table;
 
 pub use advice::{analyze, AdviceOpts, Finding, Severity};
+pub use attribution::{
+    attribute, collapsed_stack, CauseRecord, CauseSlice, RankAttribution, WaitCause, WaitInterval,
+};
 pub use bins::SizeBins;
 pub use bounds::{OverlapBounds, XferCase};
 pub use clock::{Clock, ManualClock};

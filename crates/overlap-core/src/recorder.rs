@@ -8,6 +8,7 @@
 //! `enabled = false` every operation is a branch-and-return, which is how the
 //! instrumentation-overhead experiment (paper Figure 20) compares runs.
 
+use crate::attribution::{self, WaitCause, WaitInterval};
 use crate::bins::SizeBins;
 use crate::clock::Clock;
 use crate::event::{Event, EventKind};
@@ -51,10 +52,13 @@ pub struct Recorder {
     ring: EventRing,
     proc: Processor,
     enabled: bool,
+    trace: bool,
     rank: usize,
     events: u64,
     flushes: u64,
     observer: Option<Box<dyn EventObserver>>,
+    bins: SizeBins,
+    waits: Vec<WaitInterval>,
 }
 
 impl Recorder {
@@ -66,6 +70,7 @@ impl Recorder {
         table: XferTimeTable,
         opts: RecorderOpts,
     ) -> Self {
+        let bins = opts.bins.clone();
         let mut proc = Processor::new(table, opts.bins);
         if opts.trace {
             proc.enable_trace();
@@ -75,10 +80,13 @@ impl Recorder {
             ring: EventRing::new(opts.queue_capacity),
             proc,
             enabled: opts.enabled,
+            trace: opts.trace,
             rank,
             events: 0,
             flushes: 0,
             observer: None,
+            bins,
+            waits: Vec::new(),
         }
     }
 
@@ -174,6 +182,31 @@ impl Recorder {
         self.push(EventKind::XferFlag { id });
     }
 
+    /// True when the library should classify and record its blocking
+    /// intervals: a time-resolved trace is being captured and instrumentation
+    /// is active. Cheap enough to gate the classification work itself.
+    pub fn wait_tracing(&self) -> bool {
+        self.trace && self.enabled
+    }
+
+    /// Record one classified blocking (or stall) interval
+    /// `[start, end)` with its cause, and the transfer it was blocked on if
+    /// a single one was identifiable. No-op unless
+    /// [`Recorder::wait_tracing`] and `end > start` — recording costs zero
+    /// virtual time either way, so traced and untraced runs stay
+    /// time-identical.
+    pub fn wait_state(&mut self, start: u64, end: u64, cause: WaitCause, xfer: Option<u64>) {
+        if !self.wait_tracing() || end <= start {
+            return;
+        }
+        self.waits.push(WaitInterval {
+            start,
+            end,
+            cause,
+            xfer,
+        });
+    }
+
     /// Application-level begin of a monitored code section.
     pub fn section_begin(&mut self, name: &'static str) {
         self.push(EventKind::SectionBegin { name });
@@ -193,11 +226,22 @@ impl Recorder {
     /// [`Recorder::finish`], additionally returning the time-resolved
     /// [`crate::trace::RankTrace`] when [`RecorderOpts::trace`] was set
     /// (`None` otherwise).
+    /// The trace additionally carries the recorded wait-state intervals, and
+    /// the report's metrics registry gains the per-cause attribution
+    /// counters/histograms (`attr_ns/...`, `attr_ns_hist/...`).
     pub fn finish_traced(mut self) -> (OverlapReport, Option<crate::trace::RankTrace>) {
         let end = self.clock.now();
         self.flush();
-        self.proc
-            .finish_traced(end, self.rank, self.events, self.flushes)
+        let (mut report, trace) =
+            self.proc
+                .finish_traced(end, self.rank, self.events, self.flushes);
+        let trace = trace.map(|mut tr| {
+            tr.waits = std::mem::take(&mut self.waits);
+            let attr = attribution::attribute(&tr);
+            attribution::fold_metrics(&attr, &self.bins, &mut report.metrics);
+            tr
+        });
+        (report, trace)
     }
 }
 

@@ -69,6 +69,11 @@ pub struct RankTrace {
     pub events: Vec<Event>,
     /// One record per closed transfer.
     pub bounds: Vec<BoundRecord>,
+    /// Classified blocking intervals recorded by the instrumented library
+    /// (see [`crate::attribution`]). Carried out-of-band: the Chrome-trace
+    /// and JSONL exports do not serialize these, so their output is
+    /// unchanged whether or not the library recorded any.
+    pub waits: Vec<crate::attribution::WaitInterval>,
 }
 
 /// A fabric- or library-level instant event carried alongside the rank
@@ -539,6 +544,7 @@ mod tests {
                     flagged: true,
                     clamped: false,
                 }],
+                waits: vec![],
             }],
             extras: vec![ExtraEvent {
                 t: 1_100,

@@ -34,6 +34,7 @@ fn rank(rank: usize, events: Vec<Event>, bounds: Vec<BoundRecord>) -> RankTrace 
         rank,
         events,
         bounds,
+        waits: vec![],
     }
 }
 

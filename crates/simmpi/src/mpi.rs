@@ -19,11 +19,11 @@
 //! (`RankCtx::busy`) and parks happen with the lock released (see
 //! `simnet::world` module docs for why this is load-bearing).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use overlap_core::{OverlapReport, Recorder, RecorderOpts, XferTimeTable};
+use overlap_core::{OverlapReport, Recorder, RecorderOpts, WaitCause, XferTimeTable};
 use simcore::{Activity, Duration, RankCtx, Time};
 use simnet::{Completion, NetConfig, NicStats, Packet, RegionId, SharedWorld, XferId};
 
@@ -181,6 +181,10 @@ pub struct Mpi<'a> {
     next_icoll: u64,
     /// Sequence/ACK/retransmission layer; pass-through on loss-free fabrics.
     rel: Reliability,
+    /// Transfers the reliability layer had to retransmit (timeout or NACK).
+    /// Blocking on one of these classifies as an ACK/retransmit wait rather
+    /// than a protocol wait. Only filled while wait tracing is on.
+    retrans_xfers: HashSet<u64>,
     /// Rendered blocked-on note plus the state fingerprint it describes.
     /// `wait_for_event` parks on every poll miss, so the note is reformatted
     /// only when the fingerprint changes and shared with the engine as an
@@ -246,6 +250,7 @@ impl<'a> Mpi<'a> {
             icolls: HashMap::new(),
             next_icoll: 0,
             rel,
+            retrans_xfers: HashSet::new(),
             blocked_note_cache: None,
         };
         mpi.call_enter("MPI_Init");
@@ -611,6 +616,18 @@ impl<'a> Mpi<'a> {
         self.ctx.busy(d, Activity::Library);
     }
 
+    /// Memory-registration host time: charged exactly like [`Mpi::lib_busy`]
+    /// (identical virtual time), but recorded as a registration wait so
+    /// attribution can separate pinning cost from generic library overhead.
+    fn reg_busy(&mut self, d: Duration) {
+        let t0 = self.ctx.handle().now();
+        self.lib_busy(d);
+        if self.rec.wait_tracing() {
+            let t1 = self.ctx.handle().now();
+            self.rec.wait_state(t0, t1, WaitCause::Registration, None);
+        }
+    }
+
     fn alloc_req(&mut self) -> u64 {
         let id = self.next_req;
         self.next_req += 1;
@@ -745,7 +762,7 @@ impl<'a> Mpi<'a> {
                 .iter()
                 .any(|&(cached_len, _, busy)| cached_len == len && !busy);
         if !cached {
-            self.lib_busy(self.net.reg_cost(len));
+            self.reg_busy(self.net.reg_cost(len));
         }
         self.lib_busy(self.net.post_cost);
         let wire = self.net.ctrl_packet_bytes;
@@ -968,7 +985,7 @@ impl<'a> Mpi<'a> {
         // Receive-side pinning (cached after first use in cache mode).
         let cached = self.cfg.use_reg_cache && self.recv_pin_cache.contains(&len);
         if !cached {
-            self.lib_busy(self.net.reg_cost(len));
+            self.reg_busy(self.net.reg_cost(len));
             if self.cfg.use_reg_cache {
                 self.recv_pin_cache.push_front(len);
                 self.recv_pin_cache.truncate(self.cfg.reg_cache_entries);
@@ -1024,7 +1041,8 @@ impl<'a> Mpi<'a> {
             return;
         }
         // Register the receive buffer and invite the RDMA Writes.
-        self.lib_busy(self.net.reg_cost(total_len) + self.net.post_cost);
+        self.reg_busy(self.net.reg_cost(total_len));
+        self.lib_busy(self.net.post_cost);
         let rest_len = (total_len - frag1_len) as u64;
         let rest_xfer = self.alloc_local_xfer();
         {
@@ -1089,6 +1107,9 @@ impl<'a> Mpi<'a> {
                 // The wire had to carry this transfer again; its a-priori
                 // time no longer bounds the observed window.
                 self.rec.xfer_flag(xfer);
+                if self.rec.wait_tracing() {
+                    self.retrans_xfers.insert(xfer);
+                }
             }
         }
         self.advance_collectives();
@@ -1194,6 +1215,9 @@ impl<'a> Mpi<'a> {
                     };
                     if let Some(xfer) = flagged {
                         self.rec.xfer_flag(xfer);
+                        if self.rec.wait_tracing() {
+                            self.retrans_xfers.insert(xfer);
+                        }
                     }
                     return;
                 }
@@ -1478,7 +1502,126 @@ impl<'a> Mpi<'a> {
         if !has {
             let note = self.blocked_note(nic);
             self.ctx.note_blocked_on(note);
-            self.ctx.park();
+            if self.rec.wait_tracing() {
+                // Classify *before* parking: the open-request state at block
+                // time is what explains the wait. Recording adds zero
+                // virtual time, so traced runs stay time-identical.
+                let (mut cause, xfer) = self.classify_block();
+                let t0 = self.ctx.handle().now();
+                self.ctx.park();
+                let t1 = self.ctx.handle().now();
+                // The reliability layer runs while the rank is parked: if the
+                // very transfer this wait was pinned on got retransmitted in
+                // the meantime, loss recovery — not the pre-park protocol
+                // state — is what the wait was spent on.
+                if let Some(x) = xfer {
+                    if cause != WaitCause::AckRetransmit && self.retrans_xfers.contains(&x) {
+                        cause = WaitCause::AckRetransmit;
+                    }
+                }
+                self.rec.wait_state(t0, t1, cause, xfer);
+            } else {
+                self.ctx.park();
+            }
+        }
+    }
+
+    /// Classify why this rank is about to block, from its open-request
+    /// state. When several requests are open the most *actionable* cause
+    /// wins (lowest priority number); ties break on request id, so the
+    /// result is independent of `HashMap` iteration order.
+    fn classify_block(&self) -> (WaitCause, Option<u64>) {
+        // Loss recovery trumps protocol state: once a payload has been
+        // retransmitted and its ACK is still outstanding, the stall is the
+        // lossy fabric's fault no matter what the open requests look like.
+        // (The fragment itself may already have left the request's queue —
+        // a dropped packet still completes at the *source* NIC — so only
+        // the reliability layer still knows about it.)
+        if let Some(x) = self.rel.retrans_pending_xfer() {
+            return (WaitCause::AckRetransmit, Some(x));
+        }
+        // (priority, req_id) -> (cause, xfer)
+        type Ranked = ((u8, u64), (WaitCause, Option<u64>));
+        let mut best: Option<Ranked> = None;
+        for (&req_id, req) in &self.reqs {
+            if req.is_done() {
+                continue;
+            }
+            let (prio, cause, xfer) = match req {
+                _ if self.req_retransmitted(req) => (
+                    0,
+                    WaitCause::AckRetransmit,
+                    self.req_retrans_xfer(req).or_else(|| self.req_xfer(req)),
+                ),
+                Req::Recv {
+                    matched: None,
+                    reading: None,
+                    pipe: None,
+                    ..
+                } => (1, WaitCause::LateSender, None),
+                Req::SendRdvPipe {
+                    all_posted: false, ..
+                } => (2, WaitCause::RendezvousHandshake, None),
+                Req::SendRdvRead { xfer, .. } => (3, WaitCause::LateReceiver, Some(*xfer)),
+                Req::SendEager {
+                    awaiting_ack: true,
+                    wire_done: true,
+                    xfer,
+                    ..
+                } => (4, WaitCause::LateReceiver, Some(*xfer)),
+                Req::Recv {
+                    reading: Some((xfer, _)),
+                    ..
+                } => (5, WaitCause::WireDrain, Some(*xfer)),
+                Req::Recv { pipe: Some(pr), .. } => (5, WaitCause::WireDrain, Some(pr.rest_xfer)),
+                Req::SendRdvPipe { .. } => (6, WaitCause::WireDrain, None),
+                Req::SendEager { xfer, .. } => (7, WaitCause::EagerCopy, Some(*xfer)),
+                Req::Recv { .. } => (5, WaitCause::WireDrain, None),
+            };
+            let key = (prio, req_id);
+            if best.as_ref().is_none_or(|(k, _)| key < *k) {
+                best = Some((key, (cause, xfer)));
+            }
+        }
+        match best {
+            Some((_, hit)) => hit,
+            // No open data request: blocked on the reliability layer's
+            // outstanding ACKs, or on pure synchronization traffic.
+            None if self.rel.pending_packets() > 0 => (WaitCause::AckRetransmit, None),
+            None => (WaitCause::Sync, None),
+        }
+    }
+
+    /// True when the request's transfer is known to have been retransmitted.
+    fn req_retransmitted(&self, req: &Req) -> bool {
+        self.req_retrans_xfer(req).is_some()
+    }
+
+    /// The retransmitted wire transfer a request is still waiting on, if
+    /// any. A pipelined send scans every outstanding fragment — the lost
+    /// one is rarely the front of the queue.
+    fn req_retrans_xfer(&self, req: &Req) -> Option<u64> {
+        if let Req::SendRdvPipe { frags, .. } = req {
+            return frags
+                .iter()
+                .map(|&(x, _)| x)
+                .find(|x| self.retrans_xfers.contains(x));
+        }
+        self.req_xfer(req)
+            .filter(|x| self.retrans_xfers.contains(x))
+    }
+
+    /// The single wire transfer a request is waiting on, when identifiable.
+    fn req_xfer(&self, req: &Req) -> Option<u64> {
+        match req {
+            Req::SendEager { xfer, .. } | Req::SendRdvRead { xfer, .. } => Some(*xfer),
+            Req::SendRdvPipe { frags, .. } => frags.front().map(|&(x, _)| x),
+            Req::Recv {
+                reading: Some((x, _)),
+                ..
+            } => Some(*x),
+            Req::Recv { pipe: Some(pr), .. } => Some(pr.rest_xfer),
+            Req::Recv { .. } => None,
         }
     }
 

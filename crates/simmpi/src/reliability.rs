@@ -127,6 +127,28 @@ impl Reliability {
         self.tx.values().map(|p| p.pending.len()).sum()
     }
 
+    /// Transfer id of the oldest unacknowledged payload that has been
+    /// retransmitted at least once. While this returns `Some`, the rank is
+    /// in loss recovery: the bytes went out again and the ACK is still
+    /// outstanding — the protocol state machine alone cannot explain a
+    /// stall. Ordered by `(peer, seq)` so the answer is independent of
+    /// `HashMap` iteration order.
+    pub(crate) fn retrans_pending_xfer(&self) -> Option<u64> {
+        let mut best: Option<(usize, u64, u64)> = None;
+        for (&peer, tx) in &self.tx {
+            for (&seq, p) in &tx.pending {
+                if p.backoff == 0 {
+                    continue;
+                }
+                let Some(x) = p.xfer else { continue };
+                if best.is_none_or(|(bp, bs, _)| (peer, seq) < (bp, bs)) {
+                    best = Some((peer, seq, x));
+                }
+            }
+        }
+        best.map(|(_, _, x)| x)
+    }
+
     /// Post a two-sided packet, sequencing it when the layer is active.
     /// Self-sends bypass sequencing (the fault injector never touches them).
     pub(crate) fn post(

@@ -32,7 +32,7 @@ pub use cluster::{Cluster, ClusterOutcome};
 pub use config::NetConfig;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, LinkDegradation, NicStall};
 pub use memory::RegionId;
-pub use nic::{Completion, WrId};
+pub use nic::{CausalEdge, Completion, WrId};
 pub use packet::Packet;
 pub use truth::{TransferKind, TransferRecord};
 pub use world::{NicStats, SharedWorld, World, XferId};

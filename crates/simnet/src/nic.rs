@@ -11,6 +11,34 @@ use crate::packet::Packet;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct WrId(pub u64);
 
+/// Causal breakdown of where a fabric operation's time went before it
+/// completed: every completion (and ground-truth transfer record) carries
+/// one, so wait-state analysis can say what a blocked host was actually
+/// waiting *on* — queueing, the wire, or fault recovery.
+///
+/// The components are disjoint: `serialize_ns` is pure wire occupancy for
+/// this packet, the queue fields are time spent waiting behind *other*
+/// packets' occupancy, and `fault_extra_ns` is injected disturbance
+/// (retransmission delay, link degradation, NIC stall holds).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CausalEdge {
+    /// Waited behind earlier packets for the egress DMA engine, ns.
+    pub dma_queue_ns: u64,
+    /// Wire/DMA serialization of this packet itself, ns.
+    pub serialize_ns: u64,
+    /// Waited behind earlier packets for the ingress engine, ns.
+    pub ingress_queue_ns: u64,
+    /// Fault-injected extra latency (delay, degradation, stall holds), ns.
+    pub fault_extra_ns: u64,
+}
+
+impl CausalEdge {
+    /// Total causal delay beyond the unloaded path, ns.
+    pub fn queued_ns(&self) -> u64 {
+        self.dma_queue_ns + self.ingress_queue_ns + self.fault_extra_ns
+    }
+}
+
 /// A completion-queue entry: the NIC finished a posted work request.
 #[derive(Debug, Clone)]
 pub struct Completion {
@@ -20,6 +48,8 @@ pub struct Completion {
     pub user: u64,
     /// For RDMA Read completions, the fetched bytes.
     pub data: Option<bytes::Bytes>,
+    /// Where the operation's time went before this completion fired.
+    pub edge: CausalEdge,
 }
 
 /// NIC state for one node. All mutation happens inside the world lock; hosts

@@ -2,6 +2,8 @@
 
 use simcore::{ActivityLog, Time};
 
+use crate::nic::CausalEdge;
+
 /// What kind of fabric operation moved the data.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TransferKind {
@@ -33,6 +35,9 @@ pub struct TransferRecord {
     pub phys_end: Time,
     /// Operation kind.
     pub kind: TransferKind,
+    /// Causal breakdown of the transfer's latency (queueing, serialization,
+    /// fault-injected extra time).
+    pub edge: CausalEdge,
 }
 
 impl TransferRecord {
@@ -72,6 +77,7 @@ mod tests {
             phys_start: s,
             phys_end: e,
             kind: TransferKind::Send,
+            edge: CausalEdge::default(),
         }
     }
 

@@ -21,7 +21,7 @@ use crate::arena::Slab;
 use crate::config::NetConfig;
 use crate::fault::{FaultEvent, FaultKind, FaultRng};
 use crate::memory::{NodeMemory, RegionId};
-use crate::nic::{Completion, Nic, WrId};
+use crate::nic::{CausalEdge, Completion, Nic, WrId};
 use crate::packet::Packet;
 use crate::truth::{TransferKind, TransferRecord};
 
@@ -62,10 +62,16 @@ enum Pending {
         wr: WrId,
         user: u64,
         packet: Packet,
+        edge: CausalEdge,
     },
     /// A send whose packet the fault injector dropped: only the local
     /// completion fires (the NIC just saw the bytes leave).
-    SendDropComplete { src: usize, wr: WrId, user: u64 },
+    SendDropComplete {
+        src: usize,
+        wr: WrId,
+        user: u64,
+        edge: CausalEdge,
+    },
     /// Fault-injected duplicate copy trailing the original delivery.
     DupDeliver { dst: usize, packet: Packet },
     /// RDMA Write placement: bytes into `dst`'s registered memory, local
@@ -79,6 +85,7 @@ enum Pending {
         wr: WrId,
         user: u64,
         notify: Option<Packet>,
+        edge: CausalEdge,
     },
     /// NIC-atomic elementwise `f64` accumulate into `dst`'s memory.
     AccApply {
@@ -89,6 +96,7 @@ enum Pending {
         data: Vec<f64>,
         wr: WrId,
         user: u64,
+        edge: CausalEdge,
     },
     /// Fetch-and-add request arriving at the target NIC; performs the atomic
     /// and schedules the reply leg.
@@ -107,6 +115,7 @@ enum Pending {
         wr: WrId,
         user: u64,
         old: u64,
+        edge: CausalEdge,
     },
     /// RDMA Read request arriving at the target NIC; snapshots the region
     /// and schedules the response leg.
@@ -130,6 +139,7 @@ enum Pending {
         user: u64,
         snapshot: Bytes,
         notify: Option<Packet>,
+        edge: CausalEdge,
     },
 }
 
@@ -199,6 +209,7 @@ impl World {
                 wr,
                 user,
                 packet,
+                edge,
             } => {
                 w.nics[dst].rx.push_back(packet);
                 w.nics[dst].packets_delivered += 1;
@@ -206,17 +217,24 @@ impl World {
                     wr_id: wr,
                     user,
                     data: None,
+                    edge,
                 });
                 w.nics[src].completions_generated += 1;
                 drop(w);
                 h.wake_rank(dst);
                 h.wake_rank(src);
             }
-            Pending::SendDropComplete { src, wr, user } => {
+            Pending::SendDropComplete {
+                src,
+                wr,
+                user,
+                edge,
+            } => {
                 w.nics[src].cq.push_back(Completion {
                     wr_id: wr,
                     user,
                     data: None,
+                    edge,
                 });
                 w.nics[src].completions_generated += 1;
                 drop(w);
@@ -237,6 +255,7 @@ impl World {
                 wr,
                 user,
                 notify,
+                edge,
             } => {
                 let mem = w.mem[dst]
                     .get_mut(region)
@@ -246,6 +265,7 @@ impl World {
                     wr_id: wr,
                     user,
                     data: None,
+                    edge,
                 });
                 w.nics[src].completions_generated += 1;
                 let wake_dst = if let Some(p) = notify {
@@ -269,6 +289,7 @@ impl World {
                 data,
                 wr,
                 user,
+                edge,
             } => {
                 let mem = w.mem[dst]
                     .get_mut(region)
@@ -282,6 +303,7 @@ impl World {
                     wr_id: wr,
                     user,
                     data: None,
+                    edge,
                 });
                 w.nics[src].completions_generated += 1;
                 drop(w);
@@ -297,7 +319,8 @@ impl World {
                 user,
             } => {
                 let busy = w.cfg.serialize(8);
-                let dma_start = w.nics[target].reserve_dma(h.now(), busy);
+                let now = h.now();
+                let dma_start = w.nics[target].reserve_dma(now, busy);
                 let mem = w.mem[target]
                     .get_mut(region)
                     .expect("fetch-add on unknown region");
@@ -305,11 +328,17 @@ impl World {
                 mem[off..off + 8].copy_from_slice(&(old.wrapping_add(delta)).to_le_bytes());
                 let back = w.latency(target, initiator);
                 let arrival = dma_start + busy + back;
+                let edge = CausalEdge {
+                    dma_queue_ns: dma_start - now,
+                    serialize_ns: busy,
+                    ..CausalEdge::default()
+                };
                 let reply = w.pending.insert(Pending::FetchAddReply {
                     initiator,
                     wr,
                     user,
                     old,
+                    edge,
                 });
                 w.handle.schedule_token(arrival, reply as u64);
             }
@@ -318,11 +347,13 @@ impl World {
                 wr,
                 user,
                 old,
+                edge,
             } => {
                 w.nics[initiator].cq.push_back(Completion {
                     wr_id: wr,
                     user,
                     data: Some(Bytes::copy_from_slice(&old.to_le_bytes())),
+                    edge,
                 });
                 w.nics[initiator].completions_generated += 1;
                 drop(w);
@@ -340,7 +371,8 @@ impl World {
                 xfer,
             } => {
                 let busy = w.cfg.serialize(len);
-                let dma_start = w.nics[target].reserve_dma(h.now(), busy);
+                let now = h.now();
+                let dma_start = w.nics[target].reserve_dma(now, busy);
                 let snapshot = Bytes::copy_from_slice(
                     &w.mem[target]
                         .get(region)
@@ -348,7 +380,13 @@ impl World {
                 );
                 // The response stream is subject to the initiator's ingress
                 // contention, like any other inbound data.
-                let arrival = w.arrival_time(target, initiator, dma_start, len);
+                let (arrival, ingress_queue) = w.arrival_time(target, initiator, dma_start, len);
+                let edge = CausalEdge {
+                    dma_queue_ns: dma_start - now,
+                    serialize_ns: busy,
+                    ingress_queue_ns: ingress_queue,
+                    fault_extra_ns: 0,
+                };
                 if let Some(id) = xfer {
                     w.transfers.push(TransferRecord {
                         xfer_id: id.0,
@@ -358,6 +396,7 @@ impl World {
                         phys_start: dma_start,
                         phys_end: arrival,
                         kind: TransferKind::RdmaRead,
+                        edge,
                     });
                 }
                 let reply = w.pending.insert(Pending::ReadReply {
@@ -367,6 +406,7 @@ impl World {
                     user,
                     snapshot,
                     notify,
+                    edge,
                 });
                 w.handle.schedule_token(arrival, reply as u64);
             }
@@ -377,11 +417,13 @@ impl World {
                 user,
                 snapshot,
                 notify,
+                edge,
             } => {
                 w.nics[initiator].cq.push_back(Completion {
                     wr_id: wr,
                     user,
                     data: Some(snapshot),
+                    edge,
                 });
                 w.nics[initiator].completions_generated += 1;
                 let wake_target = if let Some(p) = notify {
@@ -459,20 +501,28 @@ impl World {
     }
 
     /// Arrival (placement) time for `bytes` that left `src`'s DMA at
-    /// `dma_start`, heading to `dst`. Accounts for ingress contention when
-    /// the config models it.
-    fn arrival_time(&mut self, src: usize, dst: usize, dma_start: Time, bytes: usize) -> Time {
+    /// `dma_start`, heading to `dst`, plus the portion of it spent queued
+    /// behind other streams on `dst`'s ingress engine (the causal-edge
+    /// component). Accounts for ingress contention when the config models it.
+    fn arrival_time(
+        &mut self,
+        src: usize,
+        dst: usize,
+        dma_start: Time,
+        bytes: usize,
+    ) -> (Time, u64) {
         let busy = self.cfg.serialize(bytes);
         let lat = self.latency(src, dst);
         let wire = dma_start + busy + lat;
         if self.cfg.model_ingress_contention && src != dst {
             // Stream starts reaching the destination one latency after the
             // DMA starts; the ingress engine then serializes it.
-            self.nics[dst]
+            let arrival = self.nics[dst]
                 .reserve_ingress(dma_start + lat, busy)
-                .max(wire)
+                .max(wire);
+            (arrival, arrival - wire)
         } else {
-            wire
+            (wire, 0)
         }
     }
 
@@ -507,7 +557,14 @@ impl World {
         let now = self.now();
         let busy = self.cfg.serialize(packet.wire_bytes);
         let dma_start = self.nics[src].reserve_dma(now, busy);
-        let mut arrival = self.arrival_time(src, dst, dma_start, packet.wire_bytes);
+        let (mut arrival, ingress_queue) =
+            self.arrival_time(src, dst, dma_start, packet.wire_bytes);
+        let mut edge = CausalEdge {
+            dma_queue_ns: dma_start - now,
+            serialize_ns: busy,
+            ingress_queue_ns: ingress_queue,
+            fault_extra_ns: 0,
+        };
         let mut deliver = true;
         let mut dup_arrival = None;
         if self.faulty && src != dst && !packet.protected {
@@ -526,6 +583,7 @@ impl World {
                     let extra = self.fault_rng.below_inclusive(plan.max_extra_delay);
                     if extra > 0 {
                         arrival += extra;
+                        edge.fault_extra_ns += extra;
                         self.fault_events.push(FaultEvent {
                             at: now,
                             src,
@@ -538,6 +596,7 @@ impl World {
                 let deg = plan.degradation_delay(src, dst, dma_start);
                 if deg > 0 {
                     arrival += deg;
+                    edge.fault_extra_ns += deg;
                     self.fault_events.push(FaultEvent {
                         at: now,
                         src,
@@ -548,6 +607,7 @@ impl World {
                 }
                 let released = plan.stall_release(dst, arrival);
                 if released > arrival {
+                    edge.fault_extra_ns += released - arrival;
                     arrival = released;
                     self.fault_events.push(FaultEvent {
                         at: now,
@@ -582,6 +642,7 @@ impl World {
                     phys_start: dma_start,
                     phys_end: arrival,
                     kind: TransferKind::Send,
+                    edge,
                 });
             }
         }
@@ -598,11 +659,20 @@ impl World {
                     wr,
                     user,
                     packet,
+                    edge,
                 },
             );
         } else {
             // Dropped in the fabric: the send still completes locally.
-            self.schedule_pending(arrival, Pending::SendDropComplete { src, wr, user });
+            self.schedule_pending(
+                arrival,
+                Pending::SendDropComplete {
+                    src,
+                    wr,
+                    user,
+                    edge,
+                },
+            );
         }
         wr
     }
@@ -630,7 +700,13 @@ impl World {
         let len = data.len();
         let busy = self.cfg.serialize(len);
         let dma_start = self.nics[src].reserve_dma(now, busy);
-        let arrival = self.arrival_time(src, dst, dma_start, len);
+        let (arrival, ingress_queue) = self.arrival_time(src, dst, dma_start, len);
+        let edge = CausalEdge {
+            dma_queue_ns: dma_start - now,
+            serialize_ns: busy,
+            ingress_queue_ns: ingress_queue,
+            fault_extra_ns: 0,
+        };
         if let Some(id) = xfer {
             self.transfers.push(TransferRecord {
                 xfer_id: id.0,
@@ -640,6 +716,7 @@ impl World {
                 phys_start: dma_start,
                 phys_end: arrival,
                 kind: TransferKind::RdmaWrite,
+                edge,
             });
         }
         self.schedule_pending(
@@ -653,6 +730,7 @@ impl World {
                 wr,
                 user,
                 notify,
+                edge,
             },
         );
         wr
@@ -680,6 +758,11 @@ impl World {
         let busy = self.cfg.serialize(len);
         let dma_start = self.nics[src].reserve_dma(now, busy);
         let arrival = dma_start + busy + self.latency(src, dst);
+        let edge = CausalEdge {
+            dma_queue_ns: dma_start - now,
+            serialize_ns: busy,
+            ..CausalEdge::default()
+        };
         if let Some(id) = xfer {
             self.transfers.push(TransferRecord {
                 xfer_id: id.0,
@@ -689,6 +772,7 @@ impl World {
                 phys_start: dma_start,
                 phys_end: arrival,
                 kind: TransferKind::RdmaWrite,
+                edge,
             });
         }
         self.schedule_pending(
@@ -701,6 +785,7 @@ impl World {
                 data,
                 wr,
                 user,
+                edge,
             },
         );
         wr
