@@ -37,7 +37,7 @@ pub fn ablation_eager_threshold() -> Series {
                 }
             },
         )
-        .expect("run failed");
+        .unwrap_or_else(|e| panic!("{}", e.one_line()));
         let r = &out.reports[1];
         rows.push(vec![
             (threshold >> 10).to_string(),
@@ -84,7 +84,7 @@ pub fn ablation_fragment_size() -> Series {
                 }
             },
         )
-        .expect("run failed");
+        .unwrap_or_else(|e| panic!("{}", e.one_line()));
         rows.push(vec![
             (frag >> 10).to_string(),
             pct(out.reports[0].total.max_pct()),
@@ -129,7 +129,7 @@ pub fn ablation_iprobe_count() -> Series {
                 }
             },
         )
-        .expect("run failed");
+        .unwrap_or_else(|e| panic!("{}", e.one_line()));
         let r = &out.reports[1];
         rows.push(vec![
             probes.to_string(),
@@ -190,7 +190,7 @@ pub fn ablation_table_resolution() -> Series {
                 }
             },
         )
-        .expect("run failed");
+        .unwrap_or_else(|e| panic!("{}", e.one_line()));
         let r = &out.reports[0].total;
         let truth = out.true_overlap(0);
         rows.push(vec![
@@ -232,7 +232,7 @@ pub fn ablation_queue_capacity() -> Series {
                 }
             }
         })
-        .expect("run failed");
+        .unwrap_or_else(|e| panic!("{}", e.one_line()));
         let r = &out.reports[0];
         rows.push(vec![
             cap.to_string(),
@@ -283,7 +283,7 @@ pub fn ablation_incast() -> Series {
                 }
             },
         )
-        .expect("run failed");
+        .unwrap_or_else(|e| panic!("{}", e.one_line()));
         let table = default_xfer_table(&net);
         let slack: u64 = (1..=senders)
             .map(|r| out.congestion_excess(r, &table))
@@ -343,7 +343,7 @@ pub fn ablation_bandwidth() -> Series {
                     }
                 },
             )
-            .expect("run failed");
+            .unwrap_or_else(|e| panic!("{}", e.one_line()));
             let bytes = (size * reps) as f64;
             // Exclude init/finalize sync by using the data-only span from
             // ground truth records. A run can complete zero transfers (e.g.
@@ -444,7 +444,7 @@ pub fn extra_nic_timestamps() -> Series {
                 }
             },
         )
-        .expect("run failed");
+        .unwrap_or_else(|e| panic!("{}", e.one_line()));
         let r = &out.reports[0].total;
         let truth = out.true_overlap(0);
         let true_pct = 100.0 * truth as f64 / r.data_transfer_time as f64;
@@ -513,7 +513,7 @@ pub fn ablation_faults() -> Series {
                 }
             },
         )
-        .expect("run failed");
+        .unwrap_or_else(|e| panic!("{}", e.one_line()));
         crate::tracecap::record(
             format!("ablation-faults/loss{loss_pct}-{}K", size >> 10),
             out.traces.clone(),

@@ -48,6 +48,13 @@ static ALLOC: bench::alloc::CountingAlloc = bench::alloc::CountingAlloc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // `repro explore ...` is a subcommand with its own flags; dispatch
+    // before harness-selection parsing sees them.
+    if args.first().map(String::as_str) == Some("explore") {
+        std::process::exit(bench::explore::cli_main(&args[1..]));
+    }
+
     let figures = bench::figures::all();
     let ablations = bench::ablations::all();
 
@@ -77,10 +84,29 @@ fn main() {
 
     runner::set_jobs(cli.jobs);
     let t0 = std::time::Instant::now();
-    let runs = runner::run_harnesses(&cli.selection, |run| {
-        print!("{}", run.series.render());
-        println!();
-    });
+    // A harness whose simulation deadlocks panics with the engine's
+    // one-line diagnostic (including the wait-for cycle when known);
+    // surface that as exit code 3 instead of a raw panic trace.
+    let runs = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        runner::run_harnesses(&cli.selection, |run| {
+            print!("{}", run.series.render());
+            println!();
+        })
+    })) {
+        Ok(runs) => runs,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("harness panicked");
+            if msg.contains("simulated deadlock") {
+                eprintln!("repro: {msg}");
+                std::process::exit(3);
+            }
+            std::panic::resume_unwind(payload);
+        }
+    };
 
     // Drain the capture once; both exporters read from it. The store is
     // scope-ordered, so grouping and file contents are deterministic.
@@ -182,6 +208,7 @@ fn main() {
 
     if let Some(path) = &cli.json {
         let report = runner::RunReport {
+            schema_version: bench::explore::SCHEMA_VERSION,
             jobs: cli.jobs,
             total_wall_s,
             harnesses: runs,

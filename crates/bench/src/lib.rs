@@ -14,6 +14,7 @@ pub mod ablations;
 pub mod alloc;
 pub mod critpath;
 pub mod enginebench;
+pub mod explore;
 pub mod figures;
 pub mod micro;
 pub mod runner;

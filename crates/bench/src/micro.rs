@@ -123,7 +123,7 @@ fn run_point(
             mpi.barrier();
         }
     })
-    .expect("microbenchmark run failed");
+    .unwrap_or_else(|e| panic!("{}", e.one_line()));
     if let Some(s) = scope {
         crate::tracecap::record(s, out.traces.clone(), &out.faults);
     }

@@ -147,6 +147,11 @@ pub struct HarnessRun {
 /// (`BENCH_*.json`) across PRs.
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct RunReport {
+    /// Report format version; bumped when the report shape changes so
+    /// downstream consumers (and explore replay tokens, which share the
+    /// constant) can assert they understand the file. Currently
+    /// [`crate::explore::SCHEMA_VERSION`].
+    pub schema_version: u32,
     /// Worker budget the run used.
     pub jobs: usize,
     /// Total wall-clock seconds for the whole selection.

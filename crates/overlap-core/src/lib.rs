@@ -88,6 +88,7 @@ pub mod bins;
 pub mod bounds;
 pub mod clock;
 pub mod event;
+pub mod invariant;
 pub mod metrics;
 pub mod observer;
 pub mod processor;
@@ -105,6 +106,7 @@ pub use bins::SizeBins;
 pub use bounds::{OverlapBounds, XferCase};
 pub use clock::{Clock, ManualClock};
 pub use event::{Event, EventKind};
+pub use invariant::{check_report, check_reports, Violation};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use observer::{EventObserver, TraceSink};
 pub use queue::{EventRing, RingFull};

@@ -30,6 +30,7 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use crate::error::SimError;
+use crate::oracle::{ChoicePoint, OracleHandle};
 use crate::rank::RankCtx;
 use crate::sched::TimingWheel;
 use crate::time::{Duration, Time};
@@ -79,6 +80,11 @@ struct RankSlot {
 pub(crate) struct DiagSlot {
     pub(crate) blocked_on: Option<Arc<str>>,
     pub(crate) last_call: Option<&'static str>,
+    /// Structured wait-for edge: the rank this one is waiting on, if the
+    /// library can name a single peer (used for deadlock cycle reports).
+    pub(crate) waits_on_rank: Option<usize>,
+    /// The library-level request id the rank is blocked in, if any.
+    pub(crate) waits_on_req: Option<u64>,
 }
 
 /// Number of insertion-buffer shards. Power of two; at most 64 so the
@@ -110,6 +116,7 @@ pub(crate) struct EngineShared {
     slots: Mutex<Vec<RankSlot>>,
     pub(crate) diags: Box<[Mutex<DiagSlot>]>,
     token_handler: Mutex<Option<TokenHandler>>,
+    oracle: Mutex<Option<OracleHandle>>,
 }
 
 impl EngineShared {
@@ -194,6 +201,21 @@ impl EngineHandle {
         self.shared.push(t, Action::Token(token));
     }
 
+    /// Install a schedule oracle controlling the engine's nondeterminism
+    /// points (see [`crate::oracle`]). Like the token handler it must be
+    /// installed before [`crate::Simulation::run`], which snapshots it once
+    /// at startup; library layers query it per choice point via
+    /// [`EngineHandle::oracle`]. Without an oracle the engine takes its
+    /// original fixed-policy fast path.
+    pub fn set_oracle(&self, oracle: OracleHandle) {
+        *self.shared.oracle.lock() = Some(oracle);
+    }
+
+    /// The installed schedule oracle, if any.
+    pub fn oracle(&self) -> Option<OracleHandle> {
+        self.shared.oracle.lock().clone()
+    }
+
     /// Wake rank `r` if it is parked. No-op for running, sleeping (a rank
     /// that is mid-`compute` is uninterruptible — it discovers new state at
     /// its next library call), or finished ranks. Idempotent: at most one
@@ -269,6 +291,7 @@ impl Simulation {
                     .map(|_| Mutex::new(DiagSlot::default()))
                     .collect(),
                 token_handler: Mutex::new(None),
+                oracle: Mutex::new(None),
             }),
             nranks,
         }
@@ -292,6 +315,7 @@ impl Simulation {
     where
         F: Fn(&mut RankCtx) + Send + Sync + 'static,
     {
+        install_abort_hook();
         let body = Arc::new(body);
         let n = self.nranks;
         let mut resume_txs: Vec<Sender<()>> = Vec::with_capacity(n);
@@ -348,6 +372,7 @@ impl Simulation {
         // touching the registration mutex again.
         let mut wheel: TimingWheel<Action> = TimingWheel::new();
         let token_handler = self.shared.token_handler.lock().clone();
+        let oracle = self.shared.oracle.lock().clone();
 
         // Kick off every rank at t = 0.
         for r in 0..n {
@@ -364,7 +389,11 @@ impl Simulation {
             // this point all their pushes are visible and nothing new can
             // arrive before the pop below.
             self.shared.drain_inbox(&mut wheel);
-            let Some((time, _seq, action)) = wheel.pop() else {
+            let popped = match &oracle {
+                None => wheel.pop(),
+                Some(orc) => pop_with_oracle(&mut wheel, orc),
+            };
+            let Some((time, _seq, action)) = popped else {
                 let slots = self.shared.slots.lock();
                 let stuck: Vec<usize> = slots
                     .iter()
@@ -384,6 +413,8 @@ impl Simulation {
                             rank: r,
                             blocked_on: d.blocked_on.as_ref().map(|s| s.to_string()),
                             last_call: d.last_call.map(|s| s.to_string()),
+                            waits_on_rank: d.waits_on_rank,
+                            waits_on_req: d.waits_on_req,
                         }
                     })
                     .collect();
@@ -493,6 +524,38 @@ impl Simulation {
     }
 }
 
+/// Oracle-driven pop: collect every entry tied at the earliest due time,
+/// let the oracle pick one, and re-insert the rest (they keep their seq, so
+/// the canonical order among them is restored inside the wheel).
+///
+/// With the [`crate::oracle::Canonical`] oracle choice `0` — the lowest
+/// sequence number — is always taken, which is exactly what a plain
+/// [`TimingWheel::pop`] returns, so the schedule is byte-identical to the
+/// no-oracle fast path.
+fn pop_with_oracle(
+    wheel: &mut TimingWheel<Action>,
+    orc: &OracleHandle,
+) -> Option<(Time, u64, Action)> {
+    let (time, seq0, a0) = wheel.pop()?;
+    let mut cands = vec![(seq0, a0)];
+    while let Some((_, s, a)) = wheel.pop_current() {
+        cands.push((s, a));
+    }
+    let pick = if cands.len() > 1 {
+        orc.choose(ChoicePoint::EventTie {
+            time,
+            n: cands.len(),
+        })
+    } else {
+        0
+    };
+    let (seq, action) = cands.swap_remove(pick);
+    for (s, a) in cands {
+        wheel.push(time, s, a);
+    }
+    Some((time, seq, action))
+}
+
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -501,6 +564,29 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     } else {
         "<non-string panic payload>".to_string()
     }
+}
+
+/// Silence the designed `"simulation aborted"` unwind that tears rank
+/// threads down when the engine stops early (deadlock, limit, another
+/// rank's panic): it is control flow, not an error, and the default hook
+/// would print one message-plus-backtrace per parked rank. Every other
+/// panic still reaches the previously installed hook. Installed once,
+/// process-wide, on first engine run.
+fn install_abort_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let is_abort = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| *s == "simulation aborted")
+                .unwrap_or(false);
+            if !is_abort {
+                prev(info);
+            }
+        }));
+    });
 }
 
 #[cfg(test)]

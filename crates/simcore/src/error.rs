@@ -15,6 +15,58 @@ pub struct RankDiag {
     pub blocked_on: Option<String>,
     /// The last library call the rank entered.
     pub last_call: Option<String>,
+    /// Structured wait-for edge: the peer rank this one is waiting on, if
+    /// the library could name a single one (via
+    /// [`crate::RankCtx::note_waiting_on`]).
+    pub waits_on_rank: Option<usize>,
+    /// The library-level request id the rank is blocked in, if any.
+    pub waits_on_req: Option<u64>,
+}
+
+/// Walk the structured wait-for edges of a deadlock diagnostic and return
+/// the first cycle found, as the list of stuck ranks in edge order (each
+/// entry waits on the next; the last waits on the first).
+///
+/// Returns `None` when the diagnostics carry no cycle — e.g. the library
+/// never reported structured edges, or a rank waits on a peer that is still
+/// making progress.
+pub fn deadlock_cycle(diags: &[RankDiag]) -> Option<Vec<usize>> {
+    use std::collections::HashMap;
+    let edges: HashMap<usize, usize> = diags
+        .iter()
+        .filter_map(|d| d.waits_on_rank.map(|p| (d.rank, p)))
+        .collect();
+    // The wait-for graph is functional (≤ 1 outgoing edge per rank), so a
+    // simple colored walk finds a cycle in O(n).
+    let mut color: HashMap<usize, u8> = HashMap::new(); // 1 = on path, 2 = done
+    for &start in edges.keys() {
+        if color.contains_key(&start) {
+            continue;
+        }
+        let mut path = Vec::new();
+        let mut cur = start;
+        loop {
+            match color.get(&cur) {
+                Some(1) => {
+                    // Found a cycle: slice the path from `cur`'s position.
+                    let pos = path.iter().position(|&r| r == cur).unwrap();
+                    return Some(path[pos..].to_vec());
+                }
+                Some(_) => break,
+                None => {}
+            }
+            color.insert(cur, 1);
+            path.push(cur);
+            match edges.get(&cur) {
+                Some(&next) => cur = next,
+                None => break,
+            }
+        }
+        for r in path {
+            color.insert(r, 2);
+        }
+    }
+    None
 }
 
 /// Terminal failures of a simulation run.
@@ -64,6 +116,51 @@ pub enum SimError {
     },
 }
 
+/// Render a wait-for cycle as `rank A -> req X -> rank B -> ... -> rank A`,
+/// interleaving the request id each rank is blocked in when known.
+fn render_cycle(cycle: &[usize], diags: &[RankDiag]) -> String {
+    use fmt::Write as _;
+    let mut s = String::new();
+    for &r in cycle {
+        let _ = write!(s, "rank {r}");
+        match diags
+            .iter()
+            .find(|d| d.rank == r)
+            .and_then(|d| d.waits_on_req)
+        {
+            Some(req) => {
+                let _ = write!(s, " -> req {req} -> ");
+            }
+            None => s.push_str(" -> "),
+        }
+    }
+    let _ = write!(s, "rank {}", cycle[0]);
+    s
+}
+
+impl SimError {
+    /// Compact single-line rendering, suitable for a CLI diagnostic. For
+    /// [`SimError::Deadlock`] this includes the wait-for cycle
+    /// (`rank -> request -> rank`) when the structured diagnostics carry
+    /// one; other variants render as their normal `Display`.
+    pub fn one_line(&self) -> String {
+        match self {
+            SimError::Deadlock { parked, at, diags } => match deadlock_cycle(diags) {
+                Some(cycle) => format!(
+                    "simulated deadlock at t={}ns: wait-for cycle {}",
+                    at,
+                    render_cycle(&cycle, diags)
+                ),
+                None => format!(
+                    "simulated deadlock at t={}ns: ranks {:?} are parked with no pending events",
+                    at, parked
+                ),
+            },
+            other => other.to_string(),
+        }
+    }
+}
+
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -73,6 +170,9 @@ impl fmt::Display for SimError {
                     "simulated deadlock at t={}ns: ranks {:?} are parked with no pending events",
                     at, parked
                 )?;
+                if let Some(cycle) = deadlock_cycle(diags) {
+                    write!(f, "\n  wait-for cycle: {}", render_cycle(&cycle, diags))?;
+                }
                 for d in diags {
                     write!(
                         f,
@@ -106,3 +206,72 @@ impl fmt::Display for SimError {
 }
 
 impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rank: usize, waits_on: Option<usize>, req: Option<u64>) -> RankDiag {
+        RankDiag {
+            rank,
+            waits_on_rank: waits_on,
+            waits_on_req: req,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn two_rank_cycle_detected_and_rendered() {
+        let diags = vec![diag(0, Some(1), Some(5)), diag(1, Some(0), Some(9))];
+        let cycle = deadlock_cycle(&diags).unwrap();
+        assert!(cycle == vec![0, 1] || cycle == vec![1, 0]);
+        let err = SimError::Deadlock {
+            parked: vec![0, 1],
+            at: 42,
+            diags,
+        };
+        let line = err.one_line();
+        assert!(line.contains("wait-for cycle"), "{line}");
+        assert!(
+            line.contains("rank 0 -> req 5 -> rank 1")
+                || line.contains("rank 1 -> req 9 -> rank 0"),
+            "{line}"
+        );
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn chain_without_cycle_reports_none() {
+        // 0 -> 1 -> 2, and 2 waits on nobody: no cycle.
+        let diags = vec![
+            diag(0, Some(1), None),
+            diag(1, Some(2), None),
+            diag(2, None, None),
+        ];
+        assert_eq!(deadlock_cycle(&diags), None);
+        let err = SimError::Deadlock {
+            parked: vec![0, 1, 2],
+            at: 7,
+            diags,
+        };
+        assert!(err.one_line().contains("parked with no pending events"));
+    }
+
+    #[test]
+    fn self_cycle_detected() {
+        let diags = vec![diag(3, Some(3), Some(1))];
+        assert_eq!(deadlock_cycle(&diags), Some(vec![3]));
+    }
+
+    #[test]
+    fn partial_cycle_among_chain_found() {
+        // 0 -> 1 -> 2 -> 1: cycle is [1, 2].
+        let diags = vec![
+            diag(0, Some(1), None),
+            diag(1, Some(2), None),
+            diag(2, Some(1), None),
+        ];
+        let cycle = deadlock_cycle(&diags).unwrap();
+        assert!(cycle == vec![1, 2] || cycle == vec![2, 1]);
+    }
+}

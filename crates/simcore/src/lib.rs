@@ -34,6 +34,14 @@
 //! framework's min/max bounds are validated against — something the original
 //! paper could not do on real hardware.
 //!
+//! ## Schedule exploration
+//!
+//! The fixed tie-break policy is one schedule out of many a real system
+//! could exhibit. Installing a [`ScheduleOracle`] (via
+//! [`EngineHandle::set_oracle`]) turns every tie-break into an explicit,
+//! recorded choice point, so a model checker can enumerate, randomize, or
+//! replay schedules — see the [`oracle`] module.
+//!
 //! ## Example
 //!
 //! ```
@@ -58,14 +66,18 @@
 pub mod engine;
 pub mod error;
 pub mod intervals;
+pub mod oracle;
 pub mod rank;
 pub mod sched;
 pub mod time;
 pub mod truth;
 
 pub use engine::{EngineHandle, SimOpts, SimOutcome, Simulation};
-pub use error::{RankDiag, SimError};
+pub use error::{deadlock_cycle, RankDiag, SimError};
 pub use intervals::IntervalSet;
+pub use oracle::{
+    Canonical, ChoicePoint, ChoiceRec, OracleHandle, RandomOracle, ReplayOracle, ScheduleOracle,
+};
 pub use rank::RankCtx;
 pub use time::{ms, ns, us, Duration, Time};
 pub use truth::{Activity, ActivityLog};

@@ -93,7 +93,10 @@ impl RankCtx {
         self.yield_to_engine(YieldMsg::Park);
         let end = self.now();
         self.log.record(start, end, Activity::LibraryWait);
-        self.shared.diags[self.rank].lock().blocked_on = None;
+        let mut d = self.shared.diags[self.rank].lock();
+        d.blocked_on = None;
+        d.waits_on_rank = None;
+        d.waits_on_req = None;
     }
 
     /// Describe what this rank is about to block on. Dumped per rank in
@@ -107,6 +110,18 @@ impl RankCtx {
     /// still work and allocate once here.
     pub fn note_blocked_on(&self, what: impl Into<Arc<str>>) {
         self.shared.diags[self.rank].lock().blocked_on = Some(what.into());
+    }
+
+    /// Record a structured wait-for edge alongside the free-text note: the
+    /// peer rank whose action this rank is blocked on (when the library can
+    /// name a single one) and the library-level request id it is blocked in.
+    /// On deadlock these edges are walked into a `rank -> request -> rank`
+    /// cycle report (see [`crate::deadlock_cycle`]); like the blocked-on
+    /// note they are cleared when [`RankCtx::park`] returns.
+    pub fn note_waiting_on(&self, peer: Option<usize>, req: Option<u64>) {
+        let mut d = self.shared.diags[self.rank].lock();
+        d.waits_on_rank = peer;
+        d.waits_on_req = req;
     }
 
     /// Record the name of the library call the rank just entered (also

@@ -142,6 +142,22 @@ impl<T> TimingWheel<T> {
         }
     }
 
+    /// Remove and return the next entry of the batch due at the current time
+    /// floor, without ever advancing the wheel. Returns `None` once the
+    /// current batch is exhausted, even if later entries are pending.
+    ///
+    /// Entries only ever enter the wheel with `time >= now`, so whenever an
+    /// entry at time `t` has been popped, every remaining entry due at `t`
+    /// is already in the current batch: draining with `pop_current` after a
+    /// [`TimingWheel::pop`] yields exactly the set of same-time ties. The
+    /// schedule explorer uses this to collect tie candidates for its oracle
+    /// without disturbing the time floor.
+    pub fn pop_current(&mut self) -> Option<(u64, u64, T)> {
+        let (seq, item) = self.cur.pop_front()?;
+        self.len -= 1;
+        Some((self.now, seq, item))
+    }
+
     /// Advance the wheel to the next occupied slot, promoting its entries
     /// (cascading multi-tick slots toward level 0). Returns `None` when the
     /// wheel is empty.
@@ -345,6 +361,28 @@ mod tests {
         for pair in popped.windows(2) {
             assert!(pair[0] < pair[1], "out of order: {pair:?}");
         }
+    }
+
+    #[test]
+    fn pop_current_drains_only_the_due_batch() {
+        let mut w = TimingWheel::new();
+        w.push(10, 0, "a");
+        w.push(10, 2, "c");
+        w.push(10, 1, "b");
+        w.push(20, 3, "d");
+        assert_eq!(w.pop(), Some((10, 0, "a")));
+        assert_eq!(w.pop_current(), Some((10, 1, "b")));
+        assert_eq!(w.pop_current(), Some((10, 2, "c")));
+        // The batch at t=10 is exhausted; t=20 must not be touched.
+        assert_eq!(w.pop_current(), None);
+        assert_eq!(w.len(), 1);
+        // Re-inserting at the floor merges back in seq order.
+        w.push(10, 1, "b");
+        w.push(10, 2, "c");
+        assert_eq!(w.pop(), Some((10, 1, "b")));
+        assert_eq!(w.pop(), Some((10, 2, "c")));
+        assert_eq!(w.pop(), Some((20, 3, "d")));
+        assert_eq!(w.pop(), None);
     }
 
     #[test]

@@ -34,6 +34,12 @@ pub struct MpiConfig {
     /// from the fabric config (a few round trips at the eager threshold).
     /// Only consulted when the fabric has a non-empty fault plan.
     pub retrans_timeout: Option<simcore::Duration>,
+    /// Retry budget per packet in the reliability layer. A packet that has
+    /// been retransmitted this many times is abandoned, bounding
+    /// retransmission livelock: a permanently lossy link eventually drains
+    /// to quiescence (and surfaces as a simulated deadlock) instead of
+    /// retransmitting forever.
+    pub max_retries: u32,
 }
 
 impl Default for MpiConfig {
@@ -53,6 +59,7 @@ impl MpiConfig {
             use_reg_cache: false,
             reg_cache_entries: 16,
             retrans_timeout: None,
+            max_retries: 16,
         }
     }
 
@@ -77,6 +84,7 @@ impl MpiConfig {
             use_reg_cache: true,
             reg_cache_entries: 32,
             retrans_timeout: None,
+            max_retries: 16,
         }
     }
 }

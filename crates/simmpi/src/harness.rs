@@ -122,7 +122,32 @@ pub fn run_mpi_with<F>(
 where
     F: Fn(&mut Mpi) + Send + Sync + 'static,
 {
+    run_mpi_explored(nranks, net, mpi_cfg, rec_opts, table, opts, None, body)
+}
+
+/// [`run_mpi_with`] plus an optional schedule oracle: when `oracle` is
+/// `Some`, every engine nondeterminism point (same-time event ties,
+/// progress-poll drain order, fault-timing jitter) is resolved by the
+/// oracle and recorded in its trace, so the schedule can be replayed or
+/// perturbed. `None` runs the untouched canonical path.
+#[allow(clippy::too_many_arguments)]
+pub fn run_mpi_explored<F>(
+    nranks: usize,
+    net: NetConfig,
+    mpi_cfg: MpiConfig,
+    rec_opts: RecorderOpts,
+    table: XferTimeTable,
+    opts: SimOpts,
+    oracle: Option<simcore::OracleHandle>,
+    body: F,
+) -> Result<MpiRunOutcome, SimError>
+where
+    F: Fn(&mut Mpi) + Send + Sync + 'static,
+{
     let cluster = Cluster::new(nranks, net);
+    if let Some(orc) = oracle {
+        cluster.handle().set_oracle(orc);
+    }
     type PerRank = Vec<
         Option<(
             OverlapReport,

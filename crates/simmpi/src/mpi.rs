@@ -190,6 +190,10 @@ pub struct Mpi<'a> {
     /// only when the fingerprint changes and shared with the engine as an
     /// `Arc<str>` otherwise.
     blocked_note_cache: Option<(BlockedFingerprint, Arc<str>)>,
+    /// Schedule oracle snapshot (taken at init). When present, the progress
+    /// engine's CQ-vs-RX drain preference becomes an explicit choice point;
+    /// when absent the canonical CQ-first policy applies unconditionally.
+    oracle: Option<simcore::OracleHandle>,
 }
 
 /// The pieces of per-rank state the blocked-on diagnostic renders. Two equal
@@ -227,9 +231,11 @@ impl<'a> Mpi<'a> {
             rel_enabled,
             rank,
             rel_timeout,
+            cfg.max_retries,
             net.ctrl_packet_bytes,
             ctx.handle(),
         );
+        let oracle = ctx.handle().oracle();
         let mut mpi = Mpi {
             ctx,
             world,
@@ -252,6 +258,7 @@ impl<'a> Mpi<'a> {
             rel,
             retrans_xfers: HashSet::new(),
             blocked_note_cache: None,
+            oracle,
         };
         mpi.call_enter("MPI_Init");
         mpi.barrier_inner();
@@ -1086,10 +1093,36 @@ impl<'a> Mpi<'a> {
             }
             let item = {
                 let mut w = self.world.lock();
-                if let Some(c) = w.poll_cq(self.rank) {
-                    Some(Item::C(c))
-                } else {
-                    w.poll_rx(self.rank).map(Item::P)
+                match &self.oracle {
+                    // Exploration: when both the completion queue and the
+                    // receive queue are non-empty, which to drain first is a
+                    // real interleaving choice. Choice 0 is the canonical
+                    // CQ-first policy.
+                    Some(orc) => {
+                        let st = w.nic_stats(self.rank);
+                        if st.cq_backlog > 0 && st.rx_backlog > 0 {
+                            let pick = orc.choose(simcore::ChoicePoint::ProgressPoll {
+                                rank: self.rank,
+                                n: 2,
+                            });
+                            if pick == 1 {
+                                w.poll_rx(self.rank).map(Item::P)
+                            } else {
+                                w.poll_cq(self.rank).map(Item::C)
+                            }
+                        } else if st.cq_backlog > 0 {
+                            w.poll_cq(self.rank).map(Item::C)
+                        } else {
+                            w.poll_rx(self.rank).map(Item::P)
+                        }
+                    }
+                    None => {
+                        if let Some(c) = w.poll_cq(self.rank) {
+                            Some(Item::C(c))
+                        } else {
+                            w.poll_rx(self.rank).map(Item::P)
+                        }
+                    }
                 }
             };
             match item {
@@ -1502,6 +1535,8 @@ impl<'a> Mpi<'a> {
         if !has {
             let note = self.blocked_note(nic);
             self.ctx.note_blocked_on(note);
+            let (peer, req) = self.blocking_edge();
+            self.ctx.note_waiting_on(peer, req);
             if self.rec.wait_tracing() {
                 // Classify *before* parking: the open-request state at block
                 // time is what explains the wait. Recording adds zero
@@ -1589,6 +1624,48 @@ impl<'a> Mpi<'a> {
             // outstanding ACKs, or on pure synchronization traffic.
             None if self.rel.pending_packets() > 0 => (WaitCause::AckRetransmit, None),
             None => (WaitCause::Sync, None),
+        }
+    }
+
+    /// The structured wait-for edge for deadlock cycle reports: the peer
+    /// rank whose action must come first, and the open request id this rank
+    /// is blocked in. Picks the open request with the lowest id (matching
+    /// the deterministic tie-break of [`Mpi::classify_block`]); a receive
+    /// names its matched or posted-source peer, `MPI_ANY_SOURCE` receives
+    /// name none. With no open data request the edge falls back to the
+    /// reliability layer's first un-ACKed peer.
+    fn blocking_edge(&self) -> (Option<usize>, Option<u64>) {
+        let mut best: Option<(u64, Option<usize>)> = None;
+        for (&req_id, req) in &self.reqs {
+            if req.is_done() {
+                continue;
+            }
+            if best.is_some_and(|(id, _)| id <= req_id) {
+                continue;
+            }
+            let peer = match req {
+                Req::SendEager { peer, .. }
+                | Req::SendRdvRead { peer, .. }
+                | Req::SendRdvPipe { peer, .. } => Some(*peer),
+                Req::Recv {
+                    matched: Some((src, _)),
+                    ..
+                } => Some(*src),
+                Req::Recv { .. } => {
+                    self.posted
+                        .iter()
+                        .find(|p| p.req == req_id)
+                        .and_then(|p| match p.src {
+                            Src::Rank(r) => Some(r),
+                            Src::Any => None,
+                        })
+                }
+            };
+            best = Some((req_id, peer));
+        }
+        match best {
+            Some((id, peer)) => (peer, Some(id)),
+            None => (self.rel.first_pending_peer(), None),
         }
     }
 

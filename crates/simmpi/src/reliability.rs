@@ -55,13 +55,22 @@ pub struct RelStats {
     pub nacks_sent: u64,
     /// Received sequenced packets dropped as duplicates.
     pub duplicates_dropped: u64,
+    /// Packets abandoned after exhausting the retry budget. A nonzero count
+    /// means delivery was given up on: the protocol above may wedge, but it
+    /// wedges into the engine's *detectable* quiescent deadlock instead of
+    /// retransmitting forever.
+    pub abandoned: u64,
 }
 
 struct Pending {
     packet: Packet,
     deadline: Time,
-    /// Backoff shift applied to the next deadline (doubles per retry).
+    /// Backoff shift applied to the next deadline (doubles per retry,
+    /// capped at [`MAX_BACKOFF_SHIFT`]).
     backoff: u32,
+    /// Total retransmissions of this packet (timeout- or NACK-driven);
+    /// compared against the retry budget, unlike the capped `backoff`.
+    retries: u32,
     /// Ground-truth transfer id of the payload, if any (re-recorded on
     /// retransmission: the wire genuinely carries the bytes again).
     xfer: Option<u64>,
@@ -84,6 +93,11 @@ pub(crate) struct Reliability {
     pub(crate) enabled: bool,
     rank: usize,
     timeout: Duration,
+    /// Give up on a packet after this many retransmissions. Bounds the
+    /// livelock a permanently lossy link can cause: once the budget is
+    /// spent the packet is abandoned and the run quiesces into the engine's
+    /// deadlock detection instead of spinning until a resource limit.
+    max_retries: u32,
     ctrl_bytes: usize,
     handle: EngineHandle,
     tx: HashMap<usize, TxPeer>,
@@ -96,6 +110,7 @@ impl Reliability {
         enabled: bool,
         rank: usize,
         timeout: Duration,
+        max_retries: u32,
         ctrl_bytes: usize,
         handle: EngineHandle,
     ) -> Self {
@@ -103,6 +118,7 @@ impl Reliability {
             enabled,
             rank,
             timeout,
+            max_retries,
             ctrl_bytes,
             handle,
             tx: HashMap::new(),
@@ -125,6 +141,16 @@ impl Reliability {
     /// Number of packets still awaiting acknowledgment (diagnostics).
     pub(crate) fn pending_packets(&self) -> usize {
         self.tx.values().map(|p| p.pending.len()).sum()
+    }
+
+    /// Lowest-numbered peer with un-ACKed packets, if any (the structured
+    /// wait-for edge when no data request explains a stall).
+    pub(crate) fn first_pending_peer(&self) -> Option<usize> {
+        self.tx
+            .iter()
+            .filter(|(_, p)| !p.pending.is_empty())
+            .map(|(&peer, _)| peer)
+            .min()
     }
 
     /// Transfer id of the oldest unacknowledged payload that has been
@@ -177,6 +203,7 @@ impl Reliability {
                 packet: pkt.clone(),
                 deadline,
                 backoff: 0,
+                retries: 0,
                 xfer: xfer.map(|x| x.0),
             },
         );
@@ -191,12 +218,23 @@ impl Reliability {
     /// Check retransmission deadlines; re-post every overdue packet with a
     /// doubled deadline. Returns the ground-truth transfer ids of payloads
     /// whose *first* retransmission just happened (for `XFER_FLAG` stamps).
+    ///
+    /// A packet whose retry budget is exhausted is abandoned instead of
+    /// re-posted: no new deadline, no wake-up, and it stops counting as
+    /// pending. Delivery of that packet has failed for good — but the run
+    /// now *quiesces* (the engine's empty-queue deadlock detection fires
+    /// with the wait-for diagnostics) rather than retransmitting forever.
     pub(crate) fn check_timeouts(&mut self, w: &mut World) -> Vec<u64> {
         let now = self.handle.now();
         let mut flagged = Vec::new();
         for (&dst, peer) in self.tx.iter_mut() {
-            for p in peer.pending.values_mut() {
+            let mut abandoned: Vec<u64> = Vec::new();
+            for (&seq, p) in peer.pending.iter_mut() {
                 if p.deadline > now {
+                    continue;
+                }
+                if p.retries >= self.max_retries {
+                    abandoned.push(seq);
                     continue;
                 }
                 self.stats.timeouts += 1;
@@ -214,11 +252,16 @@ impl Reliability {
                     p.xfer.map(XferId),
                 );
                 p.backoff = (p.backoff + 1).min(MAX_BACKOFF_SHIFT);
+                p.retries += 1;
                 p.deadline = now + (self.timeout << p.backoff);
                 let rank = self.rank;
                 let deadline = p.deadline;
                 self.handle
                     .schedule_at(deadline, move |h| h.wake_rank(rank));
+            }
+            for seq in abandoned {
+                peer.pending.remove(&seq);
+                self.stats.abandoned += 1;
             }
         }
         flagged
@@ -237,6 +280,13 @@ impl Reliability {
     /// packet's first retransmission.
     pub(crate) fn on_nack(&mut self, w: &mut World, src: usize, missing: u64) -> Option<u64> {
         let peer = self.tx.get_mut(&src)?;
+        if peer.pending.get(&missing)?.retries >= self.max_retries {
+            // Retry budget spent: abandon rather than resend (see
+            // `check_timeouts`).
+            peer.pending.remove(&missing);
+            self.stats.abandoned += 1;
+            return None;
+        }
         let p = peer.pending.get_mut(&missing)?;
         self.stats.retransmissions += 1;
         let flag = (p.backoff == 0).then_some(p.xfer).flatten();
@@ -248,6 +298,7 @@ impl Reliability {
             p.xfer.map(XferId),
         );
         p.backoff = (p.backoff + 1).min(MAX_BACKOFF_SHIFT);
+        p.retries += 1;
         p.deadline = self.handle.now() + (self.timeout << p.backoff);
         let rank = self.rank;
         let deadline = p.deadline;

@@ -54,6 +54,7 @@ fn arb_cfg() -> impl Strategy<Value = MpiConfig> {
                 use_reg_cache,
                 reg_cache_entries: 8,
                 retrans_timeout: None,
+                max_retries: 16,
             },
         )
 }

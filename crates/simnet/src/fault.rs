@@ -67,6 +67,15 @@ pub struct FaultPlan {
     pub degraded_links: Vec<LinkDegradation>,
     /// NIC stall intervals.
     pub nic_stalls: Vec<NicStall>,
+    /// Width of the schedule-exploration jitter window, in ns. When nonzero
+    /// *and* a schedule oracle is installed, the oracle may delay each
+    /// two-sided packet's arrival by one of [`FaultPlan::jitter_steps`]
+    /// discrete offsets in `[0, explore_jitter_ns]` — choice 0 (and every
+    /// run without an oracle, e.g. under the canonical engine) adds nothing.
+    pub explore_jitter_ns: u64,
+    /// Number of discrete jitter offsets, including the zero offset.
+    /// Values below 2 fall back to 4.
+    pub explore_jitter_steps: u32,
 }
 
 impl FaultPlan {
@@ -80,6 +89,8 @@ impl FaultPlan {
             max_extra_delay: 0,
             degraded_links: Vec::new(),
             nic_stalls: Vec::new(),
+            explore_jitter_ns: 0,
+            explore_jitter_steps: 0,
         }
     }
 
@@ -100,6 +111,24 @@ impl FaultPlan {
             && self.delay_prob == 0.0
             && self.degraded_links.is_empty()
             && self.nic_stalls.is_empty()
+            && self.explore_jitter_ns == 0
+    }
+
+    /// Effective number of discrete jitter offsets the oracle chooses from
+    /// (see [`FaultPlan::explore_jitter_ns`]).
+    pub fn jitter_steps(&self) -> u32 {
+        if self.explore_jitter_steps >= 2 {
+            self.explore_jitter_steps
+        } else {
+            4
+        }
+    }
+
+    /// The extra delay for jitter step `step` (step 0 is always 0 ns; the
+    /// last step is the full window).
+    pub fn jitter_delay(&self, step: u32) -> u64 {
+        let steps = self.jitter_steps();
+        (self.explore_jitter_ns * u64::from(step.min(steps - 1))) / u64::from(steps - 1)
     }
 
     /// Total extra delay the degradation windows add to a packet leaving
@@ -251,6 +280,14 @@ impl Serialize for FaultPlan {
             ("max_extra_delay".into(), self.max_extra_delay.to_value()),
             ("degraded_links".into(), self.degraded_links.to_value()),
             ("nic_stalls".into(), self.nic_stalls.to_value()),
+            (
+                "explore_jitter_ns".into(),
+                self.explore_jitter_ns.to_value(),
+            ),
+            (
+                "explore_jitter_steps".into(),
+                self.explore_jitter_steps.to_value(),
+            ),
         ])
     }
 }
@@ -270,6 +307,10 @@ impl Deserialize for FaultPlan {
             max_extra_delay: Deserialize::from_value(v.field("max_extra_delay"))?,
             degraded_links: Deserialize::from_value(v.field("degraded_links"))?,
             nic_stalls: Deserialize::from_value(v.field("nic_stalls"))?,
+            // Absent in configs written before the schedule explorer: 0.
+            explore_jitter_ns: Deserialize::from_value(v.field("explore_jitter_ns")).unwrap_or(0),
+            explore_jitter_steps: Deserialize::from_value(v.field("explore_jitter_steps"))
+                .unwrap_or(0),
         })
     }
 }
@@ -414,9 +455,33 @@ mod tests {
                 from: 5,
                 until: 6,
             }],
+            explore_jitter_ns: 500,
+            explore_jitter_steps: 3,
         };
         let json = serde_json::to_string(&plan).unwrap();
         let back: FaultPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn jitter_steps_and_delays() {
+        let plan = FaultPlan {
+            explore_jitter_ns: 900,
+            explore_jitter_steps: 4,
+            ..FaultPlan::none()
+        };
+        assert!(!plan.is_empty());
+        assert_eq!(plan.jitter_steps(), 4);
+        assert_eq!(plan.jitter_delay(0), 0);
+        assert_eq!(plan.jitter_delay(1), 300);
+        assert_eq!(plan.jitter_delay(3), 900);
+        assert_eq!(plan.jitter_delay(99), 900); // clamped
+                                                // steps < 2 falls back to 4
+        let p2 = FaultPlan {
+            explore_jitter_ns: 300,
+            ..FaultPlan::none()
+        };
+        assert_eq!(p2.jitter_steps(), 4);
+        assert_eq!(p2.jitter_delay(3), 300);
     }
 }

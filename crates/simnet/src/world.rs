@@ -593,6 +593,31 @@ impl World {
                         });
                     }
                 }
+                if plan.explore_jitter_ns > 0 {
+                    // Schedule exploration: the oracle picks a discrete
+                    // offset inside the bounded jitter window. Without an
+                    // installed oracle (or with the canonical one, which
+                    // always answers 0) the arrival is untouched.
+                    if let Some(orc) = self.handle.oracle() {
+                        let step = orc.choose(simcore::ChoicePoint::FaultJitter {
+                            src,
+                            dst,
+                            n: plan.jitter_steps() as usize,
+                        });
+                        let extra = plan.jitter_delay(step as u32);
+                        if extra > 0 {
+                            arrival += extra;
+                            edge.fault_extra_ns += extra;
+                            self.fault_events.push(FaultEvent {
+                                at: now,
+                                src,
+                                dst,
+                                packet_ty: packet.ty,
+                                kind: FaultKind::Delayed { extra },
+                            });
+                        }
+                    }
+                }
                 let deg = plan.degradation_delay(src, dst, dma_start);
                 if deg > 0 {
                     arrival += deg;
