@@ -45,3 +45,13 @@ pub fn snapshot() -> (u64, u64) {
         ALLOC_BYTES.load(Ordering::Relaxed),
     )
 }
+
+/// `(calls, bytes)` allocated between two [`snapshot`] readings — the
+/// measured-region counters the perf trajectory records so one-time process
+/// setup (harness registries, CLI parsing, report serialization) is not
+/// attributed to the simulation being measured. The counters are process-wide:
+/// a region is attributable to a single harness only when nothing else runs
+/// concurrently (`--jobs 1`).
+pub fn region(start: (u64, u64), end: (u64, u64)) -> (u64, u64) {
+    (end.0.saturating_sub(start.0), end.1.saturating_sub(start.1))
+}

@@ -36,6 +36,10 @@
 //! [`bench::enginebench`] and writes a [`bench::enginebench::BenchReport`]
 //! (wall-clock per harness, events/sec, allocation counts) — the
 //! `BENCH_*.json` perf trajectory described in `docs/BENCHMARKS.md`.
+//! Allocation counts are reported both raw (cumulative) and steady-state
+//! (the harness-run region only), plus per-harness deltas that are
+//! attributable under `--jobs 1`. If `<path>` already holds a record with a
+//! different `schema` field, the run refuses to overwrite it and exits 2.
 
 use std::collections::BTreeMap;
 
@@ -82,7 +86,24 @@ fn main() {
         bench::tracecap::enable();
     }
 
+    // Refuse to clobber a bench record written under a different schema
+    // (e.g. regenerating over a committed BENCH_pr4.json) before any work
+    // runs — same exit-2 + one-line convention as the export failures.
+    if let Some(path) = &cli.bench_json {
+        if let Some(schema) = bench::enginebench::bench_json_overwrite_conflict(path) {
+            eprintln!(
+                "repro: refusing to overwrite {} (existing schema {:?} != {:?}); \
+                 pick a new path or delete it first",
+                path.display(),
+                schema,
+                bench::enginebench::BENCH_SCHEMA,
+            );
+            std::process::exit(2);
+        }
+    }
+
     runner::set_jobs(cli.jobs);
+    let alloc0 = bench::alloc::snapshot();
     let t0 = std::time::Instant::now();
     // A harness whose simulation deadlocks panics with the engine's
     // one-line diagnostic (including the wait-for cycle when known);
@@ -107,6 +128,9 @@ fn main() {
             std::panic::resume_unwind(payload);
         }
     };
+    // Steady-state region: the harness runs only, before the exporters and
+    // report assembly below allocate on top.
+    let run_region = bench::alloc::region(alloc0, bench::alloc::snapshot());
 
     // Drain the capture once; both exporters read from it. The store is
     // scope-ordered, so grouping and file contents are deterministic.
@@ -191,9 +215,19 @@ fn main() {
                 id: r.id,
                 ranks: r.ranks,
                 wall_s: r.wall_s,
+                alloc_calls: r.alloc_calls,
+                alloc_bytes: r.alloc_bytes,
             })
             .collect();
-        let report = bench::enginebench::bench_report(cli.jobs, total_wall_s, harnesses);
+        let report = bench::enginebench::bench_report(
+            cli.jobs,
+            total_wall_s,
+            harnesses,
+            bench::enginebench::AllocStats {
+                calls: run_region.0,
+                bytes: run_region.1,
+            },
+        );
         let json = serde_json::to_string_pretty(&report).expect("bench report serializes");
         if let Err(e) = std::fs::write(path, json) {
             eprintln!("repro: cannot write {path:?}: {e}");

@@ -158,7 +158,7 @@ pub const TRAJECTORY_OUTSTANDING: usize = 1 << 14;
 /// Allocation counters captured from [`crate::alloc::snapshot`].
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct AllocStats {
-    /// Allocation calls (alloc + realloc) since process start.
+    /// Allocation calls (alloc + realloc).
     pub calls: u64,
     /// Bytes requested across those calls.
     pub bytes: u64,
@@ -173,6 +173,12 @@ pub struct HarnessSummary {
     pub ranks: usize,
     /// Host wall-clock seconds.
     pub wall_s: f64,
+    /// Allocation calls during this harness's run (counter delta around the
+    /// run; attributable to the harness only under `--jobs 1`, since the
+    /// counters are process-wide).
+    pub alloc_calls: u64,
+    /// Bytes requested during this harness's run (same caveat).
+    pub alloc_bytes: u64,
 }
 
 /// Engine-level throughput numbers.
@@ -191,34 +197,71 @@ pub struct EngineBench {
 /// series across the repo's history. See `docs/BENCHMARKS.md`.
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct BenchReport {
-    /// Record-format identifier (`"overlap-bench-v1"`).
+    /// Record-format identifier (see [`BENCH_SCHEMA`]).
     pub schema: &'static str,
     /// Worker budget the harness run used.
     pub jobs: usize,
     /// Total wall-clock seconds for the harness selection.
     pub total_wall_s: f64,
-    /// Per-harness wall-clock, in canonical order.
+    /// Per-harness wall-clock and allocation deltas, in canonical order.
     pub harnesses: Vec<HarnessSummary>,
-    /// Process-wide allocation counters at report time.
+    /// Steady-state allocation counters: the delta across the harness-run
+    /// region only, excluding process setup (harness registries, CLI
+    /// parsing) and report assembly. This is the number the trajectory
+    /// tracks.
     pub allocations: AllocStats,
+    /// Raw cumulative process-wide counters at report time, kept for
+    /// comparison against pre-v2 records (which reported only this).
+    pub allocations_raw: AllocStats,
     /// Scheduler/engine micro-benchmarks at the canonical trajectory sizes.
     pub engine: EngineBench,
 }
 
+/// Record-format identifier written into [`BenchReport::schema`]. `v2` added
+/// per-harness allocation deltas and split `allocations` into steady-state
+/// (measured region) vs `allocations_raw` (cumulative).
+pub const BENCH_SCHEMA: &str = "overlap-bench-v2";
+
+/// Guard for `repro --bench-json <path>`: if `path` already holds a record
+/// whose `schema` field differs from [`BENCH_SCHEMA`], returns that schema
+/// so the caller can refuse to overwrite it (a committed `BENCH_prN.json`
+/// from an earlier format generation is history, not scratch space).
+/// Returns `None` when the path is absent, unreadable, not JSON, has no
+/// string `schema` field, or already carries the current schema — all cases
+/// where overwriting is fine.
+pub fn bench_json_overwrite_conflict(path: &std::path::Path) -> Option<String> {
+    let existing = std::fs::read_to_string(path).ok()?;
+    let schema = serde_json::from_str::<serde_json::Value>(&existing)
+        .ok()?
+        .get("schema")?
+        .as_str()?
+        .to_string();
+    (schema != BENCH_SCHEMA).then_some(schema)
+}
+
 /// Assemble the perf-trajectory record: runs the canonical hold-model
 /// comparison and the full-simulation throughput probe, then snapshots the
-/// allocation counters (so the micro-benchmarks' own allocations are
-/// included — they are identical run to run).
-pub fn bench_report(jobs: usize, total_wall_s: f64, harnesses: Vec<HarnessSummary>) -> BenchReport {
+/// allocation counters. `run_region` is the counter delta the caller
+/// measured around the harness run itself (see [`crate::alloc::region`]);
+/// the raw cumulative counters are snapshotted here, after the
+/// micro-benchmarks, so their allocations are included in the raw number
+/// (they are identical run to run) but not in the steady-state one.
+pub fn bench_report(
+    jobs: usize,
+    total_wall_s: f64,
+    harnesses: Vec<HarnessSummary>,
+    run_region: AllocStats,
+) -> BenchReport {
     let sched = sched_throughput(TRAJECTORY_EVENTS, TRAJECTORY_OUTSTANDING);
     let sim = sim_events_per_sec(4, 25_000);
     let (calls, bytes) = crate::alloc::snapshot();
     BenchReport {
-        schema: "overlap-bench-v1",
+        schema: BENCH_SCHEMA,
         jobs,
         total_wall_s,
         harnesses,
-        allocations: AllocStats { calls, bytes },
+        allocations: run_region,
+        allocations_raw: AllocStats { calls, bytes },
         engine: EngineBench {
             sim_events_per_sec: sim,
             sched,
@@ -242,5 +285,39 @@ mod tests {
     #[test]
     fn sim_throughput_is_positive() {
         assert!(sim_events_per_sec(2, 500) > 0.0);
+    }
+
+    /// Scratch path unique to this test run (no tempfile dependency).
+    fn scratch(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("enginebench_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn overwrite_guard_refuses_other_schemas_only() {
+        let path = scratch("guard.json");
+
+        // Absent file: no conflict.
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(bench_json_overwrite_conflict(&path), None);
+
+        // Older record generation: conflict, reported by its schema.
+        std::fs::write(&path, r#"{"schema": "overlap-bench-v1", "jobs": 1}"#).unwrap();
+        assert_eq!(
+            bench_json_overwrite_conflict(&path).as_deref(),
+            Some("overlap-bench-v1")
+        );
+
+        // Current schema: regeneration is fine.
+        std::fs::write(&path, format!(r#"{{"schema": {BENCH_SCHEMA:?}}}"#)).unwrap();
+        assert_eq!(bench_json_overwrite_conflict(&path), None);
+
+        // Not a bench record at all (garbage / no schema field): no claim to
+        // protect, overwriting allowed.
+        std::fs::write(&path, "not json").unwrap();
+        assert_eq!(bench_json_overwrite_conflict(&path), None);
+        std::fs::write(&path, r#"{"jobs": 1}"#).unwrap();
+        assert_eq!(bench_json_overwrite_conflict(&path), None);
+
+        let _ = std::fs::remove_file(&path);
     }
 }

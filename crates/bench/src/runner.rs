@@ -138,6 +138,14 @@ pub struct HarnessRun {
     pub ranks: usize,
     /// Host wall-clock seconds this harness took.
     pub wall_s: f64,
+    /// Allocation calls during this harness's run — the counting-allocator
+    /// delta around the run, so harness setup/teardown and the runner's own
+    /// bookkeeping are excluded. The counters are process-wide, so the delta
+    /// is attributable to this harness only under `--jobs 1`; reads 0 in
+    /// binaries without [`crate::alloc::CountingAlloc`] installed.
+    pub alloc_calls: u64,
+    /// Bytes requested during this harness's run (same caveats).
+    pub alloc_bytes: u64,
     /// The rendered data series.
     pub series: Series,
 }
@@ -203,13 +211,18 @@ pub fn run_harnesses(
         }
         let h = harnesses[i];
         let res = std::panic::catch_unwind(move || {
+            let a0 = crate::alloc::snapshot();
             let t0 = Instant::now();
             let series = (h.run)();
+            let wall_s = t0.elapsed().as_secs_f64();
+            let (alloc_calls, alloc_bytes) = crate::alloc::region(a0, crate::alloc::snapshot());
             HarnessRun {
                 id: h.id,
                 kind: h.kind,
                 ranks: h.ranks,
-                wall_s: t0.elapsed().as_secs_f64(),
+                wall_s,
+                alloc_calls,
+                alloc_bytes,
                 series,
             }
         });

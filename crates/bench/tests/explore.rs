@@ -76,6 +76,45 @@ fn deadlock_scenario_is_found_shrunk_and_replayable() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The PR 6 `deadlock` counterexample token, pinned byte-for-byte across
+/// the engine rewrite: regenerating the token from scratch (same strategy,
+/// budget, and seed as `deadlock_scenario_is_found_shrunk_and_replayable`)
+/// must reproduce the committed golden exactly, and the golden itself must
+/// still replay to the planted deadlock. This is the explorer-level
+/// equivalence witness — schedule enumeration, the recorded choice trace,
+/// and the token serialization all have to survive engine swaps unchanged.
+///
+/// To re-bless after an *intentional* format change (never for an engine
+/// change — that is exactly the drift this test exists to catch), run with
+/// `EXPLORE_BLESS_GOLDEN=1`.
+#[test]
+fn deadlock_counterexample_token_matches_golden() {
+    let sc = explore::find_scenario("deadlock").expect("deadlock registered");
+    let stats = explore::explore_random(&sc, 3, 7);
+    let finding = stats.first_deadlock.as_ref().expect("deadlock finding");
+    let token = Counterexample::from_finding(&sc, "random", 7, finding);
+    let text = serde_json::to_string_pretty(&token).expect("token serializes");
+
+    let golden_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens/deadlock.counterexample.json");
+    if std::env::var_os("EXPLORE_BLESS_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &text).expect("golden written");
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path).expect("golden readable");
+    assert_eq!(
+        text, golden,
+        "regenerated deadlock counterexample token diverged from \
+         tests/goldens/deadlock.counterexample.json"
+    );
+
+    let back: Counterexample = serde_json::from_str(&golden).expect("golden parses");
+    match back.replay().expect("golden token replays") {
+        Outcome::Deadlock(msg) => assert!(msg.contains("wait-for cycle"), "{msg}"),
+        other => panic!("golden replay produced {other:?}"),
+    }
+}
+
 #[test]
 fn shrinking_minimizes_a_random_failing_trace() {
     let sc = explore::find_scenario("deadlock").expect("deadlock registered");

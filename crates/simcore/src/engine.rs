@@ -3,27 +3,37 @@
 //! The engine owns a time-ordered queue of entries, each either a
 //! state-mutating callback (used by the network model), a token delivery
 //! (a pre-registered handler applied to a `u64`, the allocation-free fast
-//! path), or a rank wake-up. Ranks execute on dedicated OS threads but the
-//! engine hands control to at most one of them at a time through a
-//! rendezvous channel pair, so the whole simulation is logically
+//! path), or a rank wake-up. Ranks execute as run-to-completion coroutines:
+//! on x86_64 Linux each rank is a stackful fiber (see `crate::fiber`)
+//! resumed and suspended by swapping stack pointers on the engine's own
+//! thread, so a park/wake handoff costs two register swaps instead of a
+//! futex round-trip. Elsewhere — and on demand via
+//! [`RankRuntime::OsThreads`], which doubles as the reference model for the
+//! runtime-equivalence tests — ranks fall back to dedicated OS threads
+//! rendezvousing over a channel pair. Either way the engine hands control
+//! to at most one rank at a time, so the whole simulation is logically
 //! single-threaded and deterministic: entries are ordered by
-//! `(time, sequence-number)`.
+//! `(time, sequence-number)`, and both drivers observe the identical entry
+//! stream, which is the determinism argument in one sentence.
 //!
 //! # Queue architecture
 //!
 //! The pending-event set lives in a hierarchical [`TimingWheel`] owned by
-//! the run loop itself — popping takes no lock. Producers (rank threads and
-//! event callbacks) append to one of a small number of sharded insertion
-//! buffers, picked per thread, and flag the shard in an atomic occupancy
-//! mask. Before each pop the engine drains exactly the flagged shards into
-//! the wheel, so a shard lock is taken once per drain batch rather than
-//! once per event, and an idle shard costs nothing. Global `(time, seq)`
-//! order is restored inside the wheel no matter which shard an entry
-//! travelled through, because sequence numbers are allocated in program
-//! order at push time.
+//! the run loop itself — popping takes no lock. Producers (rank
+//! continuations and event callbacks) append to one of a small number of
+//! sharded insertion buffers, picked per thread, and flag the shard in an
+//! atomic occupancy mask. Before each pop the engine drains exactly the
+//! flagged shards into the wheel, so a shard lock is taken once per drain
+//! batch rather than once per event, and an idle shard costs nothing. In
+//! coroutine mode every producer shares the engine thread, so exactly one
+//! shard is ever touched and its lock is never contended. Global
+//! `(time, seq)` order is restored inside the wheel no matter which shard
+//! an entry travelled through, because sequence numbers are allocated in
+//! program order at push time.
 
+use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Arc;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
@@ -31,7 +41,7 @@ use parking_lot::Mutex;
 
 use crate::error::SimError;
 use crate::oracle::{ChoicePoint, OracleHandle};
-use crate::rank::RankCtx;
+use crate::rank::{RankCtx, YieldPort};
 use crate::sched::TimingWheel;
 use crate::time::{Duration, Time};
 use crate::truth::ActivityLog;
@@ -43,6 +53,10 @@ type Callback = Box<dyn FnOnce(&EngineHandle) + Send>;
 /// Handler for [`Action::Token`] entries, registered once per simulation via
 /// [`EngineHandle::set_token_handler`].
 type TokenHandler = Arc<dyn Fn(&EngineHandle, u64) + Send + Sync>;
+
+/// The rank body as the engine stores it: one shared closure, run once per
+/// rank on that rank's continuation.
+type RankBody = Arc<dyn Fn(&mut RankCtx) + Send + Sync>;
 
 pub(crate) enum Action {
     WakeRank(usize),
@@ -56,18 +70,31 @@ pub(crate) struct Entry {
     action: Action,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Phase {
-    NotStarted,
-    Running,
-    Sleeping,
-    Parked,
-    Done,
+/// Rank lifecycle phases, stored in [`RankCell::phase`].
+const PH_NOT_STARTED: u8 = 0;
+const PH_RUNNING: u8 = 1;
+const PH_SLEEPING: u8 = 2;
+const PH_PARKED: u8 = 3;
+const PH_DONE: u8 = 4;
+
+/// Per-rank scheduling state. One cache line each so wakes of different
+/// ranks never false-share; plain atomics with relaxed ordering because the
+/// strict engine↔rank handoff already serializes every access (in threaded
+/// mode the rendezvous channel provides the happens-before edge).
+#[repr(align(64))]
+struct RankCell {
+    phase: AtomicU8,
+    /// True while a wake-up entry for this rank is in flight (idempotence).
+    wake_pending: AtomicBool,
 }
 
-struct RankSlot {
-    phase: Phase,
-    wake_pending: bool,
+impl RankCell {
+    fn new() -> Self {
+        RankCell {
+            phase: AtomicU8::new(PH_NOT_STARTED),
+            wake_pending: AtomicBool::new(false),
+        }
+    }
 }
 
 /// Library-supplied diagnostic notes for one rank, dumped on deadlock.
@@ -85,6 +112,37 @@ pub(crate) struct DiagSlot {
     pub(crate) waits_on_rank: Option<usize>,
     /// The library-level request id the rank is blocked in, if any.
     pub(crate) waits_on_req: Option<u64>,
+}
+
+/// A cell whose accesses are serialized by the engine's strict handoff
+/// rather than by a lock: at any instant exactly one continuation (the
+/// engine or one rank) is running, and in threaded mode the rendezvous
+/// channels carry the happens-before edges between them. Diag slots sit on
+/// the park hot path, so they use this instead of a `Mutex` — a write is a
+/// plain store, not an atomic RMW.
+pub(crate) struct SeqCell<T>(UnsafeCell<T>);
+
+// SAFETY: see the type docs — the engine's handoff discipline guarantees
+// exclusive, synchronized access; `with` is `unsafe` to make each access
+// site restate that obligation.
+unsafe impl<T: Send> Sync for SeqCell<T> {}
+
+impl<T> SeqCell<T> {
+    fn new(v: T) -> Self {
+        SeqCell(UnsafeCell::new(v))
+    }
+
+    /// Run `f` with exclusive access to the value.
+    ///
+    /// # Safety
+    ///
+    /// The caller must be the sole running continuation (a rank touching its
+    /// own slot while the engine is suspended in `resume`, or the engine
+    /// while every rank is suspended).
+    pub(crate) unsafe fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        // SAFETY: exclusivity per the caller contract above.
+        unsafe { f(&mut *self.0.get()) }
+    }
 }
 
 /// Number of insertion-buffer shards. Power of two; at most 64 so the
@@ -113,8 +171,8 @@ pub(crate) struct EngineShared {
     inbox_mask: AtomicU64,
     now: AtomicU64,
     seq: AtomicU64,
-    slots: Mutex<Vec<RankSlot>>,
-    pub(crate) diags: Box<[Mutex<DiagSlot>]>,
+    cells: Box<[RankCell]>,
+    pub(crate) diags: Box<[SeqCell<DiagSlot>]>,
     token_handler: Mutex<Option<TokenHandler>>,
     oracle: Mutex<Option<OracleHandle>>,
 }
@@ -126,6 +184,10 @@ impl EngineShared {
 
     fn push(&self, time: Time, action: Action) {
         let seq = self.next_seq();
+        self.push_with_seq(time, seq, action);
+    }
+
+    fn push_with_seq(&self, time: Time, seq: u64, action: Action) {
         let shard = MY_SHARD.with(|s| *s);
         self.inbox[shard]
             .buf
@@ -201,6 +263,27 @@ impl EngineHandle {
         self.shared.push(t, Action::Token(token));
     }
 
+    /// Allocate the next global sequence number without scheduling anything.
+    ///
+    /// Entries are dispatched in `(time, seq)` order, so a model that wants
+    /// to *defer* inserting an event (e.g. simnet's per-link delivery
+    /// batching) can claim its place in program order now and hand the seq
+    /// back later via [`EngineHandle::schedule_token_seq`]; the dispatch
+    /// order is then byte-identical to scheduling eagerly, as long as the
+    /// entry is inserted before its due time is reached.
+    pub fn alloc_seq(&self) -> u64 {
+        self.shared.next_seq()
+    }
+
+    /// Schedule a token with a sequence number previously claimed via
+    /// [`EngineHandle::alloc_seq`] (`t` is clamped to `now`). Reusing or
+    /// fabricating sequence numbers does not break memory safety but does
+    /// destroy the deterministic total order — use only as documented.
+    pub fn schedule_token_seq(&self, t: Time, seq: u64, token: u64) {
+        let t = t.max(self.now());
+        self.shared.push_with_seq(t, seq, Action::Token(token));
+    }
+
     /// Install a schedule oracle controlling the engine's nondeterminism
     /// points (see [`crate::oracle`]). Like the token handler it must be
     /// installed before [`crate::Simulation::run`], which snapshots it once
@@ -221,14 +304,33 @@ impl EngineHandle {
     /// its next library call), or finished ranks. Idempotent: at most one
     /// wake-up entry is outstanding per parked rank.
     pub fn wake_rank(&self, r: usize) {
-        let mut slots = self.shared.slots.lock();
-        let slot = &mut slots[r];
-        if slot.phase == Phase::Parked && !slot.wake_pending {
-            slot.wake_pending = true;
-            drop(slots);
+        let cell = &self.shared.cells[r];
+        if cell.phase.load(AtomicOrdering::Relaxed) != PH_PARKED {
+            return;
+        }
+        if !cell.wake_pending.swap(true, AtomicOrdering::Relaxed) {
             self.shared.push(self.now(), Action::WakeRank(r));
         }
     }
+}
+
+/// How rank continuations are hosted. The choice affects host performance
+/// only: both runtimes observe the identical `(time, seq)` entry stream, so
+/// every simulation output is byte-identical between them (pinned by the
+/// `runtime_equivalence` test suite).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RankRuntime {
+    /// Stackful fibers resumed on the engine thread — a park/wake is a
+    /// pointer swap. The default; falls back to [`RankRuntime::OsThreads`]
+    /// on targets without fiber support (currently anything that is not
+    /// x86_64 Linux).
+    #[default]
+    Coroutine,
+    /// One OS thread per rank, rendezvousing with the engine over a channel
+    /// pair. ~45x slower on park/wake-heavy workloads; kept as the portable
+    /// fallback and as the reference model the coroutine runtime is tested
+    /// against.
+    OsThreads,
 }
 
 /// Resource limits for a simulation run.
@@ -238,6 +340,9 @@ pub struct SimOpts {
     pub max_time: Option<Time>,
     /// Abort with [`SimError::EventLimitExceeded`] after this many entries.
     pub max_events: Option<u64>,
+    /// How to host rank continuations (performance-only knob; see
+    /// [`RankRuntime`]).
+    pub runtime: RankRuntime,
 }
 
 /// Successful simulation result.
@@ -251,6 +356,7 @@ pub struct SimOutcome {
     pub events_processed: u64,
 }
 
+#[derive(Debug)]
 pub(crate) enum YieldMsg {
     Sleep(Time),
     Park,
@@ -258,98 +364,174 @@ pub(crate) enum YieldMsg {
     Panicked(String),
 }
 
-/// A simulation: `nranks` cooperative processes over one virtual clock.
-pub struct Simulation {
-    shared: Arc<EngineShared>,
-    nranks: usize,
+/// Hosts the rank continuations for one run and resumes them on demand.
+/// Exactly one variant exists per run; the main loop is driver-agnostic.
+enum Driver {
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    Fibers(FiberDriver),
+    Threads(ThreadDriver),
 }
 
-impl Simulation {
-    /// Create a simulation with `nranks` ranks. The engine handle is
-    /// available immediately (e.g. to build the network model) even before
-    /// [`Simulation::run`] is called.
-    pub fn new(nranks: usize) -> Self {
-        assert!(nranks > 0, "simulation needs at least one rank");
-        let slots = (0..nranks)
-            .map(|_| RankSlot {
-                phase: Phase::NotStarted,
-                wake_pending: false,
-            })
-            .collect();
-        Simulation {
-            shared: Arc::new(EngineShared {
-                inbox: (0..INBOX_SHARDS)
-                    .map(|_| InboxShard {
-                        buf: Mutex::new(Vec::new()),
+impl Driver {
+    fn spawn(
+        runtime: RankRuntime,
+        n: usize,
+        shared: &Arc<EngineShared>,
+        body: &RankBody,
+        fail_spawn: Option<usize>,
+    ) -> Result<Driver, SimError> {
+        match runtime {
+            #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+            RankRuntime::Coroutine => {
+                FiberDriver::spawn(n, shared, body, fail_spawn).map(Driver::Fibers)
+            }
+            #[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+            RankRuntime::Coroutine => {
+                ThreadDriver::spawn(n, shared, body, fail_spawn).map(Driver::Threads)
+            }
+            RankRuntime::OsThreads => {
+                ThreadDriver::spawn(n, shared, body, fail_spawn).map(Driver::Threads)
+            }
+        }
+    }
+
+    /// Hand control to rank `r` until it yields; returns its message.
+    fn resume(&mut self, r: usize) -> Result<YieldMsg, SimError> {
+        match self {
+            #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+            Driver::Fibers(d) => d.resume(r),
+            Driver::Threads(d) => d.resume(r),
+        }
+    }
+
+    /// Tear down every continuation that has not finished: suspended bodies
+    /// observe the designed `"simulation aborted"` unwind so their
+    /// destructors run, exactly as on the success path.
+    fn shutdown(self) {
+        match self {
+            #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+            Driver::Fibers(d) => drop(d),
+            Driver::Threads(d) => d.shutdown(),
+        }
+    }
+}
+
+/// Fiber-hosted ranks: all continuations live on the engine thread.
+/// Dropping the driver aborts any suspended fiber (see `crate::fiber`).
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+struct FiberDriver {
+    fibers: Vec<crate::fiber::Fiber>,
+}
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+impl FiberDriver {
+    fn spawn(
+        n: usize,
+        shared: &Arc<EngineShared>,
+        body: &RankBody,
+        fail_spawn: Option<usize>,
+    ) -> Result<FiberDriver, SimError> {
+        let mut fibers = Vec::with_capacity(n);
+        for r in 0..n {
+            let made = if fail_spawn == Some(r) {
+                Err(std::io::Error::other("injected spawn failure (test hook)"))
+            } else {
+                let body = Arc::clone(body);
+                let shared = Arc::clone(shared);
+                crate::fiber::Fiber::new(Box::new(move |data| {
+                    let mut ctx = RankCtx::new(r, n, shared, YieldPort::Fiber(data));
+                    body(&mut ctx);
+                    let log = ctx.take_log();
+                    // SAFETY: running on this fiber; the engine is suspended.
+                    unsafe { (*data).msg = Some(YieldMsg::Done(log)) };
+                }))
+            };
+            match made {
+                Ok(f) => fibers.push(f),
+                // Already-created fibers never started, so dropping them
+                // releases their stacks without any teardown unwind; the
+                // caller then drains whatever was pre-scheduled.
+                Err(e) => {
+                    return Err(SimError::SpawnFailed {
+                        rank: r,
+                        message: e.to_string(),
                     })
-                    .collect(),
-                inbox_mask: AtomicU64::new(0),
-                now: AtomicU64::new(0),
-                seq: AtomicU64::new(0),
-                slots: Mutex::new(slots),
-                diags: (0..nranks)
-                    .map(|_| Mutex::new(DiagSlot::default()))
-                    .collect(),
-                token_handler: Mutex::new(None),
-                oracle: Mutex::new(None),
+                }
+            }
+        }
+        Ok(FiberDriver { fibers })
+    }
+
+    fn resume(&mut self, r: usize) -> Result<YieldMsg, SimError> {
+        match self.fibers[r].resume() {
+            Some(m) => Ok(m),
+            None => Err(SimError::RankPanic {
+                rank: r,
+                message: "rank coroutine finished without a completion message".into(),
             }),
-            nranks,
         }
     }
+}
 
-    /// Handle for scheduling events and waking ranks.
-    pub fn handle(&self) -> EngineHandle {
-        EngineHandle {
-            shared: Arc::clone(&self.shared),
-        }
-    }
+/// Thread-hosted ranks: the original rendezvous-channel design, kept as the
+/// portable fallback and the equivalence-test reference model.
+struct ThreadDriver {
+    resume_txs: Vec<Sender<()>>,
+    yield_rxs: Vec<Receiver<YieldMsg>>,
+    joins: Vec<std::thread::JoinHandle<()>>,
+}
 
-    /// Number of ranks.
-    pub fn nranks(&self) -> usize {
-        self.nranks
-    }
-
-    /// Run `body` once per rank to completion. Returns the outcome or the
-    /// first terminal error (deadlock, rank panic, resource limit).
-    pub fn run<F>(self, opts: SimOpts, body: F) -> Result<SimOutcome, SimError>
-    where
-        F: Fn(&mut RankCtx) + Send + Sync + 'static,
-    {
-        install_abort_hook();
-        let body = Arc::new(body);
-        let n = self.nranks;
+impl ThreadDriver {
+    fn spawn(
+        n: usize,
+        shared: &Arc<EngineShared>,
+        body: &RankBody,
+        fail_spawn: Option<usize>,
+    ) -> Result<ThreadDriver, SimError> {
         let mut resume_txs: Vec<Sender<()>> = Vec::with_capacity(n);
         let mut yield_rxs: Vec<Receiver<YieldMsg>> = Vec::with_capacity(n);
         let mut joins = Vec::with_capacity(n);
-
         for r in 0..n {
             let (resume_tx, resume_rx) = bounded::<()>(1);
             let (yield_tx, yield_rx) = bounded::<YieldMsg>(1);
             resume_txs.push(resume_tx);
             yield_rxs.push(yield_rx);
-            let body = Arc::clone(&body);
-            let shared = Arc::clone(&self.shared);
-            let spawned = std::thread::Builder::new()
-                .name(format!("sim-rank-{r}"))
-                .spawn(move || {
-                    // Wait for the first wake-up; if the engine aborted
-                    // before starting us, just exit.
-                    if resume_rx.recv().is_err() {
-                        return;
-                    }
-                    let mut ctx = RankCtx::new(r, n, shared, yield_tx.clone(), resume_rx);
-                    let result = catch_unwind(AssertUnwindSafe(|| body(&mut ctx)));
-                    match result {
-                        Ok(()) => {
-                            let log = ctx.take_log();
-                            let _ = yield_tx.send(YieldMsg::Done(log));
+            let body = Arc::clone(body);
+            let shared = Arc::clone(shared);
+            let spawned = if fail_spawn == Some(r) {
+                Err(std::io::Error::other("injected spawn failure (test hook)"))
+            } else {
+                std::thread::Builder::new()
+                    .name(format!("sim-rank-{r}"))
+                    .spawn(move || {
+                        // Wait for the first wake-up; if the engine aborted
+                        // before starting us, just exit.
+                        if resume_rx.recv().is_err() {
+                            return;
                         }
-                        Err(payload) => {
-                            let msg = panic_message(payload.as_ref());
-                            let _ = yield_tx.send(YieldMsg::Panicked(msg));
+                        let done_tx = yield_tx.clone();
+                        let mut ctx = RankCtx::new(
+                            r,
+                            n,
+                            shared,
+                            YieldPort::Thread {
+                                yield_tx,
+                                resume_rx,
+                            },
+                        );
+                        let result = catch_unwind(AssertUnwindSafe(|| body(&mut ctx)));
+                        match result {
+                            Ok(()) => {
+                                let log = ctx.take_log();
+                                let _ = done_tx.send(YieldMsg::Done(log));
+                            }
+                            Err(payload) => {
+                                let msg = panic_message(payload.as_ref());
+                                let _ = done_tx.send(YieldMsg::Panicked(msg));
+                            }
                         }
-                    }
-                });
+                    })
+            };
             match spawned {
                 Ok(j) => joins.push(j),
                 Err(e) => {
@@ -366,6 +548,134 @@ impl Simulation {
                 }
             }
         }
+        Ok(ThreadDriver {
+            resume_txs,
+            yield_rxs,
+            joins,
+        })
+    }
+
+    fn resume(&mut self, r: usize) -> Result<YieldMsg, SimError> {
+        if self.resume_txs[r].send(()).is_err() {
+            return Err(SimError::RankPanic {
+                rank: r,
+                message: "rank thread exited unexpectedly".into(),
+            });
+        }
+        match self.yield_rxs[r].recv() {
+            Ok(m) => Ok(m),
+            Err(_) => Err(SimError::RankPanic {
+                rank: r,
+                message: "rank thread dropped its yield channel".into(),
+            }),
+        }
+    }
+
+    fn shutdown(self) {
+        // Dropping the resume senders unblocks any waiting threads (their
+        // recv errors and they unwind out of the rank body).
+        drop(self.resume_txs);
+        for j in self.joins {
+            let _ = j.join();
+        }
+    }
+}
+
+/// A simulation: `nranks` cooperative processes over one virtual clock.
+pub struct Simulation {
+    shared: Arc<EngineShared>,
+    nranks: usize,
+    fail_spawn: Option<usize>,
+}
+
+impl Simulation {
+    /// Create a simulation with `nranks` ranks. The engine handle is
+    /// available immediately (e.g. to build the network model) even before
+    /// [`Simulation::run`] is called.
+    pub fn new(nranks: usize) -> Self {
+        assert!(nranks > 0, "simulation needs at least one rank");
+        Simulation {
+            shared: Arc::new(EngineShared {
+                inbox: (0..INBOX_SHARDS)
+                    .map(|_| InboxShard {
+                        buf: Mutex::new(Vec::new()),
+                    })
+                    .collect(),
+                inbox_mask: AtomicU64::new(0),
+                now: AtomicU64::new(0),
+                seq: AtomicU64::new(0),
+                cells: (0..nranks).map(|_| RankCell::new()).collect(),
+                diags: (0..nranks)
+                    .map(|_| SeqCell::new(DiagSlot::default()))
+                    .collect(),
+                token_handler: Mutex::new(None),
+                oracle: Mutex::new(None),
+            }),
+            nranks,
+            fail_spawn: None,
+        }
+    }
+
+    /// Handle for scheduling events and waking ranks.
+    pub fn handle(&self) -> EngineHandle {
+        EngineHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Test hook: make spawning rank `rank`'s continuation fail as if the
+    /// host refused it, exercising the partial-fleet teardown path. Both
+    /// runtimes honor it.
+    #[doc(hidden)]
+    pub fn inject_spawn_failure(&mut self, rank: usize) {
+        self.fail_spawn = Some(rank);
+    }
+
+    /// Drop every queued-but-undispatched entry and reset per-rank state.
+    ///
+    /// Runs on **every** exit from [`Simulation::run`] — success, error, and
+    /// the partial-spawn-failure path — so teardown is deterministic: a
+    /// callback scheduled before an aborted run cannot keep its captures
+    /// alive or leave a stale wake/diag entry behind for a handle that
+    /// outlives the run.
+    fn drain_reset(&self) {
+        self.shared.inbox_mask.store(0, AtomicOrdering::Relaxed);
+        for shard in self.shared.inbox.iter() {
+            shard.buf.lock().clear();
+        }
+        for cell in self.shared.cells.iter() {
+            cell.phase.store(PH_DONE, AtomicOrdering::Relaxed);
+            cell.wake_pending.store(false, AtomicOrdering::Relaxed);
+        }
+        for d in self.shared.diags.iter() {
+            // SAFETY: no rank continuation is live (the driver was shut down
+            // or never constructed), so the engine is the sole accessor.
+            unsafe { d.with(|d| *d = DiagSlot::default()) };
+        }
+    }
+
+    /// Run `body` once per rank to completion. Returns the outcome or the
+    /// first terminal error (deadlock, rank panic, resource limit).
+    pub fn run<F>(self, opts: SimOpts, body: F) -> Result<SimOutcome, SimError>
+    where
+        F: Fn(&mut RankCtx) + Send + Sync + 'static,
+    {
+        install_abort_hook();
+        let n = self.nranks;
+        let body: RankBody = Arc::new(body);
+        let mut driver = match Driver::spawn(opts.runtime, n, &self.shared, &body, self.fail_spawn)
+        {
+            Ok(d) => d,
+            Err(e) => {
+                self.drain_reset();
+                return Err(e);
+            }
+        };
 
         // The pending-event set. Owned by this loop: pops never lock. The
         // handler snapshot is taken once — tokens are dispatched without
@@ -385,36 +695,40 @@ impl Simulation {
         let mut events: u64 = 0;
         let result = 'main: loop {
             // Adopt everything produced since the last entry ran. Ranks only
-            // execute while the engine blocks on their yield channel, so by
-            // this point all their pushes are visible and nothing new can
-            // arrive before the pop below.
+            // execute while the engine is suspended in `resume`, so by this
+            // point all their pushes are visible and nothing new can arrive
+            // before the pop below.
             self.shared.drain_inbox(&mut wheel);
             let popped = match &oracle {
                 None => wheel.pop(),
                 Some(orc) => pop_with_oracle(&mut wheel, orc),
             };
             let Some((time, _seq, action)) = popped else {
-                let slots = self.shared.slots.lock();
-                let stuck: Vec<usize> = slots
+                let stuck: Vec<usize> = self
+                    .shared
+                    .cells
                     .iter()
                     .enumerate()
-                    .filter(|(_, s)| s.phase != Phase::Done)
+                    .filter(|(_, c)| c.phase.load(AtomicOrdering::Relaxed) != PH_DONE)
                     .map(|(i, _)| i)
                     .collect();
                 if stuck.is_empty() {
                     break Ok(());
                 }
-                drop(slots);
                 let diags = stuck
                     .iter()
                     .map(|&r| {
-                        let d = self.shared.diags[r].lock();
-                        crate::error::RankDiag {
-                            rank: r,
-                            blocked_on: d.blocked_on.as_ref().map(|s| s.to_string()),
-                            last_call: d.last_call.map(|s| s.to_string()),
-                            waits_on_rank: d.waits_on_rank,
-                            waits_on_req: d.waits_on_req,
+                        // SAFETY: every rank is suspended (the queue is
+                        // empty, so none is mid-resume); the engine is the
+                        // sole accessor.
+                        unsafe {
+                            self.shared.diags[r].with(|d| crate::error::RankDiag {
+                                rank: r,
+                                blocked_on: d.blocked_on.as_ref().map(|s| s.to_string()),
+                                last_call: d.last_call.map(|s| s.to_string()),
+                                waits_on_rank: d.waits_on_rank,
+                                waits_on_req: d.waits_on_req,
+                            })
                         }
                     })
                     .collect();
@@ -450,63 +764,45 @@ impl Simulation {
                     }
                 }
                 Action::WakeRank(r) => {
-                    let should_run = {
-                        let mut slots = self.shared.slots.lock();
-                        let slot = &mut slots[r];
-                        slot.wake_pending = false;
-                        match slot.phase {
-                            Phase::NotStarted | Phase::Sleeping | Phase::Parked => {
-                                slot.phase = Phase::Running;
-                                true
-                            }
-                            Phase::Done => false,
-                            Phase::Running => unreachable!("rank {r} woken while running"),
+                    let cell = &self.shared.cells[r];
+                    cell.wake_pending.store(false, AtomicOrdering::Relaxed);
+                    let should_run = match cell.phase.load(AtomicOrdering::Relaxed) {
+                        PH_NOT_STARTED | PH_SLEEPING | PH_PARKED => {
+                            cell.phase.store(PH_RUNNING, AtomicOrdering::Relaxed);
+                            true
                         }
+                        PH_DONE => false,
+                        _ => unreachable!("rank {r} woken while running"),
                     };
                     if !should_run {
                         continue;
                     }
-                    if resume_txs[r].send(()).is_err() {
-                        break Err(SimError::RankPanic {
-                            rank: r,
-                            message: "rank thread exited unexpectedly".into(),
-                        });
-                    }
-                    match yield_rxs[r].recv() {
+                    match driver.resume(r) {
                         Ok(YieldMsg::Sleep(t)) => {
-                            self.shared.slots.lock()[r].phase = Phase::Sleeping;
+                            cell.phase.store(PH_SLEEPING, AtomicOrdering::Relaxed);
                             // Engine-local: straight into the wheel, skipping
                             // the inbox (same seq counter, same order).
                             let seq = self.shared.next_seq();
                             wheel.push(t.max(handle.now()), seq, Action::WakeRank(r));
                         }
                         Ok(YieldMsg::Park) => {
-                            self.shared.slots.lock()[r].phase = Phase::Parked;
+                            cell.phase.store(PH_PARKED, AtomicOrdering::Relaxed);
                         }
                         Ok(YieldMsg::Done(log)) => {
-                            self.shared.slots.lock()[r].phase = Phase::Done;
+                            cell.phase.store(PH_DONE, AtomicOrdering::Relaxed);
                             logs[r] = Some(log);
                         }
                         Ok(YieldMsg::Panicked(message)) => {
                             break 'main Err(SimError::RankPanic { rank: r, message });
                         }
-                        Err(_) => {
-                            break Err(SimError::RankPanic {
-                                rank: r,
-                                message: "rank thread dropped its yield channel".into(),
-                            });
-                        }
+                        Err(e) => break Err(e),
                     }
                 }
             }
         };
 
-        // Teardown: dropping the resume senders unblocks any waiting threads
-        // (their recv errors and they unwind out of the rank body).
-        drop(resume_txs);
-        for j in joins {
-            let _ = j.join();
-        }
+        driver.shutdown();
+        self.drain_reset();
 
         result?;
         let mut activity = Vec::with_capacity(n);
@@ -556,7 +852,7 @@ fn pop_with_oracle(
     Some((time, seq, action))
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -567,7 +863,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// Silence the designed `"simulation aborted"` unwind that tears rank
-/// threads down when the engine stops early (deadlock, limit, another
+/// continuations down when the engine stops early (deadlock, limit, another
 /// rank's panic): it is control flow, not an error, and the default hook
 /// would print one message-plus-backtrace per parked rank. Every other
 /// panic still reaches the previously installed hook. Installed once,
@@ -820,5 +1116,155 @@ mod tests {
         // finishes, so the run completes cleanly.
         err.unwrap();
         assert_eq!(&*seen.lock(), &[1, -1, 2]);
+    }
+
+    #[test]
+    fn deferred_seq_tokens_keep_program_order() {
+        // A token scheduled late with a pre-allocated seq must dispatch in
+        // the order the seq was claimed, not the order it reached the queue.
+        let sim = Simulation::new(1);
+        let handle = sim.handle();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        handle.set_token_handler(move |h, tok| {
+            seen2.lock().push(tok);
+            if tok == 3 {
+                h.wake_rank(0);
+            }
+        });
+        let early = handle.alloc_seq(); // claimed first...
+        handle.schedule_token(50, 2); // ...but inserted second
+        handle.schedule_token_seq(50, early, 1);
+        handle.schedule_token(50, 3);
+        sim.run(SimOpts::default(), |ctx| ctx.park()).unwrap();
+        assert_eq!(&*seen.lock(), &[1, 2, 3]);
+    }
+
+    fn spawn_failure_drains(runtime: RankRuntime) {
+        let mut sim = Simulation::new(4);
+        sim.inject_spawn_failure(2);
+        let handle = sim.handle();
+        let payload = Arc::new(());
+        let weak = Arc::downgrade(&payload);
+        handle.schedule_at(10, move |_h| {
+            let _keep = &payload;
+        });
+        let err = sim
+            .run(
+                SimOpts {
+                    runtime,
+                    ..Default::default()
+                },
+                |ctx| ctx.compute(1),
+            )
+            .unwrap_err();
+        match err {
+            SimError::SpawnFailed { rank, .. } => assert_eq!(rank, 2),
+            other => panic!("expected spawn failure, got {other}"),
+        }
+        assert!(
+            weak.upgrade().is_none(),
+            "pre-scheduled callback leaked through spawn-failure teardown"
+        );
+        // A handle that outlives the aborted run must see quiesced ranks:
+        // waking one is a no-op, not a stale queue entry.
+        handle.wake_rank(0);
+        handle.wake_rank(3);
+    }
+
+    #[test]
+    fn spawn_failure_teardown_is_drained_coroutine() {
+        spawn_failure_drains(RankRuntime::Coroutine);
+    }
+
+    #[test]
+    fn spawn_failure_teardown_is_drained_threads() {
+        spawn_failure_drains(RankRuntime::OsThreads);
+    }
+
+    fn teardown_runs_rank_destructors(runtime: RankRuntime) {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        struct Guard(Arc<AtomicUsize>);
+        impl Drop for Guard {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let drops2 = Arc::clone(&drops);
+        let sim = Simulation::new(3);
+        let err = sim
+            .run(
+                SimOpts {
+                    runtime,
+                    ..Default::default()
+                },
+                move |ctx| {
+                    let _guard = Guard(Arc::clone(&drops2));
+                    if ctx.rank() == 2 {
+                        ctx.compute(5);
+                        panic!("boom");
+                    }
+                    ctx.park(); // never woken; torn down by the panic
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, SimError::RankPanic { rank: 2, .. }));
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            3,
+            "every rank's stack-held guard must be dropped on teardown"
+        );
+    }
+
+    #[test]
+    fn teardown_runs_rank_destructors_coroutine() {
+        teardown_runs_rank_destructors(RankRuntime::Coroutine);
+    }
+
+    #[test]
+    fn teardown_runs_rank_destructors_threads() {
+        teardown_runs_rank_destructors(RankRuntime::OsThreads);
+    }
+
+    #[test]
+    fn runtimes_agree_on_mixed_workload() {
+        fn run_with(runtime: RankRuntime) -> (Time, u64, String) {
+            let sim = Simulation::new(4);
+            let handle = sim.handle();
+            let seen = Arc::new(Mutex::new(Vec::new()));
+            let seen2 = Arc::clone(&seen);
+            handle.set_token_handler(move |h, tok| {
+                seen2.lock().push(tok);
+                h.wake_rank((tok % 4) as usize);
+            });
+            for i in 0..8 {
+                handle.schedule_token(100 + 40 * i, i);
+            }
+            let out = sim
+                .run(
+                    SimOpts {
+                        runtime,
+                        ..Default::default()
+                    },
+                    |ctx| {
+                        for _ in 0..2 {
+                            ctx.compute(10 * (ctx.rank() as u64 + 1));
+                            ctx.park();
+                        }
+                    },
+                )
+                .unwrap();
+            let tokens = seen.lock().clone();
+            (
+                out.end_time,
+                out.events_processed,
+                format!("{:?} {:?}", out.activity, tokens),
+            )
+        }
+        assert_eq!(
+            run_with(RankRuntime::Coroutine),
+            run_with(RankRuntime::OsThreads)
+        );
     }
 }

@@ -4,8 +4,10 @@
 //!
 //! `simcore` provides the execution substrate for the overlap-instrumentation
 //! suite: a virtual clock, a time-ordered event queue, and a cooperative
-//! scheduler that runs each simulated *rank* (process) on its own OS thread
-//! while guaranteeing **strictly sequential, fully deterministic** execution.
+//! scheduler that runs each simulated *rank* (process) as a run-to-completion
+//! coroutine — a stackful fiber on x86_64 Linux, an OS thread elsewhere or on
+//! request (see [`RankRuntime`]) — while guaranteeing **strictly sequential,
+//! fully deterministic** execution either way.
 //!
 //! ## Execution model
 //!
@@ -65,6 +67,8 @@
 
 pub mod engine;
 pub mod error;
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+pub(crate) mod fiber;
 pub mod intervals;
 pub mod oracle;
 pub mod rank;
@@ -72,7 +76,7 @@ pub mod sched;
 pub mod time;
 pub mod truth;
 
-pub use engine::{EngineHandle, SimOpts, SimOutcome, Simulation};
+pub use engine::{EngineHandle, RankRuntime, SimOpts, SimOutcome, Simulation};
 pub use error::{deadlock_cycle, RankDiag, SimError};
 pub use intervals::IntervalSet;
 pub use oracle::{

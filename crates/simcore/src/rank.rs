@@ -8,6 +8,22 @@ use crate::engine::{EngineHandle, EngineShared, YieldMsg};
 use crate::time::{Duration, Time};
 use crate::truth::{Activity, ActivityLog};
 
+/// How a rank continuation transfers control back to the engine. Constructed
+/// by the engine's driver; a `RankCtx` never outlives its continuation, so
+/// the fiber variant's raw cell pointer stays valid for the context's whole
+/// life.
+pub(crate) enum YieldPort {
+    /// Fiber-hosted rank: yield by writing the message into the shared cell
+    /// and swapping stacks — no syscall, no atomics.
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    Fiber(*mut crate::fiber::FiberData),
+    /// Thread-hosted rank: rendezvous with the engine over a channel pair.
+    Thread {
+        yield_tx: Sender<YieldMsg>,
+        resume_rx: Receiver<()>,
+    },
+}
+
 /// Handle through which a simulated process interacts with virtual time.
 ///
 /// A `RankCtx` is handed to the rank body by [`crate::Simulation::run`]. All
@@ -17,8 +33,7 @@ pub struct RankCtx {
     rank: usize,
     nranks: usize,
     shared: Arc<EngineShared>,
-    yield_tx: Sender<YieldMsg>,
-    resume_rx: Receiver<()>,
+    port: YieldPort,
     log: ActivityLog,
 }
 
@@ -27,15 +42,13 @@ impl RankCtx {
         rank: usize,
         nranks: usize,
         shared: Arc<EngineShared>,
-        yield_tx: Sender<YieldMsg>,
-        resume_rx: Receiver<()>,
+        port: YieldPort,
     ) -> Self {
         RankCtx {
             rank,
             nranks,
             shared,
-            yield_tx,
-            resume_rx,
+            port,
             log: ActivityLog::new(),
         }
     }
@@ -59,7 +72,7 @@ impl RankCtx {
     }
 
     /// Engine handle (for scheduling events / waking other ranks from
-    /// library code running on this rank's thread).
+    /// library code running on this rank's continuation).
     pub fn handle(&self) -> EngineHandle {
         EngineHandle {
             shared: Arc::clone(&self.shared),
@@ -93,10 +106,15 @@ impl RankCtx {
         self.yield_to_engine(YieldMsg::Park);
         let end = self.now();
         self.log.record(start, end, Activity::LibraryWait);
-        let mut d = self.shared.diags[self.rank].lock();
-        d.blocked_on = None;
-        d.waits_on_rank = None;
-        d.waits_on_req = None;
+        // SAFETY: this rank is the running continuation and touches only its
+        // own diag slot; the engine is suspended in `resume`.
+        unsafe {
+            self.shared.diags[self.rank].with(|d| {
+                d.blocked_on = None;
+                d.waits_on_rank = None;
+                d.waits_on_req = None;
+            });
+        }
     }
 
     /// Describe what this rank is about to block on. Dumped per rank in
@@ -109,7 +127,11 @@ impl RankCtx {
     /// this rank's own diagnostic slot. Plain `&str` / `String` arguments
     /// still work and allocate once here.
     pub fn note_blocked_on(&self, what: impl Into<Arc<str>>) {
-        self.shared.diags[self.rank].lock().blocked_on = Some(what.into());
+        let what = what.into();
+        // SAFETY: running continuation, own slot only (see `park`).
+        unsafe {
+            self.shared.diags[self.rank].with(|d| d.blocked_on = Some(what));
+        }
     }
 
     /// Record a structured wait-for edge alongside the free-text note: the
@@ -119,16 +141,23 @@ impl RankCtx {
     /// cycle report (see [`crate::deadlock_cycle`]); like the blocked-on
     /// note they are cleared when [`RankCtx::park`] returns.
     pub fn note_waiting_on(&self, peer: Option<usize>, req: Option<u64>) {
-        let mut d = self.shared.diags[self.rank].lock();
-        d.waits_on_rank = peer;
-        d.waits_on_req = req;
+        // SAFETY: running continuation, own slot only (see `park`).
+        unsafe {
+            self.shared.diags[self.rank].with(|d| {
+                d.waits_on_rank = peer;
+                d.waits_on_req = req;
+            });
+        }
     }
 
     /// Record the name of the library call the rank just entered (also
     /// dumped in the deadlock diagnostic). Stored by pointer — no
     /// allocation or copy.
     pub fn note_call(&self, name: &'static str) {
-        self.shared.diags[self.rank].lock().last_call = Some(name);
+        // SAFETY: running continuation, own slot only (see `park`).
+        unsafe {
+            self.shared.diags[self.rank].with(|d| d.last_call = Some(name));
+        }
     }
 
     /// Ground-truth log recorded so far (read-only).
@@ -141,13 +170,37 @@ impl RankCtx {
     }
 
     fn yield_to_engine(&mut self, msg: YieldMsg) {
-        self.yield_tx
-            .send(msg)
-            .unwrap_or_else(|_| panic!("simulation aborted"));
-        if self.resume_rx.recv().is_err() {
-            // The engine tore down mid-run (another rank panicked, limit hit,
-            // ...). Unwind out of the rank body; the wrapper swallows this.
-            panic!("simulation aborted");
+        match &mut self.port {
+            #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+            YieldPort::Fiber(data) => {
+                let data = *data;
+                // SAFETY: we are the running fiber for this cell; the engine
+                // (suspended in `resume`) reads the message after the switch
+                // and owns the cell until it resumes us again.
+                unsafe {
+                    (*data).msg = Some(msg);
+                    crate::fiber::yield_to_engine(data);
+                    if (*data).abort {
+                        // The engine tore down mid-run (another rank
+                        // panicked, limit hit, ...). Unwind out of the rank
+                        // body; the fiber entry wrapper swallows this.
+                        panic!("simulation aborted");
+                    }
+                }
+            }
+            YieldPort::Thread {
+                yield_tx,
+                resume_rx,
+            } => {
+                yield_tx
+                    .send(msg)
+                    .unwrap_or_else(|_| panic!("simulation aborted"));
+                if resume_rx.recv().is_err() {
+                    // Same teardown unwind as the fiber path, triggered by
+                    // the engine dropping the resume senders.
+                    panic!("simulation aborted");
+                }
+            }
         }
     }
 }

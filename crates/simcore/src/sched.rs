@@ -73,6 +73,11 @@ pub struct TimingWheel<T> {
     now: u64,
     /// Due entries (`time <= now`), ordered by `seq`; popped from the front.
     cur: VecDeque<(u64, T)>,
+    /// Spare buffer swapped against slot vectors during [`advance`], so a
+    /// cascade never discards a slot's capacity: allocations happen only
+    /// while the wheel grows past its historical high-water mark, keeping
+    /// the steady-state pop/push cycle allocation-free.
+    scratch: Vec<(u64, u64, T)>,
     len: usize,
 }
 
@@ -89,6 +94,7 @@ impl<T> TimingWheel<T> {
             levels: (0..LEVELS).map(|_| Level::new()).collect(),
             now: 0,
             cur: VecDeque::new(),
+            scratch: Vec::new(),
             len: 0,
         }
     }
@@ -173,7 +179,11 @@ impl<T> TimingWheel<T> {
                 continue;
             }
             let slot = cand.trailing_zeros() as usize;
-            let entries = std::mem::take(&mut self.levels[level].slots[slot]);
+            // Swap the slot's contents out through the scratch buffer: the
+            // slot inherits scratch's (empty) storage and the drained buffer
+            // goes back to scratch below, so no capacity is ever dropped.
+            let mut entries = std::mem::take(&mut self.scratch);
+            std::mem::swap(&mut self.levels[level].slots[slot], &mut entries);
             self.levels[level].occupied &= !(1u64 << slot);
             // Advance the floor to the slot's base time (higher bits kept).
             let above = shift + BITS;
@@ -185,19 +195,23 @@ impl<T> TimingWheel<T> {
             self.now = high | ((slot as u64) << shift);
             if level == 0 {
                 // A level-0 slot spans exactly one tick: every entry is due
-                // at `self.now`; order the batch by seq and serve it.
+                // at `self.now`; order the batch by seq and serve it. `cur`
+                // is empty here (advance runs only once it drains), so its
+                // storage is reused batch after batch.
                 debug_assert!(entries.iter().all(|&(t, ..)| t == self.now));
-                let mut batch: Vec<(u64, T)> =
-                    entries.into_iter().map(|(_, s, it)| (s, it)).collect();
-                batch.sort_unstable_by_key(|&(s, _)| s);
-                self.cur = batch.into();
+                debug_assert!(self.cur.is_empty());
+                self.cur.extend(entries.drain(..).map(|(_, s, it)| (s, it)));
+                self.cur.make_contiguous().sort_unstable_by_key(|&(s, _)| s);
             } else {
                 // A multi-tick slot: redistribute its entries, which now map
-                // strictly below this level (or into `cur` if due).
-                for (t, s, it) in entries {
+                // strictly below this level (or into `cur` if due) — never
+                // back into the slot just vacated, so handing `entries` to
+                // `scratch` afterwards is safe.
+                for (t, s, it) in entries.drain(..) {
                     self.insert(t, s, it);
                 }
             }
+            self.scratch = entries;
             return Some(());
         }
         debug_assert_eq!(self.len, 0);

@@ -1,0 +1,124 @@
+//! Scheduler-equivalence property tests: the coroutine (fiber) runtime and
+//! the OS-thread runtime must produce byte-identical simulations.
+//!
+//! [`RankRuntime`] is documented as a performance-only knob — both drivers
+//! observe the identical `(time, seq)` entry stream. These tests pin that
+//! contract on random workloads: same-time event ties, park/wake traffic,
+//! token dispatch order, and oracle-permuted schedules all have to agree
+//! between the two runtimes, down to the recorded choice traces.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use simcore::{
+    Activity, ChoiceRec, OracleHandle, RandomOracle, RankRuntime, SimOpts, Simulation, Time,
+};
+
+fn opts(runtime: RankRuntime) -> SimOpts {
+    SimOpts {
+        runtime,
+        ..SimOpts::default()
+    }
+}
+
+/// One run's full observable surface, Debug-rendered so any divergence
+/// (activity boundaries, token order, choice trace) fails the comparison.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    end_time: Time,
+    events_processed: u64,
+    activity: String,
+    tokens: Vec<u64>,
+    choices: Vec<ChoiceRec>,
+}
+
+/// Run a workload of timed token events (ties included) against ranks that
+/// mix compute, library busy-work, and park/wake traffic.
+fn run_workload(
+    runtime: RankRuntime,
+    ranks: usize,
+    events: &[(u64, u64)],
+    segments: &[(u64, bool)],
+    oracle_seed: Option<u64>,
+) -> Fingerprint {
+    let sim = Simulation::new(ranks);
+    let handle = sim.handle();
+    let tokens: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&tokens);
+    handle.set_token_handler(move |_h, tok| {
+        sink.lock().push(tok);
+    });
+    let oracle = oracle_seed.map(|seed| OracleHandle::new(Box::new(RandomOracle::new(seed))));
+    if let Some(orc) = &oracle {
+        handle.set_oracle(orc.clone());
+    }
+    for &(t, tok) in events {
+        handle.schedule_token(t, tok);
+        // Every event also wakes rank 0, the only rank that parks, so the
+        // run can never wedge regardless of the random schedule.
+        handle.schedule_at(t, |h| h.wake_rank(0));
+    }
+    let max_t = events.iter().map(|&(t, _)| t).max().unwrap_or(0);
+    handle.schedule_at(max_t + 1, |h| h.wake_rank(0));
+    let segs: Vec<(u64, bool)> = segments.to_vec();
+    let out = sim
+        .run(opts(runtime), move |ctx| {
+            if ctx.rank() == 0 {
+                ctx.park();
+            }
+            for &(d, compute) in &segs {
+                if compute {
+                    ctx.compute(d);
+                } else {
+                    ctx.busy(d, Activity::Library);
+                }
+            }
+        })
+        .unwrap();
+    let tokens = tokens.lock().clone();
+    Fingerprint {
+        end_time: out.end_time,
+        events_processed: out.events_processed,
+        activity: format!("{:?}", out.activity),
+        tokens,
+        choices: oracle.map(|o| o.trace()).unwrap_or_default(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Canonical (oracle-less) schedules: random timed tokens — duplicated
+    /// times force same-time ties — and random rank programs agree between
+    /// the fiber and thread runtimes.
+    #[test]
+    fn runtimes_agree_on_random_workloads(
+        events in prop::collection::vec((0u64..2_000, 0u64..1_000), 1..40),
+        segments in prop::collection::vec((1u64..3_000, any::<bool>()), 0..20),
+        ranks in 1usize..5,
+    ) {
+        let a = run_workload(RankRuntime::Coroutine, ranks, &events, &segments, None);
+        let b = run_workload(RankRuntime::OsThreads, ranks, &events, &segments, None);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Oracle-permuted schedules: a seeded [`RandomOracle`] resolves every
+    /// same-time tie. Both runtimes must present the identical choice-point
+    /// sequence (pinned via the recorded trace) and land on the identical
+    /// outcome.
+    #[test]
+    fn runtimes_agree_under_random_oracle(
+        // Few distinct times over many events maximizes tie arity.
+        events in prop::collection::vec((0u64..8, 0u64..1_000), 2..40),
+        segments in prop::collection::vec((1u64..500, any::<bool>()), 0..10),
+        ranks in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let a = run_workload(RankRuntime::Coroutine, ranks, &events, &segments, Some(seed));
+        let b = run_workload(RankRuntime::OsThreads, ranks, &events, &segments, Some(seed));
+        prop_assert!(!a.choices.is_empty() || events.len() < 2,
+            "expected the oracle to be consulted on tied events");
+        prop_assert_eq!(a, b);
+    }
+}

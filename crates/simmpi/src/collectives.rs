@@ -24,9 +24,10 @@ const COMM_BLOCK: u64 = 1 << 28;
 const OP_BLOCK: u64 = 1 << 16;
 
 impl Mpi<'_> {
-    /// The world communicator (all ranks, identity numbering).
+    /// The world communicator (all ranks, identity numbering). Cached at
+    /// init; this is a refcount bump, called once per collective.
     pub fn comm_world(&self) -> Comm {
-        Comm::world(self.nranks(), self.rank())
+        self.world_comm.clone()
     }
 
     /// Split the world into sub-communicators (`MPI_Comm_split` over
@@ -60,7 +61,7 @@ impl Mpi<'_> {
         self.rec.call_exit();
         Comm {
             id: 1 + split_seq * 4096 + color,
-            ranks,
+            ranks: ranks.into(),
             my_idx,
         }
     }

@@ -4,13 +4,15 @@
 
 /// A communicator: an ordered subgroup of world ranks. Obtained from
 /// [`crate::Mpi::comm_world`] or [`crate::Mpi::comm_split`]; passed to the
-/// `*_comm` collective variants.
+/// `*_comm` collective variants. The member list is behind an `Arc`, so
+/// cloning a communicator (every `comm_world()` call, every collective) is
+/// a refcount bump, not a copy.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Comm {
     /// Unique id, agreed across members (scopes collective tags).
     pub(crate) id: u64,
     /// Member world ranks in communicator order.
-    pub(crate) ranks: Vec<usize>,
+    pub(crate) ranks: std::sync::Arc<[usize]>,
     /// This process's rank within the communicator.
     pub(crate) my_idx: usize,
 }

@@ -185,15 +185,21 @@ pub struct Mpi<'a> {
     /// Blocking on one of these classifies as an ACK/retransmit wait rather
     /// than a protocol wait. Only filled while wait tracing is on.
     retrans_xfers: HashSet<u64>,
-    /// Rendered blocked-on note plus the state fingerprint it describes.
-    /// `wait_for_event` parks on every poll miss, so the note is reformatted
-    /// only when the fingerprint changes and shared with the engine as an
-    /// `Arc<str>` otherwise.
-    blocked_note_cache: Option<(BlockedFingerprint, Arc<str>)>,
+    /// Rendered blocked-on notes keyed by the state fingerprint each one
+    /// describes. `wait_for_event` parks on every poll miss, and a steady
+    /// communication pattern cycles through a small set of fingerprints, so
+    /// the cache keeps every note it has rendered (bounded: cleared in the
+    /// unlikely event it grows past a few dozen entries) and a park is
+    /// normally just a linear probe plus an `Arc` clone.
+    blocked_note_cache: Vec<(BlockedFingerprint, Arc<str>)>,
     /// Schedule oracle snapshot (taken at init). When present, the progress
     /// engine's CQ-vs-RX drain preference becomes an explicit choice point;
     /// when absent the canonical CQ-first policy applies unconditionally.
     oracle: Option<simcore::OracleHandle>,
+    /// The world communicator, built once so `comm_world()` (called by every
+    /// collective, including the per-iteration barriers of the micro
+    /// harnesses) never reallocates the member list.
+    pub(crate) world_comm: crate::comm::Comm,
 }
 
 /// The pieces of per-rank state the blocked-on diagnostic renders. Two equal
@@ -257,8 +263,9 @@ impl<'a> Mpi<'a> {
             next_icoll: 0,
             rel,
             retrans_xfers: HashSet::new(),
-            blocked_note_cache: None,
+            blocked_note_cache: Vec::new(),
             oracle,
+            world_comm: crate::comm::Comm::world(nranks, rank),
         };
         mpi.call_enter("MPI_Init");
         mpi.barrier_inner();
@@ -1716,10 +1723,8 @@ impl<'a> Mpi<'a> {
             nic.rx_backlog,
             nic.cq_backlog,
         );
-        if let Some((cached_fp, note)) = &self.blocked_note_cache {
-            if *cached_fp == fp {
-                return Arc::clone(note);
-            }
+        if let Some((_, note)) = self.blocked_note_cache.iter().find(|(c, _)| *c == fp) {
+            return Arc::clone(note);
         }
         let note: Arc<str> = format!(
             "{} incomplete requests ({} posted recvs, {} unexpected arrivals, \
@@ -1727,7 +1732,12 @@ impl<'a> Mpi<'a> {
             fp.0, fp.1, fp.2, fp.3, fp.4, fp.5,
         )
         .into();
-        self.blocked_note_cache = Some((fp, Arc::clone(&note)));
+        // A run that keeps visiting new fingerprints (e.g. an ever-growing
+        // backlog) must not hoard notes; past the cap, restart the cache.
+        if self.blocked_note_cache.len() >= 64 {
+            self.blocked_note_cache.clear();
+        }
+        self.blocked_note_cache.push((fp, Arc::clone(&note)));
         note
     }
 
