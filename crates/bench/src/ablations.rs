@@ -21,7 +21,7 @@ pub fn ablation_eager_threshold() -> Series {
         };
         let out = run_mpi(
             2,
-            NetConfig::default(),
+            crate::topo::apply(NetConfig::default()),
             cfg,
             RecorderOpts::default(),
             move |mpi| {
@@ -68,7 +68,7 @@ pub fn ablation_fragment_size() -> Series {
         };
         let out = run_mpi(
             2,
-            NetConfig::default(),
+            crate::topo::apply(NetConfig::default()),
             cfg,
             RecorderOpts::default(),
             move |mpi| {
@@ -108,7 +108,7 @@ pub fn ablation_iprobe_count() -> Series {
     for probes in [0usize, 1, 2, 4, 8, 16] {
         let out = run_mpi(
             2,
-            NetConfig::default(),
+            crate::topo::apply(NetConfig::default()),
             MpiConfig::mvapich2(),
             RecorderOpts::default(),
             move |mpi| {
@@ -151,7 +151,7 @@ pub fn ablation_iprobe_count() -> Series {
 /// Transfer-table resolution: bound tightness (max−min gap) against ground
 /// truth as the a-priori table gets coarser.
 pub fn ablation_table_resolution() -> Series {
-    let net = NetConfig::default();
+    let net = crate::topo::apply(NetConfig::default());
     let dense = default_xfer_table(&net);
     let sparse = XferTimeTable::from_points(vec![
         (1, net.transfer_time(1)),
@@ -221,17 +221,23 @@ pub fn ablation_queue_capacity() -> Series {
             enabled: true,
             trace: false,
         };
-        let out = run_mpi(2, NetConfig::default(), MpiConfig::default(), rec, |mpi| {
-            for i in 0..200 {
-                if mpi.rank() == 0 {
-                    let r = mpi.isend(1, i, &[1u8; 4096]);
-                    mpi.compute(30_000);
-                    mpi.wait(r);
-                } else {
-                    mpi.recv(Src::Rank(0), TagSel::Is(i));
+        let out = run_mpi(
+            2,
+            crate::topo::apply(NetConfig::default()),
+            MpiConfig::default(),
+            rec,
+            |mpi| {
+                for i in 0..200 {
+                    if mpi.rank() == 0 {
+                        let r = mpi.isend(1, i, &[1u8; 4096]);
+                        mpi.compute(30_000);
+                        mpi.wait(r);
+                    } else {
+                        mpi.recv(Src::Rank(0), TagSel::Is(i));
+                    }
                 }
-            }
-        })
+            },
+        )
         .unwrap_or_else(|e| panic!("{}", e.one_line()));
         let r = &out.reports[0];
         rows.push(vec![
@@ -261,10 +267,10 @@ pub fn ablation_incast() -> Series {
         .flat_map(|&c| [1usize, 3, 7].map(|s| (c, s)))
         .collect();
     let rows = crate::runner::par_map(&grid, |&(contention, senders)| {
-        let net = simnet::NetConfig {
+        let net = crate::topo::apply(simnet::NetConfig {
             model_ingress_contention: contention,
             ..simnet::NetConfig::infiniband_2006()
-        };
+        });
         let out = run_mpi(
             senders + 1,
             net.clone(),
@@ -325,7 +331,7 @@ pub fn ablation_bandwidth() -> Series {
             let reps = 10usize;
             let out = run_mpi(
                 2,
-                NetConfig::default(),
+                crate::topo::apply(NetConfig::default()),
                 cfg,
                 RecorderOpts::default(),
                 move |mpi| {
@@ -387,7 +393,7 @@ pub fn extra_nas_bins() -> Series {
             bench,
             Class::A,
             4,
-            NetConfig::default(),
+            crate::topo::apply(NetConfig::default()),
             RecorderOpts::default(),
         );
         let r = &art.reports()[0];
@@ -423,7 +429,7 @@ pub fn extra_nas_bins() -> Series {
 /// and the bound gap is the measurement uncertainty NIC timestamps would
 /// remove.
 pub fn extra_nic_timestamps() -> Series {
-    let net = NetConfig::default();
+    let net = crate::topo::apply(NetConfig::default());
     let mut rows = Vec::new();
     for compute_us in [100u64, 400, 700, 1000, 1300] {
         let out = run_mpi(
@@ -489,10 +495,10 @@ pub fn ablation_faults() -> Series {
                 ..FaultPlan::none()
             }
         };
-        let net = NetConfig {
+        let net = crate::topo::apply(NetConfig {
             faults,
             ..NetConfig::default()
-        };
+        });
         let rounds = 20usize;
         let out = run_mpi(
             4,
@@ -560,6 +566,192 @@ pub fn ablation_faults() -> Series {
     }
 }
 
+/// Topology sweep: the same 32-rank neighbor exchange under the flat
+/// crossbar, a fat-tree, and a dragonfly, with and without a co-located
+/// tenant's background traffic. Hierarchical fabrics route hop-by-hop over
+/// shared links, so per-hop queuing (and the tenant's injected load) shows
+/// up as a `contention` slice in the wait-state attribution and as a longer
+/// end-to-end runtime — the flat rows reproduce the exclusive-use model
+/// exactly.
+pub fn ablation_topology() -> Series {
+    use simnet::{BackgroundJob, TopologySpec, TrafficPattern};
+    let topos = [
+        TopologySpec::Flat,
+        TopologySpec::FatTree { k: 8 },
+        TopologySpec::Dragonfly { a: 4, p: 2, h: 2 },
+    ];
+    // Background tenant: off, a light uniform load, a heavy uniform load.
+    let tenants: [(&str, Option<u64>); 3] = [
+        ("off", None),
+        ("light", Some(400_000)),
+        ("heavy", Some(50_000)),
+    ];
+    let grid: Vec<(TopologySpec, (&str, Option<u64>))> = topos
+        .iter()
+        .flat_map(|&t| tenants.map(|b| (t, b)))
+        .collect();
+    let ranks = 32usize;
+    let bytes = 64 << 10; // above the eager threshold: direct-read rendezvous
+    let rows = crate::runner::par_map(&grid, |&(spec, (bg_label, period))| {
+        let net = NetConfig {
+            model_ingress_contention: true,
+            topology: spec,
+            background: period.map(|p| {
+                BackgroundJob::builder(TrafficPattern::Uniform)
+                    .msg_bytes(16 << 10)
+                    .period_ns(p)
+                    .build()
+            }),
+            ..NetConfig::infiniband_2006()
+        };
+        let out = run_mpi(
+            ranks,
+            net,
+            MpiConfig::open_mpi_leave_pinned(),
+            crate::tracecap::rec_opts(),
+            move |mpi| {
+                let me = mpi.rank();
+                let n = mpi.nranks();
+                // Shifted neighbor exchange: pair with ranks ±n/4 so most
+                // routes cross switch boundaries on hierarchical fabrics.
+                let dst = (me + n / 4) % n;
+                let src = (me + n - n / 4) % n;
+                for i in 0..6u64 {
+                    let r = mpi.irecv(Src::Rank(src), TagSel::Is(i));
+                    let s = mpi.isend(dst, i, &vec![1u8; bytes]);
+                    mpi.compute(200_000);
+                    mpi.wait(s);
+                    mpi.wait(r);
+                }
+            },
+        )
+        .unwrap_or_else(|e| panic!("{}", e.one_line()));
+        crate::tracecap::record(
+            format!("ablation-topology/{}-bg-{}", spec.label(), bg_label),
+            out.traces.clone(),
+            &out.faults,
+        );
+        let r = &out.reports[0].total;
+        vec![
+            spec.label(),
+            bg_label.to_string(),
+            pct(r.min_pct()),
+            pct(r.max_pct()),
+            format!("{:.2}", out.end_time as f64 / 1e6),
+        ]
+    });
+    Series {
+        id: "ablation-topology",
+        title: "Overlap bounds and runtime vs fabric topology and tenant load (32-rank exchange)"
+            .to_string(),
+        columns: ["topology", "bg", "min%", "max%", "end_ms"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
+/// Datacenter-scale smoke: a 4096-rank 2-D halo exchange on a fitted
+/// fat-tree with ingress contention and a background tenant, wait-state
+/// tracing always on. Validates at scale that every transfer's per-cause
+/// breakdown (including the new per-hop `contention` slice) reconciles
+/// *exactly* against its non-overlapped time, and reports the aggregate
+/// contention the fabric attributed.
+pub fn halo_4k() -> Series {
+    use overlap_core::attribution;
+    use simnet::{BackgroundJob, TopologySpec, TrafficPattern};
+    let side = 64usize; // 64 x 64 torus = 4096 ranks
+    let n = side * side;
+    let bytes = 16 << 10; // above the eager threshold: direct-read rendezvous
+    let net = NetConfig {
+        model_ingress_contention: true,
+        // fat-tree:k=8 has 128 hosts; `fitted` grows it to k=26 (4394 hosts).
+        topology: TopologySpec::FatTree { k: 8 },
+        background: Some(
+            BackgroundJob::builder(TrafficPattern::Uniform)
+                .msg_bytes(8 << 10)
+                .period_ns(200_000)
+                .build(),
+        ),
+        ..NetConfig::infiniband_2006()
+    };
+    let rec = RecorderOpts {
+        trace: true, // reconciliation is checked in-harness below
+        ..RecorderOpts::default()
+    };
+    let out = run_mpi(
+        n,
+        net,
+        MpiConfig::open_mpi_leave_pinned(),
+        rec,
+        move |mpi| {
+            let me = mpi.rank();
+            let (x, y) = (me % side, me / side);
+            let at = |x: usize, y: usize| (y % side) * side + (x % side);
+            let neighbors = [
+                at(x + 1, y),
+                at(x + side - 1, y),
+                at(x, y + 1),
+                at(x, y + side - 1),
+            ];
+            for iter in 0..2u64 {
+                let recvs: Vec<_> = neighbors
+                    .iter()
+                    .map(|&nb| mpi.irecv(Src::Rank(nb), TagSel::Is(iter)))
+                    .collect();
+                let sends: Vec<_> = neighbors
+                    .iter()
+                    .map(|&nb| mpi.isend(nb, iter, &vec![1u8; bytes]))
+                    .collect();
+                mpi.compute(150_000);
+                mpi.waitall(&sends);
+                mpi.waitall(&recvs);
+            }
+        },
+    )
+    .unwrap_or_else(|e| panic!("{}", e.one_line()));
+    let mut contention_ns = 0u64;
+    let mut nonoverlap_ns = 0u64;
+    let mut transfers = 0usize;
+    let mut mismatches = 0usize;
+    for tr in &out.traces {
+        let attr = attribution::attribute(tr);
+        contention_ns += attr.totals.get("contention").copied().unwrap_or(0);
+        for rec in &attr.records {
+            transfers += 1;
+            nonoverlap_ns += rec.nonoverlap;
+            let sum: u64 = rec.breakdown.iter().map(|s| s.ns).sum();
+            if sum != rec.nonoverlap {
+                mismatches += 1;
+            }
+        }
+    }
+    let rows = vec![vec![
+        n.to_string(),
+        transfers.to_string(),
+        format!("{:.2}", out.end_time as f64 / 1e6),
+        format!("{:.2}", nonoverlap_ns as f64 / 1e6),
+        format!("{:.2}", contention_ns as f64 / 1e6),
+        mismatches.to_string(),
+    ]];
+    Series {
+        id: "halo-4k",
+        title: "4096-rank halo exchange on a fitted fat-tree (per-hop attribution reconciled)"
+            .to_string(),
+        columns: [
+            "ranks",
+            "transfers",
+            "end_ms",
+            "nonoverlap_ms",
+            "contention_ms",
+            "reconcile_mismatches",
+        ]
+        .map(String::from)
+        .to_vec(),
+        rows,
+    }
+}
+
 /// All ablations in canonical order, with the rank counts the runner's
 /// `--json` report exposes.
 pub fn all() -> Vec<crate::Harness> {
@@ -572,6 +764,8 @@ pub fn all() -> Vec<crate::Harness> {
         Harness::new("ablation-table", Ablation, 2, ablation_table_resolution),
         Harness::new("ablation-queue", Ablation, 2, ablation_queue_capacity),
         Harness::new("ablation-incast", Ablation, 8, ablation_incast),
+        Harness::new("ablation-topology", Ablation, 32, ablation_topology),
+        Harness::new("halo-4k", Ablation, 4096, halo_4k),
         Harness::new("ablation-bandwidth", Ablation, 2, ablation_bandwidth),
         Harness::new("extra-bins", Ablation, 4, extra_nas_bins),
         Harness::new("extra-nic-timestamps", Ablation, 2, extra_nic_timestamps),

@@ -10,8 +10,15 @@
 //! repro fig03 --trace out/       # also export time-resolved traces
 //! repro fig03 --critical-path cp/  # also export wait-state attribution
 //! repro --bench-json BENCH.json  # also write the perf-trajectory record
+//! repro --topology fat-tree:k=8 fig03  # re-run under another fabric
 //! repro list                     # list available harnesses
 //! ```
+//!
+//! `--topology <spec>` (`flat`, `fat-tree:k=8`, `dragonfly:a=4,p=2,h=2`)
+//! re-runs the selected harnesses under a hierarchical fabric with per-hop
+//! contention (see `docs/TOPOLOGY.md`); the spec is fitted up to each
+//! harness's rank count automatically. Unknown specs exit 2 with a one-line
+//! message.
 //!
 //! Harnesses run concurrently on `--jobs` workers but print in canonical
 //! order, so stdout is byte-identical to a serial (`--jobs 1`) run. With
@@ -80,6 +87,10 @@ fn main() {
             println!("  {}", h.id);
         }
         return;
+    }
+
+    if let Some(spec) = cli.topology {
+        bench::topo::set(spec);
     }
 
     if cli.trace.is_some() || cli.critical_path.is_some() {

@@ -67,7 +67,7 @@ pub struct Scenario {
 }
 
 fn eager2_net() -> NetConfig {
-    NetConfig::default()
+    crate::topo::apply(NetConfig::default())
 }
 
 fn eager2_mpi() -> MpiConfig {
@@ -93,7 +93,7 @@ fn fig03ish_net() -> NetConfig {
     // No loss: the reliability layer runs (sequencing + ACKs) and the
     // oracle may jitter every packet's arrival within a 300 ns window,
     // but every schedule must still complete cleanly.
-    NetConfig {
+    crate::topo::apply(NetConfig {
         faults: FaultPlan {
             seed: 11,
             explore_jitter_ns: 300,
@@ -101,7 +101,7 @@ fn fig03ish_net() -> NetConfig {
             ..FaultPlan::none()
         },
         ..NetConfig::default()
-    }
+    })
 }
 
 fn fig03ish_mpi() -> MpiConfig {
@@ -129,7 +129,7 @@ fn fig03ish_body(mpi: &mut Mpi) {
 fn deadlock_net() -> NetConfig {
     // Total loss: every two-sided packet (including the rendezvous RTS and
     // all its retransmissions) is dropped.
-    NetConfig {
+    crate::topo::apply(NetConfig {
         faults: FaultPlan {
             seed: 42,
             drop_prob: 1.0,
@@ -138,7 +138,7 @@ fn deadlock_net() -> NetConfig {
             ..FaultPlan::none()
         },
         ..NetConfig::default()
-    }
+    })
 }
 
 fn deadlock_mpi() -> MpiConfig {

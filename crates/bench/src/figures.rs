@@ -181,7 +181,7 @@ fn nas_series(
             bench,
             class,
             np,
-            NetConfig::default(),
+            crate::topo::apply(NetConfig::default()),
             crate::tracecap::rec_opts(),
         );
         crate::tracecap::record(
@@ -293,14 +293,14 @@ fn sp_compare(id: &'static str, title: &str, class: Class, whole_code: bool) -> 
             NasBenchmark::Sp,
             class,
             np,
-            NetConfig::default(),
+            crate::topo::apply(NetConfig::default()),
             crate::tracecap::rec_opts(),
         );
         let modi = run_benchmark(
             NasBenchmark::SpModified,
             class,
             np,
-            NetConfig::default(),
+            crate::topo::apply(NetConfig::default()),
             crate::tracecap::rec_opts(),
         );
         crate::tracecap::record(
@@ -387,14 +387,14 @@ pub fn fig18() -> Series {
             NasBenchmark::Sp,
             class,
             np,
-            NetConfig::default(),
+            crate::topo::apply(NetConfig::default()),
             crate::tracecap::rec_opts(),
         );
         let modi = run_benchmark(
             NasBenchmark::SpModified,
             class,
             np,
-            NetConfig::default(),
+            crate::topo::apply(NetConfig::default()),
             crate::tracecap::rec_opts(),
         );
         crate::tracecap::record(
@@ -435,14 +435,14 @@ pub fn fig19() -> Series {
             NasBenchmark::MgArmciBlocking,
             Class::B,
             np,
-            NetConfig::default(),
+            crate::topo::apply(NetConfig::default()),
             crate::tracecap::rec_opts(),
         );
         let nb = run_benchmark(
             NasBenchmark::MgArmciNonBlocking,
             Class::B,
             np,
-            NetConfig::default(),
+            crate::topo::apply(NetConfig::default()),
             crate::tracecap::rec_opts(),
         );
         crate::tracecap::record(
@@ -498,7 +498,13 @@ pub fn fig20() -> Series {
                 ..Default::default()
             };
             let t0 = Instant::now();
-            let art = run_benchmark(bench, Class::A, 4, NetConfig::default(), rec);
+            let art = run_benchmark(
+                bench,
+                Class::A,
+                4,
+                crate::topo::apply(NetConfig::default()),
+                rec,
+            );
             let dt = t0.elapsed().as_secs_f64();
             (dt, art.end_time())
         };

@@ -18,6 +18,7 @@ pub mod explore;
 pub mod figures;
 pub mod micro;
 pub mod runner;
+pub mod topo;
 pub mod tracecap;
 
 /// A named harness entry point producing one [`Series`].

@@ -82,47 +82,53 @@ fn run_point(
         trace: scope.is_some(),
         ..Default::default()
     };
-    let out = run_mpi(2, NetConfig::default(), cfg, rec, move |mpi| {
-        let msg = vec![0x5Au8; bytes];
-        for i in 0..reps as u64 {
-            if mpi.rank() == 0 {
-                match pairing {
-                    Pairing::IsendRecv | Pairing::IsendIrecv => {
-                        let r = mpi.isend(1, i, &msg);
-                        if compute_ns > 0 {
-                            mpi.compute(compute_ns);
+    let out = run_mpi(
+        2,
+        crate::topo::apply(NetConfig::default()),
+        cfg,
+        rec,
+        move |mpi| {
+            let msg = vec![0x5Au8; bytes];
+            for i in 0..reps as u64 {
+                if mpi.rank() == 0 {
+                    match pairing {
+                        Pairing::IsendRecv | Pairing::IsendIrecv => {
+                            let r = mpi.isend(1, i, &msg);
+                            if compute_ns > 0 {
+                                mpi.compute(compute_ns);
+                            }
+                            mpi.wait(r);
                         }
-                        mpi.wait(r);
+                        Pairing::SendIrecv => {
+                            mpi.send(1, i, &msg);
+                            if compute_ns > 0 {
+                                mpi.compute(compute_ns);
+                            }
+                        }
                     }
-                    Pairing::SendIrecv => {
-                        mpi.send(1, i, &msg);
-                        if compute_ns > 0 {
-                            mpi.compute(compute_ns);
+                } else {
+                    match pairing {
+                        Pairing::SendIrecv | Pairing::IsendIrecv => {
+                            let r = mpi.irecv(Src::Rank(0), TagSel::Is(i));
+                            if compute_ns > 0 {
+                                mpi.compute(compute_ns);
+                            }
+                            mpi.wait(r);
+                        }
+                        Pairing::IsendRecv => {
+                            mpi.recv(Src::Rank(0), TagSel::Is(i));
+                            if compute_ns > 0 {
+                                mpi.compute(compute_ns);
+                            }
                         }
                     }
                 }
-            } else {
-                match pairing {
-                    Pairing::SendIrecv | Pairing::IsendIrecv => {
-                        let r = mpi.irecv(Src::Rank(0), TagSel::Is(i));
-                        if compute_ns > 0 {
-                            mpi.compute(compute_ns);
-                        }
-                        mpi.wait(r);
-                    }
-                    Pairing::IsendRecv => {
-                        mpi.recv(Src::Rank(0), TagSel::Is(i));
-                        if compute_ns > 0 {
-                            mpi.compute(compute_ns);
-                        }
-                    }
-                }
+                // Keep the iterations in lock-step so the pattern reflects a
+                // steady state rather than unbounded sender run-ahead.
+                mpi.barrier();
             }
-            // Keep the iterations in lock-step so the pattern reflects a
-            // steady state rather than unbounded sender run-ahead.
-            mpi.barrier();
-        }
-    })
+        },
+    )
     .unwrap_or_else(|e| panic!("{}", e.one_line()));
     if let Some(s) = scope {
         crate::tracecap::record(s, out.traces.clone(), &out.faults);

@@ -279,6 +279,10 @@ pub struct Cli {
     /// events/sec, and allocation counts alongside per-harness wall-clock
     /// (see [`crate::enginebench::BenchReport`]).
     pub bench_json: Option<std::path::PathBuf>,
+    /// Fabric topology override (`--topology <spec>`: `flat`,
+    /// `fat-tree:k=8`, `dragonfly:a=4,p=2,h=2`); applied process-wide via
+    /// [`crate::topo::set`] before any harness runs.
+    pub topology: Option<simnet::TopologySpec>,
     /// `list` was requested.
     pub list: bool,
     /// The selected harnesses, in canonical order (figures, then ablations).
@@ -301,6 +305,7 @@ pub fn parse_cli(
     let mut trace: Option<std::path::PathBuf> = None;
     let mut critical_path: Option<std::path::PathBuf> = None;
     let mut bench_json: Option<std::path::PathBuf> = None;
+    let mut topology: Option<simnet::TopologySpec> = None;
     let mut list = false;
     let mut want_figures = false;
     let mut want_ablations = false;
@@ -352,6 +357,12 @@ pub fn parse_cli(
                     .ok_or_else(|| "--critical-path requires a directory".to_string())?;
                 critical_path = Some(std::path::PathBuf::from(v));
             }
+            "--topology" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--topology requires a spec".to_string())?;
+                topology = Some(simnet::TopologySpec::parse(v)?);
+            }
             a if a.starts_with("--jobs=") => {
                 jobs = Some(parse_jobs(&a["--jobs=".len()..])?);
             }
@@ -366,6 +377,9 @@ pub fn parse_cli(
             }
             a if a.starts_with("--critical-path=") => {
                 critical_path = Some(std::path::PathBuf::from(&a["--critical-path=".len()..]));
+            }
+            a if a.starts_with("--topology=") => {
+                topology = Some(simnet::TopologySpec::parse(&a["--topology=".len()..])?);
             }
             a if a.starts_with('-') => return Err(format!("unknown flag {a:?}")),
             a => ids.push(a),
@@ -400,6 +414,7 @@ pub fn parse_cli(
         trace,
         critical_path,
         bench_json,
+        topology,
         list,
         selection,
     })

@@ -1,0 +1,50 @@
+//! Process-wide topology override for the harness registry.
+//!
+//! Harnesses are plain `fn() -> Series` entry points, so `repro --topology
+//! <spec>` can't thread a parameter through the registry. Instead the CLI
+//! stores the parsed spec here once, and every harness routes its
+//! [`NetConfig`] through [`apply`] before building a cluster. With no
+//! override set, [`apply`] is the identity — the default flat crossbar stays
+//! byte-identical to the pre-topology model, which is what the golden tests
+//! pin.
+
+use std::sync::OnceLock;
+
+use simnet::{NetConfig, TopologySpec};
+
+static OVERRIDE: OnceLock<TopologySpec> = OnceLock::new();
+
+/// Install the process-wide topology override. First caller wins; later
+/// calls are ignored (the CLI parses at most one `--topology` flag).
+pub fn set(spec: TopologySpec) {
+    let _ = OVERRIDE.set(spec);
+}
+
+/// The installed override, if any.
+pub fn get() -> Option<TopologySpec> {
+    OVERRIDE.get().copied()
+}
+
+/// Route a harness's fabric config through the override: replaces the
+/// topology spec when one was installed, otherwise returns `cfg` unchanged.
+/// The spec is fitted to the actual rank count when the world is built, so
+/// a small spec grows rather than panicking on a large harness.
+pub fn apply(mut cfg: NetConfig) -> NetConfig {
+    if let Some(spec) = get() {
+        cfg.topology = spec;
+    }
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_without_override_is_identity() {
+        // NB: must not call `set` here — the override is process-global and
+        // would leak into sibling tests.
+        let cfg = apply(NetConfig::default());
+        assert_eq!(cfg.topology, TopologySpec::Flat);
+    }
+}

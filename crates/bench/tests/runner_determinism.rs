@@ -139,6 +139,40 @@ fn cli_flags_parse_and_default() {
         Some(std::path::Path::new("cp/dir"))
     );
 
+    let args: Vec<String> = ["--topology", "fat-tree:k=8", "fig04"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let cli = runner::parse_cli(&args, &figures, &ablations).unwrap();
+    assert_eq!(cli.topology, Some(simnet::TopologySpec::FatTree { k: 8 }));
+
+    let cli = runner::parse_cli(
+        &["--topology=dragonfly:a=4,p=2,h=2".to_string()],
+        &figures,
+        &ablations,
+    )
+    .unwrap();
+    assert_eq!(
+        cli.topology,
+        Some(simnet::TopologySpec::Dragonfly { a: 4, p: 2, h: 2 })
+    );
+
+    let cli = runner::parse_cli(&["fig04".to_string()], &figures, &ablations).unwrap();
+    assert_eq!(cli.topology, None, "no flag, no override");
+
+    // Unknown specs are an error (the repro binary turns this into the
+    // one-line exit-2 message), as are malformed parameters.
+    let err =
+        runner::parse_cli(&["--topology=bogus".to_string()], &figures, &ablations).unwrap_err();
+    assert!(err.contains("bogus"), "error must name the spec: {err}");
+    assert!(runner::parse_cli(
+        &["--topology".to_string(), "fat-tree:k=7".to_string()],
+        &figures,
+        &ablations
+    )
+    .is_err());
+    assert!(runner::parse_cli(&["--topology".to_string()], &figures, &ablations).is_err());
+
     assert!(runner::parse_cli(&["--critical-path".to_string()], &figures, &ablations).is_err());
     assert!(runner::parse_cli(&["--jobs".to_string()], &figures, &ablations).is_err());
     assert!(runner::parse_cli(

@@ -63,6 +63,12 @@ pub enum WaitCause {
     /// Matched data moving on the wire toward this rank (direct read or
     /// pipelined fragments in flight).
     WireDrain,
+    /// Fabric contention: the portion of a matched transfer's flight time
+    /// spent queued behind other traffic (shared topology links or the
+    /// receiver's ingress engine) rather than propagating or serializing.
+    /// Split out of [`WaitCause::WireDrain`] when the fabric reports a
+    /// per-hop causal breakdown (see `docs/TOPOLOGY.md`).
+    Contention,
     /// Blocked on the reliability layer: un-ACKed packets outstanding, or a
     /// transfer known to have been retransmitted after loss.
     AckRetransmit,
@@ -80,12 +86,13 @@ pub enum WaitCause {
 
 impl WaitCause {
     /// Every cause, in canonical (serialization) order.
-    pub const ALL: [WaitCause; 10] = [
+    pub const ALL: [WaitCause; 11] = [
         WaitCause::LateSender,
         WaitCause::LateReceiver,
         WaitCause::RendezvousHandshake,
         WaitCause::EagerCopy,
         WaitCause::WireDrain,
+        WaitCause::Contention,
         WaitCause::AckRetransmit,
         WaitCause::Registration,
         WaitCause::Sync,
@@ -101,6 +108,7 @@ impl WaitCause {
             WaitCause::RendezvousHandshake => "rendezvous_handshake",
             WaitCause::EagerCopy => "eager_copy",
             WaitCause::WireDrain => "wire_drain",
+            WaitCause::Contention => "contention",
             WaitCause::AckRetransmit => "ack_retransmit",
             WaitCause::Registration => "registration",
             WaitCause::Sync => "sync",

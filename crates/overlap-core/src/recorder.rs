@@ -207,6 +207,52 @@ impl Recorder {
         });
     }
 
+    /// The library learned (from the fabric's causal edge on a completion or
+    /// packet) that `ns` of transfer `xfer`'s flight time was fabric
+    /// *contention* — queuing behind other traffic on shared links or the
+    /// ingress engine — rather than propagation/serialization. Relabels the
+    /// trailing portion of already-recorded [`WaitCause::WireDrain`] time
+    /// pinned to that transfer as [`WaitCause::Contention`], splitting an
+    /// interval when the budget ends inside it. Contention that exceeds the
+    /// recorded wire-drain wait was hidden by compute (overlapped) and is
+    /// dropped, keeping the reconciliation sum exact. No-op unless
+    /// [`Recorder::wait_tracing`].
+    ///
+    /// Works because the library records its blocking waits *before* it
+    /// processes the completion carrying the edge, so the relevant
+    /// `WireDrain` intervals are already present.
+    pub fn note_contention(&mut self, xfer: u64, ns: u64) {
+        if !self.wait_tracing() || ns == 0 {
+            return;
+        }
+        let mut budget = ns;
+        // Latest-first: contention delays the tail of the drain.
+        for i in (0..self.waits.len()).rev() {
+            if budget == 0 {
+                break;
+            }
+            let w = self.waits[i];
+            if w.cause != WaitCause::WireDrain || w.xfer != Some(xfer) {
+                continue;
+            }
+            let len = w.end - w.start;
+            if len <= budget {
+                self.waits[i].cause = WaitCause::Contention;
+                budget -= len;
+            } else {
+                let split = w.end - budget;
+                self.waits[i].end = split;
+                self.waits.push(WaitInterval {
+                    start: split,
+                    end: w.end,
+                    cause: WaitCause::Contention,
+                    xfer: w.xfer,
+                });
+                budget = 0;
+            }
+        }
+    }
+
     /// Application-level begin of a monitored code section.
     pub fn section_begin(&mut self, name: &'static str) {
         self.push(EventKind::SectionBegin { name });

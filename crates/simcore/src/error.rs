@@ -25,20 +25,23 @@ pub struct RankDiag {
 
 /// Walk the structured wait-for edges of a deadlock diagnostic and return
 /// the first cycle found, as the list of stuck ranks in edge order (each
-/// entry waits on the next; the last waits on the first).
+/// entry waits on the next; the last waits on the first), rotated so the
+/// smallest rank leads. The walk order and the rotation make the result a
+/// pure function of the diagnostics — counterexample tokens embedding the
+/// rendered cycle stay byte-stable across runs.
 ///
 /// Returns `None` when the diagnostics carry no cycle — e.g. the library
 /// never reported structured edges, or a rank waits on a peer that is still
 /// making progress.
 pub fn deadlock_cycle(diags: &[RankDiag]) -> Option<Vec<usize>> {
-    use std::collections::HashMap;
-    let edges: HashMap<usize, usize> = diags
+    use std::collections::BTreeMap;
+    let edges: BTreeMap<usize, usize> = diags
         .iter()
         .filter_map(|d| d.waits_on_rank.map(|p| (d.rank, p)))
         .collect();
     // The wait-for graph is functional (≤ 1 outgoing edge per rank), so a
     // simple colored walk finds a cycle in O(n).
-    let mut color: HashMap<usize, u8> = HashMap::new(); // 1 = on path, 2 = done
+    let mut color: BTreeMap<usize, u8> = BTreeMap::new(); // 1 = on path, 2 = done
     for &start in edges.keys() {
         if color.contains_key(&start) {
             continue;
@@ -48,9 +51,13 @@ pub fn deadlock_cycle(diags: &[RankDiag]) -> Option<Vec<usize>> {
         loop {
             match color.get(&cur) {
                 Some(1) => {
-                    // Found a cycle: slice the path from `cur`'s position.
+                    // Found a cycle: slice the path from `cur`'s position
+                    // and rotate its smallest rank to the front.
                     let pos = path.iter().position(|&r| r == cur).unwrap();
-                    return Some(path[pos..].to_vec());
+                    let mut cycle = path[pos..].to_vec();
+                    let lo = (0..cycle.len()).min_by_key(|&i| cycle[i]).unwrap();
+                    cycle.rotate_left(lo);
+                    return Some(cycle);
                 }
                 Some(_) => break,
                 None => {}
@@ -224,7 +231,7 @@ mod tests {
     fn two_rank_cycle_detected_and_rendered() {
         let diags = vec![diag(0, Some(1), Some(5)), diag(1, Some(0), Some(9))];
         let cycle = deadlock_cycle(&diags).unwrap();
-        assert!(cycle == vec![0, 1] || cycle == vec![1, 0]);
+        assert_eq!(cycle, vec![0, 1], "smallest rank leads the cycle");
         let err = SimError::Deadlock {
             parked: vec![0, 1],
             at: 42,
@@ -233,8 +240,7 @@ mod tests {
         let line = err.one_line();
         assert!(line.contains("wait-for cycle"), "{line}");
         assert!(
-            line.contains("rank 0 -> req 5 -> rank 1")
-                || line.contains("rank 1 -> req 9 -> rank 0"),
+            line.contains("rank 0 -> req 5 -> rank 1 -> req 9 -> rank 0"),
             "{line}"
         );
         assert!(!line.contains('\n'));

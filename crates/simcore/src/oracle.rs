@@ -11,7 +11,7 @@
 //! systematically search the schedule space instead of sampling one
 //! interleaving.
 //!
-//! Three kinds of choice point exist (see [`ChoicePoint`]):
+//! Four kinds of choice point exist (see [`ChoicePoint`]):
 //!
 //! * **Event ties** — several queue entries are due at the same virtual
 //!   time; the oracle picks which runs next. Choice `0` is the canonical
@@ -23,6 +23,9 @@
 //!   oracle picks which to drain first.
 //! * **Fault jitter** — a fault plan allows a bounded timing window for a
 //!   perturbation and the oracle picks the step within the window.
+//! * **Routing** — a hierarchical topology offers several equal-cost paths
+//!   for a message (ECMP / adaptive routing) and the oracle picks which one
+//!   it takes, so the explorer can search routing nondeterminism too.
 //!
 //! Every decision is recorded by the [`OracleHandle`] wrapper as a
 //! [`ChoiceRec`], so any explored schedule can be replayed exactly with
@@ -69,6 +72,17 @@ pub enum ChoicePoint {
         /// Number of discrete jitter steps (including the zero step).
         n: usize,
     },
+    /// A topology offers `n` equal-cost paths from `src` to `dst` (ECMP /
+    /// adaptive routing); pick which one this message takes. `0` is the
+    /// canonical deterministic flow-hash pick.
+    Route {
+        /// Sending rank of the message.
+        src: usize,
+        /// Receiving rank of the message.
+        dst: usize,
+        /// Number of equal-cost candidate paths.
+        n: usize,
+    },
 }
 
 impl ChoicePoint {
@@ -77,7 +91,8 @@ impl ChoicePoint {
         match *self {
             ChoicePoint::EventTie { n, .. }
             | ChoicePoint::ProgressPoll { n, .. }
-            | ChoicePoint::FaultJitter { n, .. } => n,
+            | ChoicePoint::FaultJitter { n, .. }
+            | ChoicePoint::Route { n, .. } => n,
         }
     }
 
@@ -88,6 +103,7 @@ impl ChoicePoint {
             ChoicePoint::EventTie { .. } => 0,
             ChoicePoint::ProgressPoll { .. } => 1,
             ChoicePoint::FaultJitter { .. } => 2,
+            ChoicePoint::Route { .. } => 3,
         }
     }
 }

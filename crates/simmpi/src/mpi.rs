@@ -1187,6 +1187,7 @@ impl<'a> Mpi<'a> {
                     let (xfer, bytes) = (*xfer, *bytes);
                     if xfer != NO_XFER {
                         self.rec.xfer_end(xfer, bytes);
+                        self.rec.note_contention(xfer, c.edge.contention_ns());
                     }
                 }
                 if reap {
@@ -1214,6 +1215,7 @@ impl<'a> Mpi<'a> {
                 }
                 if let Some((xfer, len)) = finish {
                     self.rec.xfer_end(xfer, len);
+                    self.rec.note_contention(xfer, c.edge.contention_ns());
                 }
                 let _ = req_done;
             }
@@ -1230,6 +1232,7 @@ impl<'a> Mpi<'a> {
                 }
                 let (xfer, len) = stamp.expect("read completion without reading state");
                 self.rec.xfer_end(xfer, len);
+                self.rec.note_contention(xfer, c.edge.contention_ns());
                 let (src, tag) = env.expect("read completion on unmatched recv");
                 self.complete_recv(req_id, src, tag, data);
             }
@@ -1285,6 +1288,7 @@ impl<'a> Mpi<'a> {
                 let data = p.data.expect("eager packet without payload");
                 // End-only stamp: the receiver never saw the initiation.
                 self.rec.xfer_end(xfer, data.len() as u64);
+                self.rec.note_contention(xfer, p.edge.contention_ns());
                 Arrival::Eager {
                     src: p.src,
                     tag: p.h[0],
@@ -1330,6 +1334,7 @@ impl<'a> Mpi<'a> {
                 let frag1 = p.data.expect("RTS_PIPE without fragment");
                 // Fragment 1 is observable only on arrival: end-only stamp.
                 self.rec.xfer_end(p.h[2], frag1.len() as u64);
+                self.rec.note_contention(p.h[2], p.edge.contention_ns());
                 Arrival::RtsPipe {
                     src: p.src,
                     tag: p.h[0],
@@ -1390,6 +1395,10 @@ impl<'a> Mpi<'a> {
                 }
                 let pipe = pipe_state.expect("FIN_PIPE without pipe state");
                 self.rec.xfer_end(pipe.rest_xfer, pipe.rest_len);
+                // The FIN rides as the final fragment's delivery notice, so
+                // its edge carries that fragment's fabric contention.
+                self.rec
+                    .note_contention(pipe.rest_xfer, p.edge.contention_ns());
                 let data = {
                     let mut w = self.world.lock();
                     Bytes::from(w.deregister(self.rank, pipe.region))

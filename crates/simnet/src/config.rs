@@ -4,13 +4,14 @@ use serde::{Deserialize, Serialize};
 use simcore::{us, Duration};
 
 use crate::fault::FaultPlan;
+use crate::topology::{BackgroundJob, TopologySpec};
 
 /// Parameters of the simulated interconnect and host interface.
 ///
 /// The defaults approximate the paper's test platform: an 8 Gbit/s InfiniBand
 /// network (Mellanox MT23108 on PCI-X) connecting dual-Xeon nodes, one MPI
 /// process per node.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NetConfig {
     /// One-way wire latency between any two distinct nodes, ns.
     pub wire_latency: Duration,
@@ -45,9 +46,25 @@ pub struct NetConfig {
     pub switch_radix: Option<usize>,
     /// Extra one-way latency for inter-switch hops, ns.
     pub inter_switch_extra: Duration,
+    /// Fabric topology. [`TopologySpec::Flat`] (the default) is the ideal
+    /// crossbar and reproduces the pre-topology model byte-identically;
+    /// hierarchical specs route hop-by-hop over shared, contended links
+    /// (see `docs/TOPOLOGY.md`).
+    pub topology: TopologySpec,
+    /// Per-hop propagation latency of hierarchical topologies, ns (unused
+    /// by the flat crossbar, which keeps `wire_latency` end to end).
+    pub hop_latency: Duration,
+    /// Co-located tenant traffic sharing the fabric's links with the
+    /// measured job. `None` (the default) models exclusive use; inert on
+    /// the flat crossbar (no shared links).
+    pub background: Option<BackgroundJob>,
     /// Deterministic fault-injection plan. [`FaultPlan::none`] (the default)
     /// models a perfectly reliable fabric and changes no delivery behavior.
     pub faults: FaultPlan,
+}
+
+fn default_hop_latency() -> Duration {
+    us(1)
 }
 
 impl Default for NetConfig {
@@ -73,6 +90,9 @@ impl NetConfig {
             model_ingress_contention: false,
             switch_radix: None,
             inter_switch_extra: us(2),
+            topology: TopologySpec::Flat,
+            hop_latency: default_hop_latency(),
+            background: None,
             faults: FaultPlan::none(),
         }
     }
@@ -100,6 +120,18 @@ impl NetConfig {
         }
     }
 
+    /// Instantiate the configured topology for an `nnodes`-rank job. The
+    /// spec is [`TopologySpec::fitted`] first, so a small spec grows to
+    /// give every rank a port instead of panicking.
+    pub fn build_topology(&self, nnodes: usize) -> std::sync::Arc<dyn crate::topology::Topology> {
+        self.topology.fitted(nnodes).build(
+            self.wire_latency,
+            self.switch_radix,
+            self.inter_switch_extra,
+            self.hop_latency,
+        )
+    }
+
     /// Time for the NIC to serialize `bytes` onto the wire, ns.
     pub fn serialize(&self, bytes: usize) -> Duration {
         (bytes as f64 / self.bandwidth_bytes_per_ns).ceil() as Duration
@@ -121,6 +153,74 @@ impl NetConfig {
     /// microbenchmark (the paper's `perf_main`) observes per direction.
     pub fn transfer_time(&self, bytes: usize) -> Duration {
         self.serialize(bytes) + self.wire_latency
+    }
+}
+
+// Manual serde impls (the FaultPlan precedent): explicit on-disk shape,
+// and configs written before the topology fields existed still load with
+// the fields at their defaults.
+impl Serialize for NetConfig {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("wire_latency".into(), self.wire_latency.to_value()),
+            ("loopback_latency".into(), self.loopback_latency.to_value()),
+            (
+                "bandwidth_bytes_per_ns".into(),
+                self.bandwidth_bytes_per_ns.to_value(),
+            ),
+            (
+                "ctrl_packet_bytes".into(),
+                self.ctrl_packet_bytes.to_value(),
+            ),
+            ("post_cost".into(), self.post_cost.to_value()),
+            ("poll_cost".into(), self.poll_cost.to_value()),
+            (
+                "copy_bytes_per_ns".into(),
+                self.copy_bytes_per_ns.to_value(),
+            ),
+            ("reg_base".into(), self.reg_base.to_value()),
+            ("reg_per_page".into(), self.reg_per_page.to_value()),
+            ("page_size".into(), self.page_size.to_value()),
+            (
+                "model_ingress_contention".into(),
+                self.model_ingress_contention.to_value(),
+            ),
+            ("switch_radix".into(), self.switch_radix.to_value()),
+            (
+                "inter_switch_extra".into(),
+                self.inter_switch_extra.to_value(),
+            ),
+            ("topology".into(), self.topology.to_value()),
+            ("hop_latency".into(), self.hop_latency.to_value()),
+            ("background".into(), self.background.to_value()),
+            ("faults".into(), self.faults.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for NetConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(NetConfig {
+            wire_latency: Deserialize::from_value(v.field("wire_latency"))?,
+            loopback_latency: Deserialize::from_value(v.field("loopback_latency"))?,
+            bandwidth_bytes_per_ns: Deserialize::from_value(v.field("bandwidth_bytes_per_ns"))?,
+            ctrl_packet_bytes: Deserialize::from_value(v.field("ctrl_packet_bytes"))?,
+            post_cost: Deserialize::from_value(v.field("post_cost"))?,
+            poll_cost: Deserialize::from_value(v.field("poll_cost"))?,
+            copy_bytes_per_ns: Deserialize::from_value(v.field("copy_bytes_per_ns"))?,
+            reg_base: Deserialize::from_value(v.field("reg_base"))?,
+            reg_per_page: Deserialize::from_value(v.field("reg_per_page"))?,
+            page_size: Deserialize::from_value(v.field("page_size"))?,
+            model_ingress_contention: Deserialize::from_value(v.field("model_ingress_contention"))?,
+            switch_radix: Deserialize::from_value(v.field("switch_radix"))?,
+            inter_switch_extra: Deserialize::from_value(v.field("inter_switch_extra"))?,
+            // Absent in pre-topology configs: flat fabric, default hop cost.
+            topology: Deserialize::from_value(v.field("topology"))?,
+            hop_latency: Deserialize::from_value(v.field("hop_latency"))
+                .unwrap_or_else(|_| default_hop_latency()),
+            background: Deserialize::from_value(v.field("background"))?,
+            faults: Deserialize::from_value(v.field("faults"))?,
+        })
     }
 }
 

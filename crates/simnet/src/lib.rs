@@ -25,6 +25,7 @@ pub mod fault;
 pub mod memory;
 pub mod nic;
 pub mod packet;
+pub mod topology;
 pub mod truth;
 pub mod world;
 
@@ -34,5 +35,9 @@ pub use fault::{FaultEvent, FaultKind, FaultPlan, LinkDegradation, NicStall};
 pub use memory::RegionId;
 pub use nic::{CausalEdge, Completion, WrId};
 pub use packet::Packet;
+pub use topology::{
+    BackgroundJob, BackgroundJobBuilder, Dragonfly, FatTree, FlatCrossbar, Hop, Topology,
+    TopologySpec, TrafficPattern, LINK_DEDICATED,
+};
 pub use truth::{TransferKind, TransferRecord};
 pub use world::{NicStats, SharedWorld, World, XferId};

@@ -28,6 +28,9 @@ pub struct CausalEdge {
     pub serialize_ns: u64,
     /// Waited behind earlier packets for the ingress engine, ns.
     pub ingress_queue_ns: u64,
+    /// Waited behind other flows on shared fabric links along the route
+    /// (per-hop queuing under a hierarchical topology), ns.
+    pub hop_queue_ns: u64,
     /// Fault-injected extra latency (delay, degradation, stall holds), ns.
     pub fault_extra_ns: u64,
 }
@@ -35,7 +38,15 @@ pub struct CausalEdge {
 impl CausalEdge {
     /// Total causal delay beyond the unloaded path, ns.
     pub fn queued_ns(&self) -> u64 {
-        self.dma_queue_ns + self.ingress_queue_ns + self.fault_extra_ns
+        self.dma_queue_ns + self.ingress_queue_ns + self.hop_queue_ns + self.fault_extra_ns
+    }
+
+    /// Fabric-contention share of the delay: time spent queued behind
+    /// *other flows* in the network (shared links + ingress engine), as
+    /// opposed to the local DMA queue or injected faults. This is what the
+    /// `contention` wait cause carves out of `wire_drain`.
+    pub fn contention_ns(&self) -> u64 {
+        self.hop_queue_ns + self.ingress_queue_ns
     }
 }
 

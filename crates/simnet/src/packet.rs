@@ -7,6 +7,8 @@
 
 use bytes::Bytes;
 
+use crate::nic::CausalEdge;
+
 /// A packet delivered to a node's receive queue, awaiting a host poll.
 #[derive(Debug, Clone)]
 pub struct Packet {
@@ -24,6 +26,10 @@ pub struct Packet {
     /// (used for reliability-layer ACK/NACK traffic, which must not itself
     /// require acknowledgment or the protocol could never terminate).
     pub protected: bool,
+    /// Causal breakdown of the packet's journey, stamped by the fabric at
+    /// delivery (zeroed until then). Lets *receivers* learn how much of a
+    /// message's flight time was fabric contention.
+    pub edge: CausalEdge,
 }
 
 impl Packet {
@@ -36,6 +42,7 @@ impl Packet {
             h,
             data: None,
             protected: false,
+            edge: CausalEdge::default(),
         }
     }
 
@@ -48,6 +55,7 @@ impl Packet {
             h,
             data: Some(data),
             protected: false,
+            edge: CausalEdge::default(),
         }
     }
 

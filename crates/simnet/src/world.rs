@@ -23,6 +23,7 @@ use crate::fault::{FaultEvent, FaultKind, FaultRng};
 use crate::memory::{NodeMemory, RegionId};
 use crate::nic::{CausalEdge, Completion, Nic, WrId};
 use crate::packet::Packet;
+use crate::topology::{Hop, Topology, TrafficPattern, LINK_DEDICATED};
 use crate::truth::{TransferKind, TransferRecord};
 
 /// Fabric-assigned id for one data transfer operation. The instrumentation
@@ -171,6 +172,24 @@ struct LinkState {
     deferred: std::collections::VecDeque<(Time, u64, u64)>,
 }
 
+/// Per-shared-link channel: virtual-time occupancy reservations plus the
+/// lazily-replayed background-tenant injection schedule (see
+/// [`crate::topology::BackgroundJob`]). One per directed topology link —
+/// flat crossbars have none.
+#[derive(Debug, Clone, Copy, Default)]
+struct LinkChan {
+    /// Virtual time until which the link is occupied.
+    free_at: Time,
+    /// Next background injection not yet replayed (meaningful only when
+    /// `bg_period > 0`).
+    bg_next: Time,
+    /// Inter-injection gap of the background flows crossing this link;
+    /// `0` = no background traffic here.
+    bg_period: u64,
+    /// Link occupancy per background injection, ns.
+    bg_busy: u64,
+}
+
 /// All fabric state: NICs, registered memory, ground-truth transfer log.
 pub struct World {
     cfg: NetConfig,
@@ -186,6 +205,12 @@ pub struct World {
     /// Delivery batching per directed `(src, dst)` link; sparse, since most
     /// rank pairs never talk.
     links: std::collections::HashMap<(usize, usize), LinkState>,
+    /// The fabric topology, shared (`Arc`) so per-rank state stays lean.
+    topo: Arc<dyn Topology>,
+    /// Per-shared-link occupancy channels, indexed by topology link id.
+    chans: Vec<LinkChan>,
+    /// Reused hop buffer — steady-state routing allocates nothing.
+    route_buf: Vec<Hop>,
     /// Cached `!cfg.faults.is_empty()` — the fault-free fast path must not
     /// even inspect the plan per packet.
     faulty: bool,
@@ -203,6 +228,8 @@ impl World {
     pub fn new_shared(cfg: NetConfig, handle: EngineHandle, nnodes: usize) -> SharedWorld {
         let faulty = !cfg.faults.is_empty();
         let fault_rng = FaultRng::new(cfg.faults.seed);
+        let topo = cfg.build_topology(nnodes);
+        let chans = Self::init_link_chans(&cfg, topo.as_ref(), nnodes);
         let world = Arc::new(Mutex::new(World {
             cfg,
             handle: handle.clone(),
@@ -214,6 +241,9 @@ impl World {
             transfers: Vec::new(),
             pending: Slab::new(),
             links: std::collections::HashMap::new(),
+            topo,
+            chans,
+            route_buf: Vec::new(),
             faulty,
             fault_rng,
             fault_events: Vec::new(),
@@ -242,9 +272,10 @@ impl World {
                 dst,
                 wr,
                 user,
-                packet,
+                mut packet,
                 edge,
             } => {
+                packet.edge = edge;
                 w.nics[dst].rx.push_back(packet);
                 w.nics[dst].packets_delivered += 1;
                 w.nics[src].cq.push_back(Completion {
@@ -302,7 +333,8 @@ impl World {
                     edge,
                 });
                 w.nics[src].completions_generated += 1;
-                let wake_dst = if let Some(p) = notify {
+                let wake_dst = if let Some(mut p) = notify {
+                    p.edge = edge;
                     w.nics[dst].rx.push_back(p);
                     w.nics[dst].packets_delivered += 1;
                     true
@@ -418,11 +450,13 @@ impl World {
                 );
                 // The response stream is subject to the initiator's ingress
                 // contention, like any other inbound data.
-                let (arrival, ingress_queue) = w.arrival_time(target, initiator, dma_start, len);
+                let (arrival, ingress_queue, hop_queue) =
+                    w.fabric_arrival(target, initiator, dma_start, len, true);
                 let edge = CausalEdge {
                     dma_queue_ns: dma_start - now,
                     serialize_ns: busy,
                     ingress_queue_ns: ingress_queue,
+                    hop_queue_ns: hop_queue,
                     fault_extra_ns: 0,
                 };
                 if let Some(id) = xfer {
@@ -466,7 +500,8 @@ impl World {
                     edge,
                 });
                 w.nics[initiator].completions_generated += 1;
-                let wake_target = if let Some(p) = notify {
+                let wake_target = if let Some(mut p) = notify {
+                    p.edge = edge;
                     w.nics[target].rx.push_back(p);
                     w.nics[target].packets_delivered += 1;
                     true
@@ -536,33 +571,185 @@ impl World {
         &mut self.mem[node]
     }
 
+    /// One-way propagation latency for control legs (requests, replies): the
+    /// canonical route's latency, with no link occupancy charged — control
+    /// packets are small enough that the model treats them as fluid.
     fn latency(&self, src: usize, dst: usize) -> u64 {
-        self.cfg.latency_between(src, dst)
+        if src == dst {
+            self.cfg.loopback_latency
+        } else {
+            self.topo.path_latency(src, dst)
+        }
+    }
+
+    /// Build per-link channels, seeding the background tenant's injection
+    /// schedules: walk every background flow's canonical route once and
+    /// turn the per-link flow count into a periodic occupancy replay (see
+    /// [`crate::topology::BackgroundJob`] for the fluid model).
+    fn init_link_chans(cfg: &NetConfig, topo: &dyn Topology, nnodes: usize) -> Vec<LinkChan> {
+        let mut chans = vec![LinkChan::default(); topo.links()];
+        let Some(job) = cfg.background else {
+            return chans;
+        };
+        if chans.is_empty() || nnodes < 2 {
+            return chans; // crossbar or single rank: nothing to share
+        }
+        // Per-link flow weight in 1/SCALE flow units (uniform sampling
+        // makes a few routes stand in for many flows).
+        const SCALE: u64 = 64;
+        let mut weight = vec![0u64; topo.links()];
+        let mut route = Vec::new();
+        let mut flows: Vec<(usize, usize, u64)> = Vec::new();
+        let n = nnodes;
+        match job.pattern {
+            TrafficPattern::Uniform => {
+                // Each src injects one message per period to a uniform
+                // destination; a few sampled routes stand in for the
+                // destination spread, splitting the src's unit rate.
+                let samples = (n - 1).min(8);
+                let w = (SCALE / samples as u64).max(1);
+                for src in 0..n {
+                    for k in 0..samples {
+                        let r = crate::topology::mix64(job.seed ^ ((src as u64) << 20) ^ k as u64);
+                        let dst = (src + 1 + (r % (n as u64 - 1)) as usize) % n;
+                        flows.push((src, dst, w));
+                    }
+                }
+            }
+            TrafficPattern::Incast { victim } => {
+                let v = victim % n;
+                for src in (0..n).filter(|&s| s != v) {
+                    flows.push((src, v, SCALE));
+                }
+            }
+            TrafficPattern::Permutation => {
+                for src in 0..n {
+                    let dst = (src + n / 2) % n;
+                    if dst != src {
+                        flows.push((src, dst, SCALE));
+                    }
+                }
+            }
+        }
+        for (src, dst, w) in flows {
+            topo.route_into(src, dst, 0, &mut route);
+            for hop in &route {
+                if hop.link != LINK_DEDICATED {
+                    weight[hop.link as usize] += w;
+                }
+            }
+        }
+        let busy = cfg.serialize(job.msg_bytes).max(1);
+        for (l, &w) in weight.iter().enumerate() {
+            if w == 0 {
+                continue;
+            }
+            // w/SCALE flows cross this link, each injecting every
+            // `period_ns`: the link sees one injection every `gap` ns.
+            let gap = (job.period_ns.max(1).saturating_mul(SCALE) / w).max(1);
+            chans[l] = LinkChan {
+                free_at: 0,
+                bg_next: crate::topology::mix64(job.seed ^ 0x6261_636b ^ l as u64) % gap,
+                bg_period: gap,
+                bg_busy: busy,
+            };
+        }
+        chans
+    }
+
+    /// Reserve shared link `link` for `busy` ns starting no earlier than
+    /// `t`, first replaying any background-tenant injections that arrived
+    /// by `t`; returns the actual start time.
+    fn reserve_link(&mut self, link: u32, t: Time, busy: u64) -> Time {
+        // Finite switch buffer for the background tenant: an injection that
+        // would queue longer than this many serializations is dropped, so an
+        // oversubscribed tenant saturates the link instead of running its
+        // backlog (and the foreground's arrival times) away unboundedly.
+        const BG_BACKLOG_CAP: u64 = 16;
+        let ch = &mut self.chans[link as usize];
+        if ch.bg_period > 0 && ch.bg_next <= t {
+            if ch.bg_busy <= ch.bg_period && ch.free_at <= ch.bg_next {
+                // Undersubscribed and idle: no injection queues on another,
+                // so the replay collapses to its last injection (O(1)).
+                let k = (t - ch.bg_next) / ch.bg_period;
+                ch.bg_next += k * ch.bg_period;
+                ch.free_at = ch.bg_next + ch.bg_busy;
+                ch.bg_next += ch.bg_period;
+            } else {
+                // Injections arriving after `t` are ignored (fluid
+                // approximation), which bounds the replay by arrival time.
+                while ch.bg_next <= t {
+                    let s = ch.free_at.max(ch.bg_next);
+                    if s - ch.bg_next <= BG_BACKLOG_CAP * ch.bg_busy {
+                        ch.free_at = s + ch.bg_busy;
+                    }
+                    ch.bg_next += ch.bg_period;
+                }
+            }
+        }
+        let start = ch.free_at.max(t);
+        ch.free_at = start + busy;
+        start
+    }
+
+    /// Pick which equal-cost candidate route a message takes: a schedule
+    /// choice point when the topology offers alternatives, so the explorer
+    /// can search routing nondeterminism. Flat fabrics (one path) never
+    /// consult — or record — anything.
+    fn route_choice(&mut self, src: usize, dst: usize) -> usize {
+        let n = self.topo.paths(src, dst);
+        if n <= 1 {
+            return 0;
+        }
+        match self.handle.oracle() {
+            Some(orc) => orc.choose(simcore::ChoicePoint::Route { src, dst, n }),
+            None => 0,
+        }
     }
 
     /// Arrival (placement) time for `bytes` that left `src`'s DMA at
-    /// `dma_start`, heading to `dst`, plus the portion of it spent queued
-    /// behind other streams on `dst`'s ingress engine (the causal-edge
-    /// component). Accounts for ingress contention when the config models it.
-    fn arrival_time(
+    /// `dma_start`, heading to `dst` across the topology, plus the queuing
+    /// split the causal edge carries: `(arrival, ingress_queue, hop_queue)`.
+    ///
+    /// The route is walked hop-by-hop (virtual cut-through: serialization is
+    /// paid once, at the tail; each hop adds propagation latency plus any
+    /// wait for its shared link). On the flat crossbar this reduces exactly
+    /// to the pre-topology `dma_start + serialize + latency` formula —
+    /// dedicated hops never queue. Ingress contention (`apply_ingress` and
+    /// the config model both set) then serializes concurrent streams into
+    /// the destination NIC, as before.
+    fn fabric_arrival(
         &mut self,
         src: usize,
         dst: usize,
         dma_start: Time,
         bytes: usize,
-    ) -> (Time, u64) {
+        apply_ingress: bool,
+    ) -> (Time, u64, u64) {
         let busy = self.cfg.serialize(bytes);
-        let lat = self.latency(src, dst);
-        let wire = dma_start + busy + lat;
-        if self.cfg.model_ingress_contention && src != dst {
-            // Stream starts reaching the destination one latency after the
-            // DMA starts; the ingress engine then serializes it.
-            let arrival = self.nics[dst]
-                .reserve_ingress(dma_start + lat, busy)
-                .max(wire);
-            (arrival, arrival - wire)
+        if src == dst {
+            return (dma_start + busy + self.cfg.loopback_latency, 0, 0);
+        }
+        let choice = self.route_choice(src, dst);
+        let mut route = std::mem::take(&mut self.route_buf);
+        self.topo.route_into(src, dst, choice, &mut route);
+        let mut head = dma_start;
+        let mut hop_queue = 0u64;
+        for hop in &route {
+            if hop.link != LINK_DEDICATED {
+                let start = self.reserve_link(hop.link, head, busy);
+                hop_queue += start - head;
+                head = start;
+            }
+            head += hop.latency;
+        }
+        self.route_buf = route;
+        let wire = head + busy;
+        if apply_ingress && self.cfg.model_ingress_contention {
+            let arrival = self.nics[dst].reserve_ingress(head, busy).max(wire);
+            (arrival, arrival - wire, hop_queue)
         } else {
-            (wire, 0)
+            (wire, 0, hop_queue)
         }
     }
 
@@ -673,12 +860,13 @@ impl World {
         let now = self.now();
         let busy = self.cfg.serialize(packet.wire_bytes);
         let dma_start = self.nics[src].reserve_dma(now, busy);
-        let (mut arrival, ingress_queue) =
-            self.arrival_time(src, dst, dma_start, packet.wire_bytes);
+        let (mut arrival, ingress_queue, hop_queue) =
+            self.fabric_arrival(src, dst, dma_start, packet.wire_bytes, true);
         let mut edge = CausalEdge {
             dma_queue_ns: dma_start - now,
             serialize_ns: busy,
             ingress_queue_ns: ingress_queue,
+            hop_queue_ns: hop_queue,
             fault_extra_ns: 0,
         };
         let mut deliver = true;
@@ -841,11 +1029,13 @@ impl World {
         let len = data.len();
         let busy = self.cfg.serialize(len);
         let dma_start = self.nics[src].reserve_dma(now, busy);
-        let (arrival, ingress_queue) = self.arrival_time(src, dst, dma_start, len);
+        let (arrival, ingress_queue, hop_queue) =
+            self.fabric_arrival(src, dst, dma_start, len, true);
         let edge = CausalEdge {
             dma_queue_ns: dma_start - now,
             serialize_ns: busy,
             ingress_queue_ns: ingress_queue,
+            hop_queue_ns: hop_queue,
             fault_extra_ns: 0,
         };
         if let Some(id) = xfer {
@@ -898,10 +1088,13 @@ impl World {
         let len = data.len() * 8;
         let busy = self.cfg.serialize(len);
         let dma_start = self.nics[src].reserve_dma(now, busy);
-        let arrival = dma_start + busy + self.latency(src, dst);
+        // NIC-atomic streams contend on fabric links but bypass the ingress
+        // engine (they terminate in the remote NIC, not host memory paths).
+        let (arrival, _, hop_queue) = self.fabric_arrival(src, dst, dma_start, len, false);
         let edge = CausalEdge {
             dma_queue_ns: dma_start - now,
             serialize_ns: busy,
+            hop_queue_ns: hop_queue,
             ..CausalEdge::default()
         };
         if let Some(id) = xfer {

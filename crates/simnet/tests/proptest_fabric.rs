@@ -22,6 +22,44 @@ fn arb_sends() -> impl Strategy<Value = Vec<SendSpec>> {
     )
 }
 
+/// Rank 0 posts the schedule's sends (with their compute gaps) to rank 1,
+/// which drains them; returns the outcome with its ground-truth records.
+fn run_sender_schedule(sends: &[SendSpec], net: NetConfig) -> simnet::ClusterOutcome {
+    let sends_in = sends.to_vec();
+    let cluster = Cluster::new(2, net);
+    cluster
+        .run(SimOpts::default(), move |ctx, world| {
+            if ctx.rank() == 0 {
+                for s in &sends_in {
+                    if s.gap_ns > 0 {
+                        ctx.compute(s.gap_ns);
+                    }
+                    let mut w = world.lock();
+                    let x = w.alloc_xfer_id();
+                    let pkt = Packet::with_data(
+                        0,
+                        s.bytes + 64,
+                        1,
+                        [0; 6],
+                        Bytes::from(vec![1u8; s.bytes]),
+                    );
+                    w.post_send(0, 1, pkt, 0, Some(x));
+                }
+            } else {
+                let total = sends_in.len();
+                let mut got = 0;
+                while got < total {
+                    if world.lock().poll_rx(1).is_some() {
+                        got += 1;
+                    } else {
+                        ctx.park();
+                    }
+                }
+            }
+        })
+        .unwrap()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -90,6 +128,57 @@ proptest! {
         let truth_bytes: usize = out.transfers.iter().map(|t| t.bytes).sum();
         let sent_bytes: usize = sends.iter().map(|s| s.bytes).sum();
         prop_assert_eq!(truth_bytes, sent_bytes);
+    }
+
+    /// The default flat crossbar goes through the hop-by-hop fabric walk,
+    /// yet must reproduce the pre-topology formula *exactly*: every
+    /// transfer's physical duration is serialization + wire latency, to the
+    /// nanosecond, no matter how the DMA engine queues the posts (queuing
+    /// shifts the start, never the flight time — dedicated hops never
+    /// contend).
+    #[test]
+    fn flat_crossbar_reproduces_ideal_timing_exactly(sends in arb_sends()) {
+        let net = NetConfig::default();
+        let out = run_sender_schedule(&sends, net.clone());
+        prop_assert_eq!(out.transfers.len(), sends.len());
+        for t in &out.transfers {
+            prop_assert_eq!(
+                t.duration(),
+                net.serialize(t.bytes + 64) + net.wire_latency,
+                "flat-crossbar flight time must be exact for {} bytes",
+                t.bytes
+            );
+        }
+    }
+
+    /// Hierarchical routing is deterministic: the same schedule on the same
+    /// fat-tree (with a background tenant sharing its links) yields
+    /// byte-identical ground-truth records, and no transfer beats the
+    /// canonical route's propagation + serialization.
+    #[test]
+    fn fat_tree_timing_is_deterministic_and_bounded(sends in arb_sends()) {
+        let net = NetConfig {
+            topology: simnet::TopologySpec::FatTree { k: 4 },
+            hop_latency: 1_000,
+            background: Some(
+                simnet::BackgroundJob::builder(simnet::TrafficPattern::Uniform)
+                    .msg_bytes(4096)
+                    .period_ns(100_000)
+                    .build(),
+            ),
+            ..NetConfig::default()
+        };
+        let a = run_sender_schedule(&sends, net.clone());
+        let b = run_sender_schedule(&sends, net.clone());
+        let key = |o: &simnet::ClusterOutcome| -> Vec<(u64, u64, usize)> {
+            o.transfers.iter().map(|t| (t.phys_start, t.phys_end, t.bytes)).collect()
+        };
+        prop_assert_eq!(key(&a), key(&b), "same schedule must route and queue identically");
+        let topo = net.build_topology(2);
+        let floor = topo.path_latency(0, 1);
+        for t in &a.transfers {
+            prop_assert!(t.duration() >= net.serialize(t.bytes + 64) + floor);
+        }
     }
 
     /// Physical transfer durations always respect the cost model: at least
