@@ -22,7 +22,7 @@ pub fn ablation_eager_threshold() -> Series {
         let out = run_mpi(
             2,
             crate::topo::apply(NetConfig::default()),
-            cfg,
+            crate::progress::apply(cfg),
             RecorderOpts::default(),
             move |mpi| {
                 for i in 0..50 {
@@ -69,7 +69,7 @@ pub fn ablation_fragment_size() -> Series {
         let out = run_mpi(
             2,
             crate::topo::apply(NetConfig::default()),
-            cfg,
+            crate::progress::apply(cfg),
             RecorderOpts::default(),
             move |mpi| {
                 for i in 0..20 {
@@ -109,7 +109,7 @@ pub fn ablation_iprobe_count() -> Series {
         let out = run_mpi(
             2,
             crate::topo::apply(NetConfig::default()),
-            MpiConfig::mvapich2(),
+            crate::progress::apply(MpiConfig::mvapich2()),
             RecorderOpts::default(),
             move |mpi| {
                 for i in 0..20 {
@@ -167,7 +167,7 @@ pub fn ablation_table_resolution() -> Series {
         let out = run_mpi_with(
             2,
             net.clone(),
-            MpiConfig::open_mpi_leave_pinned(),
+            crate::progress::apply(MpiConfig::open_mpi_leave_pinned()),
             RecorderOpts::default(),
             table,
             simcore::SimOpts::default(),
@@ -224,7 +224,7 @@ pub fn ablation_queue_capacity() -> Series {
         let out = run_mpi(
             2,
             crate::topo::apply(NetConfig::default()),
-            MpiConfig::default(),
+            crate::progress::apply(MpiConfig::default()),
             rec,
             |mpi| {
                 for i in 0..200 {
@@ -274,7 +274,7 @@ pub fn ablation_incast() -> Series {
         let out = run_mpi(
             senders + 1,
             net.clone(),
-            MpiConfig::mvapich2(),
+            crate::progress::apply(MpiConfig::mvapich2()),
             RecorderOpts::default(),
             move |mpi| {
                 if mpi.rank() == 0 {
@@ -332,7 +332,7 @@ pub fn ablation_bandwidth() -> Series {
             let out = run_mpi(
                 2,
                 crate::topo::apply(NetConfig::default()),
-                cfg,
+                crate::progress::apply(cfg),
                 RecorderOpts::default(),
                 move |mpi| {
                     // Steady-state one-way stream with a closing ack.
@@ -435,7 +435,7 @@ pub fn extra_nic_timestamps() -> Series {
         let out = run_mpi(
             2,
             net.clone(),
-            MpiConfig::open_mpi_leave_pinned(),
+            crate::progress::apply(MpiConfig::open_mpi_leave_pinned()),
             RecorderOpts::default(),
             move |mpi| {
                 for i in 0..30 {
@@ -503,7 +503,7 @@ pub fn ablation_faults() -> Series {
         let out = run_mpi(
             4,
             net,
-            MpiConfig::default(),
+            crate::progress::apply(MpiConfig::default()),
             crate::tracecap::rec_opts(),
             move |mpi| {
                 let me = mpi.rank();
@@ -607,7 +607,7 @@ pub fn ablation_topology() -> Series {
         let out = run_mpi(
             ranks,
             net,
-            MpiConfig::open_mpi_leave_pinned(),
+            crate::progress::apply(MpiConfig::open_mpi_leave_pinned()),
             crate::tracecap::rec_opts(),
             move |mpi| {
                 let me = mpi.rank();
@@ -682,7 +682,7 @@ pub fn halo_4k() -> Series {
     let out = run_mpi(
         n,
         net,
-        MpiConfig::open_mpi_leave_pinned(),
+        crate::progress::apply(MpiConfig::open_mpi_leave_pinned()),
         rec,
         move |mpi| {
             let me = mpi.rank();
@@ -752,6 +752,188 @@ pub fn halo_4k() -> Series {
     }
 }
 
+/// One ML-training-step iteration: per-layer backward compute immediately
+/// followed by an `iallreduce` of that layer's gradient bucket, with the
+/// reductions overlapping the remaining layers' compute — the
+/// allreduce-heavy pattern modern data-parallel training overlaps, and the
+/// one the progress-model ablation makes visible on something other than a
+/// 2006 microbenchmark.
+fn ml_training_step(mpi: &mut simmpi::Mpi, layers: usize, bucket: usize, compute_ns: u64) {
+    let grad = vec![1.0f64; bucket];
+    let mut pending = Vec::with_capacity(layers);
+    for _ in 0..layers {
+        mpi.compute(compute_ns);
+        pending.push(mpi.iallreduce(&grad, simmpi::ReduceOp::Sum));
+    }
+    // Optimizer step: every bucket must be reduced before weights update.
+    for h in pending {
+        let _ = mpi.icoll_wait(h);
+    }
+}
+
+/// Progress-model grid: model × workload × message size, wait-state tracing
+/// always on. For every cell the per-transfer cause breakdown must
+/// reconcile exactly (the `mismatch` column is asserted 0 in CI's
+/// progress-smoke job); the `steal_us` column shows the async-rank fiber's
+/// stolen cycles, and the bounds shift exactly as `docs/PROGRESS.md`
+/// derives: late-posted receives stop costing overlap under `early-bird`,
+/// and `hw-tag` completes transfers with zero host involvement.
+pub fn ablation_progress() -> Series {
+    use simmpi::ProgressModel;
+    let models = [
+        ProgressModel::Polling,
+        ProgressModel::AsyncRank {
+            poll_interval: ProgressModel::DEFAULT_POLL_INTERVAL,
+        },
+        ProgressModel::EarlyBird,
+        ProgressModel::HwTag,
+    ];
+    let workloads = ["halo", "late-recv", "ml-step"];
+    let sizes = [4usize << 10, 64 << 10];
+    let mut grid = Vec::new();
+    for model in models {
+        for workload in workloads {
+            for bytes in sizes {
+                grid.push((model, workload, bytes));
+            }
+        }
+    }
+    let rows = crate::runner::par_map(&grid, |&(model, workload, bytes)| {
+        let n = 8usize;
+        let cfg = MpiConfig {
+            progress: model,
+            ..MpiConfig::open_mpi_leave_pinned()
+        };
+        let rec = RecorderOpts {
+            trace: true, // reconciliation is checked per cell below
+            ..RecorderOpts::default()
+        };
+        let out = run_mpi(
+            n,
+            crate::topo::apply(NetConfig::default()),
+            crate::progress::apply(cfg),
+            rec,
+            move |mpi| match workload {
+                "halo" => {
+                    let me = mpi.rank();
+                    let left = (me + n - 1) % n;
+                    let right = (me + 1) % n;
+                    for iter in 0..4u64 {
+                        let recvs = [
+                            mpi.irecv(Src::Rank(left), TagSel::Is(iter)),
+                            mpi.irecv(Src::Rank(right), TagSel::Is(iter)),
+                        ];
+                        let sends = [
+                            mpi.isend(left, iter, &vec![1u8; bytes]),
+                            mpi.isend(right, iter, &vec![2u8; bytes]),
+                        ];
+                        mpi.compute(300_000);
+                        for r in sends.into_iter().chain(recvs) {
+                            mpi.wait(r);
+                        }
+                    }
+                }
+                // Receives post only after a barrier that follows the
+                // compute block, so eager payloads are drained into the
+                // unexpected queue (inside the barrier) before the matching
+                // receive exists — the case early-bird's copy-at-arrival
+                // accelerates: the bounce-buffer copy is absorbed into the
+                // barrier wait instead of delaying the receive. Sends are
+                // nonblocking and waited only after the recvs post, keeping
+                // the late posting safe for rendezvous sizes too.
+                "late-recv" => {
+                    let me = mpi.rank();
+                    let left = (me + n - 1) % n;
+                    let right = (me + 1) % n;
+                    for iter in 0..4u64 {
+                        let sends = [
+                            mpi.isend(left, iter, &vec![1u8; bytes]),
+                            mpi.isend(right, iter, &vec![2u8; bytes]),
+                        ];
+                        mpi.compute(300_000);
+                        mpi.barrier();
+                        let recvs = [
+                            mpi.irecv(Src::Rank(left), TagSel::Is(iter)),
+                            mpi.irecv(Src::Rank(right), TagSel::Is(iter)),
+                        ];
+                        for r in sends.into_iter().chain(recvs) {
+                            mpi.wait(r);
+                        }
+                    }
+                }
+                "ml-step" => {
+                    for _ in 0..3 {
+                        ml_training_step(mpi, 6, bytes / 8, 150_000);
+                    }
+                }
+                other => panic!("unknown workload {other}"),
+            },
+        )
+        .unwrap_or_else(|e| panic!("{}", e.one_line()));
+        let mut mismatches = 0usize;
+        let mut transfers = 0usize;
+        for tr in &out.traces {
+            let attr = overlap_core::attribution::attribute(tr);
+            for rec in &attr.records {
+                transfers += 1;
+                let sum: u64 = rec.breakdown.iter().map(|s| s.ns).sum();
+                if sum != rec.nonoverlap {
+                    mismatches += 1;
+                }
+            }
+        }
+        let min: u64 = out.reports.iter().map(|r| r.total.min_overlap).sum();
+        let max: u64 = out.reports.iter().map(|r| r.total.max_overlap).sum();
+        let steal: u64 = out
+            .reports
+            .iter()
+            .filter_map(|r| r.calls.get("MPI_Progress"))
+            .map(|c| c.total_time)
+            .sum();
+        // Host time spent inside receive posting. Early-bird moves the
+        // unexpected-eager bounce-buffer copy out of this call and into
+        // whatever call drained the arrival, so on the late-recv workload
+        // this column drops to the bare posting cost under early-bird.
+        let irecv: u64 = out
+            .reports
+            .iter()
+            .filter_map(|r| r.calls.get("MPI_Irecv"))
+            .map(|c| c.total_time)
+            .sum();
+        vec![
+            model.label().to_string(),
+            workload.to_string(),
+            (bytes >> 10).to_string(),
+            transfers.to_string(),
+            format!("{:.1}", min as f64 / 1e3),
+            format!("{:.1}", max as f64 / 1e3),
+            format!("{:.1}", steal as f64 / 1e3),
+            format!("{:.1}", irecv as f64 / 1e3),
+            format!("{:.2}", out.end_time as f64 / 1e6),
+            mismatches.to_string(),
+        ]
+    });
+    Series {
+        id: "ablation-progress",
+        title: "Overlap bounds vs progress model (8-rank halo, late-recv, ML step)".to_string(),
+        columns: [
+            "model",
+            "workload",
+            "size_KB",
+            "transfers",
+            "min_us",
+            "max_us",
+            "steal_us",
+            "irecv_us",
+            "end_ms",
+            "mismatch",
+        ]
+        .map(String::from)
+        .to_vec(),
+        rows,
+    }
+}
+
 /// All ablations in canonical order, with the rank counts the runner's
 /// `--json` report exposes.
 pub fn all() -> Vec<crate::Harness> {
@@ -765,6 +947,7 @@ pub fn all() -> Vec<crate::Harness> {
         Harness::new("ablation-queue", Ablation, 2, ablation_queue_capacity),
         Harness::new("ablation-incast", Ablation, 8, ablation_incast),
         Harness::new("ablation-topology", Ablation, 32, ablation_topology),
+        Harness::new("ablation-progress", Ablation, 8, ablation_progress),
         Harness::new("halo-4k", Ablation, 4096, halo_4k),
         Harness::new("ablation-bandwidth", Ablation, 2, ablation_bandwidth),
         Harness::new("extra-bins", Ablation, 4, extra_nas_bins),

@@ -11,6 +11,7 @@
 //! repro fig03 --critical-path cp/  # also export wait-state attribution
 //! repro --bench-json BENCH.json  # also write the perf-trajectory record
 //! repro --topology fat-tree:k=8 fig03  # re-run under another fabric
+//! repro --progress async-rank fig03    # re-run under another progress model
 //! repro list                     # list available harnesses
 //! ```
 //!
@@ -19,6 +20,12 @@
 //! contention (see `docs/TOPOLOGY.md`); the spec is fitted up to each
 //! harness's rank count automatically. Unknown specs exit 2 with a one-line
 //! message.
+//!
+//! `--progress <model>` (`polling`, `async-rank[:interval=<ns>]`,
+//! `early-bird`, `hw-tag`) re-runs the selected MPI harnesses under another
+//! progress model (see `docs/PROGRESS.md`); `polling` is the default and is
+//! byte-identical to not passing the flag. Unknown models exit 2 with a
+//! one-line message. The flag composes with `--topology` and `--jobs`.
 //!
 //! Harnesses run concurrently on `--jobs` workers but print in canonical
 //! order, so stdout is byte-identical to a serial (`--jobs 1`) run. With
@@ -91,6 +98,10 @@ fn main() {
 
     if let Some(spec) = cli.topology {
         bench::topo::set(spec);
+    }
+
+    if let Some(model) = cli.progress {
+        bench::progress::set(model);
     }
 
     if cli.trace.is_some() || cli.critical_path.is_some() {

@@ -34,12 +34,19 @@ use overlap_core::RecorderOpts;
 use simcore::{
     ChoiceRec, OracleHandle, RandomOracle, ReplayOracle, ScheduleOracle, SimError, SimOpts,
 };
-use simmpi::{default_xfer_table, run_mpi_explored, Mpi, MpiConfig, MpiRunOutcome, Src, TagSel};
+use simmpi::{
+    default_xfer_table, run_mpi_explored, Mpi, MpiConfig, MpiRunOutcome, ProgressModel, Src, TagSel,
+};
 use simnet::{FaultPlan, NetConfig};
 
 /// Version of the explorer's on-disk formats (counterexample tokens and the
 /// `--json` explore report). Replays refuse tokens from other versions.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: the choice vocabulary grew the kind-4 `ProgressWake` point (the
+/// async-rank progress fiber deciding to drain now or defer), so v1 tokens
+/// — recorded when that kind could not appear — are refused rather than
+/// replayed against a schedule space they never described.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Event cap per explored schedule: guards against livelock on a perturbed
 /// schedule wedging the whole exploration.
@@ -126,6 +133,38 @@ fn fig03ish_body(mpi: &mut Mpi) {
     }
 }
 
+fn asyncrank2_net() -> NetConfig {
+    crate::topo::apply(NetConfig::default())
+}
+
+fn asyncrank2_mpi() -> MpiConfig {
+    MpiConfig {
+        // A short poll interval packs several progress-fiber wakes into
+        // each compute window below, so the schedule space is dominated by
+        // kind-4 `ProgressWake` drain-now/defer decisions.
+        progress: ProgressModel::AsyncRank {
+            poll_interval: 2_000,
+        },
+        ..MpiConfig::open_mpi_pipelined()
+    }
+}
+
+/// The eager2 exchange under the async progress rank: arrivals land while
+/// both ranks compute, so every poll boundary with pending host events is a
+/// `ProgressWake` choice point the oracle can flip between draining
+/// immediately and deferring to the next boundary.
+fn asyncrank2_body(mpi: &mut Mpi) {
+    let msg = vec![0x5Au8; 2 << 10];
+    let peer = 1 - mpi.rank();
+    for i in 0..2u64 {
+        let s = mpi.isend(peer, i, &msg);
+        let r = mpi.irecv(Src::Rank(peer), TagSel::Is(i));
+        mpi.compute(9_000);
+        mpi.wait(s);
+        mpi.wait(r);
+    }
+}
+
 fn deadlock_net() -> NetConfig {
     // Total loss: every two-sided packet (including the rendezvous RTS and
     // all its retransmissions) is dropped.
@@ -186,6 +225,15 @@ pub fn scenarios() -> Vec<Scenario> {
             net: fig03ish_net,
             mpi: fig03ish_mpi,
             body: fig03ish_body,
+        },
+        Scenario {
+            id: "asyncrank2",
+            about: "eager2 shape under the async progress rank (ProgressWake interleavings)",
+            nranks: 2,
+            fault_seed: 0,
+            net: asyncrank2_net,
+            mpi: asyncrank2_mpi,
+            body: asyncrank2_body,
         },
         Scenario {
             id: "deadlock",

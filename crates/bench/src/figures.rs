@@ -2,7 +2,7 @@
 
 use std::time::Instant;
 
-use nasbench::runner::{run_benchmark, summarize, NasBenchmark};
+use nasbench::runner::{run_benchmark_cfg, summarize, NasBenchmark};
 use nasbench::sp::SP_OVERLAP_SECTION;
 use nasbench::Class;
 use overlap_core::RecorderOpts;
@@ -177,11 +177,12 @@ fn nas_series(
     cases: &[(Class, usize)],
 ) -> Series {
     let rows = crate::runner::par_map(cases, |&(class, np)| {
-        let art = run_benchmark(
+        let art = run_benchmark_cfg(
             bench,
             class,
             np,
             crate::topo::apply(NetConfig::default()),
+            crate::progress::apply((bench).paper_env()),
             crate::tracecap::rec_opts(),
         );
         crate::tracecap::record(
@@ -289,18 +290,20 @@ pub fn fig13() -> Series {
 fn sp_compare(id: &'static str, title: &str, class: Class, whole_code: bool) -> Series {
     let cases: Vec<usize> = vec![4, 9, 16];
     let rows = crate::runner::par_map(&cases, |&np| {
-        let orig = run_benchmark(
+        let orig = run_benchmark_cfg(
             NasBenchmark::Sp,
             class,
             np,
             crate::topo::apply(NetConfig::default()),
+            crate::progress::apply((NasBenchmark::Sp).paper_env()),
             crate::tracecap::rec_opts(),
         );
-        let modi = run_benchmark(
+        let modi = run_benchmark_cfg(
             NasBenchmark::SpModified,
             class,
             np,
             crate::topo::apply(NetConfig::default()),
+            crate::progress::apply((NasBenchmark::SpModified).paper_env()),
             crate::tracecap::rec_opts(),
         );
         crate::tracecap::record(
@@ -383,18 +386,20 @@ pub fn fig18() -> Series {
         .flat_map(|&class| [4usize, 9, 16].map(|np| (class, np)))
         .collect();
     let rows = crate::runner::par_map(&grid, |&(class, np)| {
-        let orig = run_benchmark(
+        let orig = run_benchmark_cfg(
             NasBenchmark::Sp,
             class,
             np,
             crate::topo::apply(NetConfig::default()),
+            crate::progress::apply((NasBenchmark::Sp).paper_env()),
             crate::tracecap::rec_opts(),
         );
-        let modi = run_benchmark(
+        let modi = run_benchmark_cfg(
             NasBenchmark::SpModified,
             class,
             np,
             crate::topo::apply(NetConfig::default()),
+            crate::progress::apply((NasBenchmark::SpModified).paper_env()),
             crate::tracecap::rec_opts(),
         );
         crate::tracecap::record(
@@ -431,18 +436,20 @@ pub fn fig18() -> Series {
 pub fn fig19() -> Series {
     let cases: Vec<usize> = vec![4, 8, 16];
     let rows = crate::runner::par_map(&cases, |&np| {
-        let bl = run_benchmark(
+        let bl = run_benchmark_cfg(
             NasBenchmark::MgArmciBlocking,
             Class::B,
             np,
             crate::topo::apply(NetConfig::default()),
+            crate::progress::apply((NasBenchmark::MgArmciBlocking).paper_env()),
             crate::tracecap::rec_opts(),
         );
-        let nb = run_benchmark(
+        let nb = run_benchmark_cfg(
             NasBenchmark::MgArmciNonBlocking,
             Class::B,
             np,
             crate::topo::apply(NetConfig::default()),
+            crate::progress::apply((NasBenchmark::MgArmciNonBlocking).paper_env()),
             crate::tracecap::rec_opts(),
         );
         crate::tracecap::record(
@@ -498,11 +505,12 @@ pub fn fig20() -> Series {
                 ..Default::default()
             };
             let t0 = Instant::now();
-            let art = run_benchmark(
+            let art = run_benchmark_cfg(
                 bench,
                 Class::A,
                 4,
                 crate::topo::apply(NetConfig::default()),
+                crate::progress::apply(bench.paper_env()),
                 rec,
             );
             let dt = t0.elapsed().as_secs_f64();

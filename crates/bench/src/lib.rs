@@ -17,6 +17,7 @@ pub mod enginebench;
 pub mod explore;
 pub mod figures;
 pub mod micro;
+pub mod progress;
 pub mod runner;
 pub mod topo;
 pub mod tracecap;

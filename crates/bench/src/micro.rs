@@ -85,7 +85,7 @@ fn run_point(
     let out = run_mpi(
         2,
         crate::topo::apply(NetConfig::default()),
-        cfg,
+        crate::progress::apply(cfg),
         rec,
         move |mpi| {
             let msg = vec![0x5Au8; bytes];

@@ -1,0 +1,49 @@
+//! Process-wide progress-model override for the harness registry.
+//!
+//! Harnesses are plain `fn() -> Series` entry points, so `repro --progress
+//! <model>` can't thread a parameter through the registry. Instead the CLI
+//! stores the parsed model here once, and every MPI harness routes its
+//! [`MpiConfig`] through [`apply`] before running. With no override set,
+//! [`apply`] is the identity — the default polling model stays
+//! byte-identical to the pre-model simulator, which is what the golden
+//! tests pin.
+
+use std::sync::OnceLock;
+
+use simmpi::{MpiConfig, ProgressModel};
+
+static OVERRIDE: OnceLock<ProgressModel> = OnceLock::new();
+
+/// Install the process-wide progress-model override. First caller wins;
+/// later calls are ignored (the CLI parses at most one `--progress` flag).
+pub fn set(model: ProgressModel) {
+    let _ = OVERRIDE.set(model);
+}
+
+/// The installed override, if any.
+pub fn get() -> Option<ProgressModel> {
+    OVERRIDE.get().copied()
+}
+
+/// Route a harness's library config through the override: replaces the
+/// progress model when one was installed, otherwise returns `cfg`
+/// unchanged.
+pub fn apply(mut cfg: MpiConfig) -> MpiConfig {
+    if let Some(model) = get() {
+        cfg.progress = model;
+    }
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_without_override_is_identity() {
+        // NB: must not call `set` here — the override is process-global and
+        // would leak into sibling tests.
+        let cfg = apply(MpiConfig::default());
+        assert_eq!(cfg.progress, ProgressModel::Polling);
+    }
+}

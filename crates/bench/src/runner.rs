@@ -283,6 +283,10 @@ pub struct Cli {
     /// `fat-tree:k=8`, `dragonfly:a=4,p=2,h=2`); applied process-wide via
     /// [`crate::topo::set`] before any harness runs.
     pub topology: Option<simnet::TopologySpec>,
+    /// Progress-model override (`--progress <model>`: `polling`,
+    /// `async-rank[:interval=<ns>]`, `early-bird`, `hw-tag`); applied
+    /// process-wide via [`crate::progress::set`] before any harness runs.
+    pub progress: Option<simmpi::ProgressModel>,
     /// `list` was requested.
     pub list: bool,
     /// The selected harnesses, in canonical order (figures, then ablations).
@@ -306,6 +310,7 @@ pub fn parse_cli(
     let mut critical_path: Option<std::path::PathBuf> = None;
     let mut bench_json: Option<std::path::PathBuf> = None;
     let mut topology: Option<simnet::TopologySpec> = None;
+    let mut progress: Option<simmpi::ProgressModel> = None;
     let mut list = false;
     let mut want_figures = false;
     let mut want_ablations = false;
@@ -363,6 +368,12 @@ pub fn parse_cli(
                     .ok_or_else(|| "--topology requires a spec".to_string())?;
                 topology = Some(simnet::TopologySpec::parse(v)?);
             }
+            "--progress" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--progress requires a model".to_string())?;
+                progress = Some(simmpi::ProgressModel::parse(v)?);
+            }
             a if a.starts_with("--jobs=") => {
                 jobs = Some(parse_jobs(&a["--jobs=".len()..])?);
             }
@@ -380,6 +391,9 @@ pub fn parse_cli(
             }
             a if a.starts_with("--topology=") => {
                 topology = Some(simnet::TopologySpec::parse(&a["--topology=".len()..])?);
+            }
+            a if a.starts_with("--progress=") => {
+                progress = Some(simmpi::ProgressModel::parse(&a["--progress=".len()..])?);
             }
             a if a.starts_with('-') => return Err(format!("unknown flag {a:?}")),
             a => ids.push(a),
@@ -415,6 +429,7 @@ pub fn parse_cli(
         critical_path,
         bench_json,
         topology,
+        progress,
         list,
         selection,
     })

@@ -132,6 +132,58 @@ fn shrinking_minimizes_a_random_failing_trace() {
     assert!(shrunk.is_empty(), "expected empty prefix, got {shrunk:?}");
 }
 
+/// The async-rank scenario's schedule space is dominated by kind-4
+/// `ProgressWake` drain-now/defer decisions: random search must actually
+/// reach them, flipping a wake must actually move the schedule (distinct
+/// end times), and every explored interleaving must stay clean.
+#[test]
+fn asyncrank_exploration_searches_progress_wake_interleavings() {
+    let sc = explore::find_scenario("asyncrank2").expect("asyncrank2 registered");
+    let canonical = explore::run_schedule(&sc, Box::new(ReplayOracle::new(Vec::new())));
+    assert_eq!(canonical.outcome.category(), "clean");
+    assert!(
+        canonical.choices.iter().any(|c| c.kind == 4),
+        "async-rank canonical schedule consulted no ProgressWake points: {:?}",
+        canonical.choices
+    );
+
+    let stats = explore::explore_random(&sc, 24, 5);
+    assert_eq!(
+        stats.clean, stats.schedules,
+        "some schedules were not clean"
+    );
+    assert_eq!(stats.violations, 0);
+    assert_eq!(stats.deadlocks, 0);
+    assert_eq!(stats.errors, 0);
+    assert!(
+        stats.distinct_end_times > 1,
+        "ProgressWake flips never moved the schedule ({} end times)",
+        stats.distinct_end_times
+    );
+}
+
+/// A v1 token (recorded before the `ProgressWake` choice kind existed) must
+/// be refused outright, not replayed against the v2 schedule space.
+#[test]
+fn replay_refuses_a_version_1_token() {
+    let v1 = r#"{
+        "schema_version": 1,
+        "scenario": "deadlock",
+        "strategy": "random",
+        "category": "deadlock",
+        "description": "wait-for cycle",
+        "fault_seed": 42,
+        "oracle_seed": 7,
+        "choices": []
+    }"#;
+    let token: Counterexample = serde_json::from_str(v1).expect("v1 token parses");
+    let err = token.replay().expect_err("v1 token must be refused");
+    assert!(
+        err.contains("schema_version 1") && err.contains("current 2"),
+        "refusal should name both versions: {err}"
+    );
+}
+
 #[test]
 fn replay_rejects_mismatched_schema_or_fault_seed() {
     let sc = explore::find_scenario("deadlock").expect("deadlock registered");

@@ -119,7 +119,20 @@ pub fn run_benchmark(
     net: NetConfig,
     rec: RecorderOpts,
 ) -> RunArtifacts {
-    let mpi_cfg = bench.paper_env();
+    run_benchmark_cfg(bench, class, np, net, bench.paper_env(), rec)
+}
+
+/// [`run_benchmark`] with an explicit MPI library configuration — the hook
+/// the bench runner uses to honor process-wide overrides (e.g. `repro
+/// --progress`) on top of each benchmark's paper environment.
+pub fn run_benchmark_cfg(
+    bench: NasBenchmark,
+    class: Class,
+    np: usize,
+    net: NetConfig,
+    mpi_cfg: MpiConfig,
+    rec: RecorderOpts,
+) -> RunArtifacts {
     match bench {
         NasBenchmark::Bt => {
             let p = crate::bt::BtParams::new(class);

@@ -76,6 +76,10 @@ pub enum WaitCause {
     Registration,
     /// Blocked with no open data transfer: barrier / collective control.
     Sync,
+    /// Cycles an asynchronous progress fiber stole from application compute
+    /// (the `async-rank` progress model's per-wake polling quantum). Never
+    /// produced under polling progress.
+    ProgressSteal,
     /// In-library time inside the transfer window not covered by a recorded
     /// wait: copies, posts, polls, protocol bookkeeping.
     LibraryOverhead,
@@ -86,7 +90,7 @@ pub enum WaitCause {
 
 impl WaitCause {
     /// Every cause, in canonical (serialization) order.
-    pub const ALL: [WaitCause; 11] = [
+    pub const ALL: [WaitCause; 12] = [
         WaitCause::LateSender,
         WaitCause::LateReceiver,
         WaitCause::RendezvousHandshake,
@@ -96,6 +100,7 @@ impl WaitCause {
         WaitCause::AckRetransmit,
         WaitCause::Registration,
         WaitCause::Sync,
+        WaitCause::ProgressSteal,
         WaitCause::LibraryOverhead,
         WaitCause::TableExcess,
     ];
@@ -112,6 +117,7 @@ impl WaitCause {
             WaitCause::AckRetransmit => "ack_retransmit",
             WaitCause::Registration => "registration",
             WaitCause::Sync => "sync",
+            WaitCause::ProgressSteal => "progress_steal",
             WaitCause::LibraryOverhead => "library_overhead",
             WaitCause::TableExcess => "table_excess",
         }

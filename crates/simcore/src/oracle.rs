@@ -11,7 +11,7 @@
 //! systematically search the schedule space instead of sampling one
 //! interleaving.
 //!
-//! Four kinds of choice point exist (see [`ChoicePoint`]):
+//! Five kinds of choice point exist (see [`ChoicePoint`]):
 //!
 //! * **Event ties** — several queue entries are due at the same virtual
 //!   time; the oracle picks which runs next. Choice `0` is the canonical
@@ -26,6 +26,10 @@
 //! * **Routing** — a hierarchical topology offers several equal-cost paths
 //!   for a message (ECMP / adaptive routing) and the oracle picks which one
 //!   it takes, so the explorer can search routing nondeterminism too.
+//! * **Progress wakes** — an asynchronous progress fiber (the `async-rank`
+//!   progress model) reaches a poll boundary with host events pending and
+//!   the oracle picks whether it runs now or defers to the next boundary,
+//!   so the explorer can search async-progress interleavings.
 //!
 //! Every decision is recorded by the [`OracleHandle`] wrapper as a
 //! [`ChoiceRec`], so any explored schedule can be replayed exactly with
@@ -83,6 +87,15 @@ pub enum ChoicePoint {
         /// Number of equal-cost candidate paths.
         n: usize,
     },
+    /// An asynchronous progress fiber on `rank` hit a poll boundary with
+    /// host events pending; pick whether it drains them now (`0`, the
+    /// canonical alternative) or defers to the next boundary (`1`).
+    ProgressWake {
+        /// The rank whose progress fiber woke.
+        rank: usize,
+        /// Number of alternatives (run-now plus defer steps).
+        n: usize,
+    },
 }
 
 impl ChoicePoint {
@@ -92,7 +105,8 @@ impl ChoicePoint {
             ChoicePoint::EventTie { n, .. }
             | ChoicePoint::ProgressPoll { n, .. }
             | ChoicePoint::FaultJitter { n, .. }
-            | ChoicePoint::Route { n, .. } => n,
+            | ChoicePoint::Route { n, .. }
+            | ChoicePoint::ProgressWake { n, .. } => n,
         }
     }
 
@@ -104,6 +118,7 @@ impl ChoicePoint {
             ChoicePoint::ProgressPoll { .. } => 1,
             ChoicePoint::FaultJitter { .. } => 2,
             ChoicePoint::Route { .. } => 3,
+            ChoicePoint::ProgressWake { .. } => 4,
         }
     }
 }

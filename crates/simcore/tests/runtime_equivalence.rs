@@ -121,4 +121,55 @@ proptest! {
             "expected the oracle to be consulted on tied events");
         prop_assert_eq!(a, b);
     }
+
+    /// Synthetic `ProgressWake` consultations (the choice point the
+    /// async-rank progress model raises between compute slices) interleaved
+    /// with the event stream: both runtimes must present the identical
+    /// consultation sequence and agree on the outcome.
+    #[test]
+    fn runtimes_agree_with_progress_wake_choice_points(
+        events in prop::collection::vec((0u64..1_000, 0u64..1_000), 1..20),
+        slices in prop::collection::vec(1u64..2_000, 1..12),
+        ranks in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        use simcore::ChoicePoint;
+        let run = |runtime: RankRuntime| {
+            let sim = Simulation::new(ranks);
+            let handle = sim.handle();
+            let tokens: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+            let sink = Arc::clone(&tokens);
+            handle.set_token_handler(move |_h, tok| {
+                sink.lock().push(tok);
+            });
+            let oracle = OracleHandle::new(Box::new(RandomOracle::new(seed)));
+            handle.set_oracle(oracle.clone());
+            for &(t, tok) in &events {
+                handle.schedule_token(t, tok);
+            }
+            let slices = slices.clone();
+            let orc = oracle.clone();
+            let out = sim
+                .run(opts(runtime), move |ctx| {
+                    let rank = ctx.rank();
+                    for (i, &d) in slices.iter().enumerate() {
+                        ctx.compute(d);
+                        // Mirror the async-rank fiber: consult the oracle at
+                        // every poll boundary, skipping on pick == 1.
+                        let pick = orc.choose(ChoicePoint::ProgressWake { rank, n: 2 });
+                        if pick == 0 {
+                            ctx.busy(1 + (i as u64 % 3), Activity::Library);
+                        }
+                    }
+                })
+                .unwrap();
+            let toks = tokens.lock().clone();
+            (out.end_time, out.events_processed, format!("{:?}", out.activity), toks, oracle.trace())
+        };
+        let a = run(RankRuntime::Coroutine);
+        let b = run(RankRuntime::OsThreads);
+        prop_assert!(a.4.iter().any(|c| c.kind == 4),
+            "expected ProgressWake consultations in the trace");
+        prop_assert_eq!(a, b);
+    }
 }

@@ -1,6 +1,90 @@
 //! Library configuration and presets mirroring the paper's three
 //! communication environments.
 
+/// How outstanding communication makes progress between library calls.
+///
+/// The paper's 2006 libraries are [`ProgressModel::Polling`]: a rank only
+/// advances transfers when it re-enters the MPI library. The other models
+/// reproduce the modern designs surveyed in `docs/PROGRESS.md` — an
+/// asynchronous per-rank progress fiber (Zhou et al., "MPI Progress For
+/// All"), early-bird delivery of unexpected eager messages (Marts et al.),
+/// and full NIC tag matching. Every model is deterministic, explorable by
+/// the schedule oracle, and exactly reconciled in wait-state attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgressModel {
+    /// Library-call-driven progress — today's default, byte-identical to
+    /// the pre-model simulator.
+    Polling,
+    /// A dedicated progress fiber per rank drives the progress engine every
+    /// `poll_interval` ns of virtual compute time. Stolen cycles appear as
+    /// compute slowdown and as the `progress_steal` wait cause.
+    AsyncRank {
+        /// Virtual-time distance between progress-fiber poll boundaries, ns.
+        poll_interval: simcore::Duration,
+    },
+    /// Unexpected eager messages are matched and copied into the library's
+    /// bounce buffer at arrival-processing time rather than at the next
+    /// library call that drains them — the receive that finally matches
+    /// pays no copy, so late-sender waits shrink.
+    EarlyBird,
+    /// Tag matching and the rendezvous handshake complete inside the NIC
+    /// with zero host involvement: arrivals match posted receives at wire
+    /// arrival time, rendezvous data is pulled NIC-to-NIC, and the host
+    /// only observes completions.
+    HwTag,
+}
+
+impl ProgressModel {
+    /// Default `async-rank` poll interval, ns.
+    pub const DEFAULT_POLL_INTERVAL: simcore::Duration = 5_000;
+
+    /// Stable label used in CLI specs, series rows, and docs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProgressModel::Polling => "polling",
+            ProgressModel::AsyncRank { .. } => "async-rank",
+            ProgressModel::EarlyBird => "early-bird",
+            ProgressModel::HwTag => "hw-tag",
+        }
+    }
+
+    /// Parse a CLI spec: `polling`, `async-rank`,
+    /// `async-rank:interval=<ns>`, `early-bird`, or `hw-tag`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let (name, params) = match spec.split_once(':') {
+            Some((n, p)) => (n, Some(p)),
+            None => (spec, None),
+        };
+        match (name, params) {
+            ("polling", None) => Ok(ProgressModel::Polling),
+            ("early-bird", None) => Ok(ProgressModel::EarlyBird),
+            ("hw-tag", None) => Ok(ProgressModel::HwTag),
+            ("async-rank", None) => Ok(ProgressModel::AsyncRank {
+                poll_interval: Self::DEFAULT_POLL_INTERVAL,
+            }),
+            ("async-rank", Some(p)) => {
+                let interval = p
+                    .strip_prefix("interval=")
+                    .and_then(|v| v.parse::<simcore::Duration>().ok())
+                    .filter(|&v| v > 0)
+                    .ok_or_else(|| {
+                        format!(
+                            "bad async-rank parameters {p:?} \
+                             (expected interval=<ns>, ns > 0)"
+                        )
+                    })?;
+                Ok(ProgressModel::AsyncRank {
+                    poll_interval: interval,
+                })
+            }
+            _ => Err(format!(
+                "unknown progress model {spec:?} (expected polling, \
+                 async-rank[:interval=<ns>], early-bird, or hw-tag)"
+            )),
+        }
+    }
+}
+
 /// Long-message (rendezvous) protocol variant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RndvMode {
@@ -40,6 +124,10 @@ pub struct MpiConfig {
     /// to quiescence (and surfaces as a simulated deadlock) instead of
     /// retransmitting forever.
     pub max_retries: u32,
+    /// How outstanding communication progresses between library calls. All
+    /// presets default to [`ProgressModel::Polling`] (the paper's era);
+    /// `repro --progress <model>` overrides it per run.
+    pub progress: ProgressModel,
 }
 
 impl Default for MpiConfig {
@@ -60,6 +148,7 @@ impl MpiConfig {
             reg_cache_entries: 16,
             retrans_timeout: None,
             max_retries: 16,
+            progress: ProgressModel::Polling,
         }
     }
 
@@ -85,6 +174,7 @@ impl MpiConfig {
             reg_cache_entries: 32,
             retrans_timeout: None,
             max_retries: 16,
+            progress: ProgressModel::Polling,
         }
     }
 }
@@ -105,5 +195,55 @@ mod tests {
         );
         assert_eq!(MpiConfig::mvapich2().rndv_mode, RndvMode::DirectRead);
         assert_eq!(MpiConfig::mvapich2().eager_threshold, 12 * 1024);
+    }
+
+    #[test]
+    fn presets_default_to_polling_progress() {
+        for cfg in [
+            MpiConfig::open_mpi_pipelined(),
+            MpiConfig::open_mpi_leave_pinned(),
+            MpiConfig::mvapich2(),
+        ] {
+            assert_eq!(cfg.progress, ProgressModel::Polling);
+        }
+    }
+
+    #[test]
+    fn progress_model_specs_parse() {
+        assert_eq!(ProgressModel::parse("polling"), Ok(ProgressModel::Polling));
+        assert_eq!(
+            ProgressModel::parse("early-bird"),
+            Ok(ProgressModel::EarlyBird)
+        );
+        assert_eq!(ProgressModel::parse("hw-tag"), Ok(ProgressModel::HwTag));
+        assert_eq!(
+            ProgressModel::parse("async-rank"),
+            Ok(ProgressModel::AsyncRank {
+                poll_interval: ProgressModel::DEFAULT_POLL_INTERVAL
+            })
+        );
+        assert_eq!(
+            ProgressModel::parse("async-rank:interval=2500"),
+            Ok(ProgressModel::AsyncRank {
+                poll_interval: 2_500
+            })
+        );
+        for bad in [
+            "",
+            "pollling",
+            "async-rank:interval=0",
+            "async-rank:interval=x",
+            "async-rank:window=5",
+            "hw-tag:k=2",
+        ] {
+            assert!(ProgressModel::parse(bad).is_err(), "{bad:?} parsed");
+        }
+    }
+
+    #[test]
+    fn progress_model_labels_round_trip() {
+        for spec in ["polling", "async-rank", "early-bird", "hw-tag"] {
+            assert_eq!(ProgressModel::parse(spec).unwrap().label(), spec);
+        }
     }
 }

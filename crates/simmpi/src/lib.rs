@@ -60,7 +60,7 @@ pub mod reliability;
 pub mod types;
 
 pub use comm::Comm;
-pub use config::{MpiConfig, RndvMode};
+pub use config::{MpiConfig, ProgressModel, RndvMode};
 pub use harness::{default_xfer_table, run_mpi, run_mpi_explored, run_mpi_with, MpiRunOutcome};
 pub use icoll::{CollHandle, CollResult};
 pub use mpi::Mpi;

@@ -1,6 +1,10 @@
 //! The per-rank MPI endpoint: point-to-point operations, the polling
 //! progress engine, and the instrumentation stamps.
 //!
+//! The polling engine is the default; [`crate::config::ProgressModel`]
+//! selects the alternative progress designs (async progress fiber,
+//! early-bird delivery, NIC tag matching) documented in `docs/PROGRESS.md`.
+//!
 //! # Stamp placement (paper Sec. 2.1 analogues)
 //!
 //! | role | `XFER_BEGIN` | `XFER_END` |
@@ -27,7 +31,7 @@ use overlap_core::{OverlapReport, Recorder, RecorderOpts, WaitCause, XferTimeTab
 use simcore::{Activity, Duration, RankCtx, Time};
 use simnet::{Completion, NetConfig, NicStats, Packet, RegionId, SharedWorld, XferId};
 
-use crate::config::{MpiConfig, RndvMode};
+use crate::config::{MpiConfig, ProgressModel, RndvMode};
 use crate::proto::{self, wr_kind};
 use crate::reliability::{RelStats, Reliability};
 use crate::types::{PersistentOp, Request, Src, Status, TagSel};
@@ -53,6 +57,9 @@ enum Arrival {
         data: Bytes,
         /// Sender request to ACK on match (synchronous sends).
         ack_req: Option<u64>,
+        /// Payload already copied out of the bounce buffer (early-bird
+        /// delivery paid the copy at arrival-processing time).
+        copied: bool,
     },
     RtsRead {
         src: usize,
@@ -290,8 +297,56 @@ impl<'a> Mpi<'a> {
 
     /// Perform user computation for `d` ns (outside the library — this is
     /// what the overlap bounds measure against).
+    ///
+    /// Under [`ProgressModel::AsyncRank`] the dedicated progress fiber
+    /// time-multiplexes with the application: every `poll_interval` ns of
+    /// compute it briefly takes the core and drives the progress engine, so
+    /// a long computation is chunked at the fiber's poll boundaries and the
+    /// stolen cycles appear as compute slowdown.
     pub fn compute(&mut self, d: Duration) {
-        self.ctx.compute(d);
+        if let ProgressModel::AsyncRank { poll_interval } = self.cfg.progress {
+            let mut left = d;
+            while left > poll_interval {
+                self.ctx.compute(poll_interval);
+                left -= poll_interval;
+                self.progress_wake();
+            }
+            self.ctx.compute(left);
+        } else {
+            self.ctx.compute(d);
+        }
+    }
+
+    /// One wake of the `async-rank` progress fiber: re-enter the library
+    /// mid-compute and drive the progress engine. The first `poll_cost`
+    /// slice of the wake — the quantum the fiber always costs, pending work
+    /// or not — is recorded as a `progress_steal` wait so attribution can
+    /// price the steal exactly. Under exploration, a wake that has host
+    /// events pending is a scheduling choice point: the canonical
+    /// alternative (`0`) drains them now, `1` defers to the next boundary.
+    fn progress_wake(&mut self) {
+        if let Some(orc) = &self.oracle {
+            if self.world.lock().has_host_events(self.rank) {
+                let pick = orc.choose(simcore::ChoicePoint::ProgressWake {
+                    rank: self.rank,
+                    n: 2,
+                });
+                if pick == 1 {
+                    return;
+                }
+            }
+        }
+        self.call_enter("MPI_Progress");
+        let t0 = self.ctx.handle().now();
+        self.progress();
+        if self.rec.wait_tracing() && self.net.poll_cost > 0 {
+            // Exactly the poll quantum charged first inside `progress`, so
+            // the interval can never overlap a wait recorded later in the
+            // same wake (e.g. a registration triggered by a drained RTS).
+            self.rec
+                .wait_state(t0, t0 + self.net.poll_cost, WaitCause::ProgressSteal, None);
+        }
+        self.rec.call_exit();
     }
 
     /// Begin a monitored code section (application-level control over what
@@ -490,10 +545,7 @@ impl<'a> Mpi<'a> {
     pub fn iprobe(&mut self, src: Src, tag: TagSel) -> bool {
         self.call_enter("MPI_Iprobe");
         self.progress();
-        let found = self
-            .unexpected
-            .iter()
-            .any(|a| envelope_matches(a.envelope(), src, tag));
+        let found = self.probe_hit(src, tag).is_some();
         self.rec.call_exit();
         found
     }
@@ -540,17 +592,27 @@ impl<'a> Mpi<'a> {
         self.call_enter("MPI_Probe");
         let env = loop {
             self.progress();
-            if let Some(a) = self
-                .unexpected
-                .iter()
-                .find(|a| envelope_matches(a.envelope(), src, tag))
-            {
-                break a.envelope();
+            if let Some(env) = self.probe_hit(src, tag) {
+                break env;
             }
             self.wait_for_event();
         };
         self.rec.call_exit();
         env
+    }
+
+    /// Envelope of the first probeable unexpected message, if any: the host
+    /// unexpected queue under software matching, the NIC unexpected queue
+    /// under `hw-tag`.
+    fn probe_hit(&self, src: Src, tag: TagSel) -> Option<(usize, u64)> {
+        if self.cfg.progress == ProgressModel::HwTag {
+            let (s, t) = hw_selector(src, tag);
+            return self.world.lock().hw_probe(self.rank, s, t);
+        }
+        self.unexpected
+            .iter()
+            .find(|a| envelope_matches(a.envelope(), src, tag))
+            .map(|a| a.envelope())
     }
 
     /// Wait for any one of the given requests; returns its index and status.
@@ -689,6 +751,18 @@ impl<'a> Mpi<'a> {
     ) -> Request {
         let req_id = self.alloc_req();
         let len = data.len();
+        if self.cfg.progress == ProgressModel::HwTag {
+            // NIC tag matching: every send — data and synchronization alike
+            // — goes through the hardware matching engine, so there is a
+            // single matching domain and the host never handles envelopes.
+            if !counted || len <= self.cfg.eager_threshold {
+                self.hw_send_eager(req_id, dst, tag, data, counted, sync);
+            } else {
+                // Both rendezvous modes collapse to a NIC-initiated pull.
+                self.hw_send_rndv(req_id, dst, tag, data);
+            }
+            return Request(req_id);
+        }
         if !counted || len <= self.cfg.eager_threshold {
             self.send_eager(req_id, dst, tag, data, counted, sync);
         } else {
@@ -784,38 +858,15 @@ impl<'a> Mpi<'a> {
         let region;
         {
             let mut w = self.world.lock();
-            region = if cached {
-                let pos = self
-                    .send_reg_cache
-                    .iter()
-                    .position(|&(l, _, busy)| l == len && !busy)
-                    .unwrap();
-                let (_, r, _) = self.send_reg_cache.remove(pos).unwrap();
-                // MRU: move to front, mark busy; refresh contents (it *is*
-                // the user buffer — zero-copy, so no host copy cost).
-                self.send_reg_cache.push_front((len, r, true));
-                w.mem_mut(self.rank)
-                    .get_mut(r)
-                    .expect("cached region vanished")
-                    .copy_from_slice(data);
-                r
-            } else {
-                let r = w.register(self.rank, data.to_vec());
-                if self.cfg.use_reg_cache {
-                    self.send_reg_cache.push_front((len, r, true));
-                    if self.send_reg_cache.len() > self.cfg.reg_cache_entries {
-                        // Evict the least-recently-used *idle* entry; if all
-                        // are busy the cache temporarily exceeds capacity.
-                        if let Some(pos) =
-                            self.send_reg_cache.iter().rposition(|&(_, _, busy)| !busy)
-                        {
-                            let (_, evicted, _) = self.send_reg_cache.remove(pos).unwrap();
-                            w.deregister(self.rank, evicted);
-                        }
-                    }
-                }
-                r
-            };
+            region = Self::acquire_send_region(
+                &mut self.send_reg_cache,
+                &self.cfg,
+                self.rank,
+                &mut w,
+                len,
+                data,
+                cached,
+            );
             xfer = w.alloc_xfer_id().0;
             let rts = Packet::control(
                 self.rank,
@@ -825,6 +876,175 @@ impl<'a> Mpi<'a> {
             );
             self.rel
                 .post(&mut w, dst, rts, proto::pack_user(wr_kind::IGNORE, 0), None);
+        }
+        self.rec.xfer_begin(xfer, len as u64);
+        self.reqs.insert(
+            req_id,
+            Req::SendRdvRead {
+                done: false,
+                xfer,
+                bytes: len as u64,
+                region,
+                keep_region: self.cfg.use_reg_cache,
+                peer: dst,
+                tag,
+            },
+        );
+    }
+
+    /// Pin (or reuse from the MRU cache) a registered region holding `data`
+    /// for a rendezvous send. `cached` is the pre-computed hit flag (whose
+    /// host cost the caller has already charged or skipped).
+    fn acquire_send_region(
+        send_reg_cache: &mut VecDeque<(usize, RegionId, bool)>,
+        cfg: &MpiConfig,
+        rank: usize,
+        w: &mut simnet::World,
+        len: usize,
+        data: &[u8],
+        cached: bool,
+    ) -> RegionId {
+        if cached {
+            let pos = send_reg_cache
+                .iter()
+                .position(|&(l, _, busy)| l == len && !busy)
+                .unwrap();
+            let (_, r, _) = send_reg_cache.remove(pos).unwrap();
+            // MRU: move to front, mark busy; refresh contents (it *is*
+            // the user buffer — zero-copy, so no host copy cost).
+            send_reg_cache.push_front((len, r, true));
+            w.mem_mut(rank)
+                .get_mut(r)
+                .expect("cached region vanished")
+                .copy_from_slice(data);
+            r
+        } else {
+            let r = w.register(rank, data.to_vec());
+            if cfg.use_reg_cache {
+                send_reg_cache.push_front((len, r, true));
+                if send_reg_cache.len() > cfg.reg_cache_entries {
+                    // Evict the least-recently-used *idle* entry; if all
+                    // are busy the cache temporarily exceeds capacity.
+                    if let Some(pos) = send_reg_cache.iter().rposition(|&(_, _, busy)| !busy) {
+                        let (_, evicted, _) = send_reg_cache.remove(pos).unwrap();
+                        w.deregister(rank, evicted);
+                    }
+                }
+            }
+            r
+        }
+    }
+
+    /// Eager send through the NIC tag matcher (`hw-tag` model). Host costs
+    /// match the classic eager path — the bounce-buffer copy and the post
+    /// are still host work — but matching and any synchronous-mode ACK are
+    /// NIC-side: the ACK arrives as a [`wr_kind::HW_MATCHED`] completion
+    /// scheduled by the matching NIC, not as a host-built packet.
+    fn hw_send_eager(
+        &mut self,
+        req_id: u64,
+        dst: usize,
+        tag: u64,
+        data: &[u8],
+        counted: bool,
+        sync: bool,
+    ) {
+        let len = data.len();
+        if counted {
+            self.lib_busy(self.net.copy_cost(len) + self.net.post_cost);
+        } else {
+            self.lib_busy(self.net.post_cost);
+        }
+        let wire = len + self.net.ctrl_packet_bytes;
+        let xfer;
+        {
+            let mut w = self.world.lock();
+            let xfer_id = if counted {
+                Some(w.alloc_xfer_id())
+            } else {
+                None
+            };
+            xfer = xfer_id.map_or(NO_XFER, |x| x.0);
+            let ack_user = sync.then(|| proto::pack_user(wr_kind::HW_MATCHED, req_id));
+            w.hw_send(
+                self.rank,
+                dst,
+                tag,
+                Bytes::copy_from_slice(data),
+                wire,
+                xfer,
+                proto::pack_user(wr_kind::EAGER_SEND, req_id),
+                ack_user,
+                xfer_id,
+            );
+        }
+        if counted {
+            self.rec.xfer_begin(xfer, len as u64);
+        }
+        self.reqs.insert(
+            req_id,
+            Req::SendEager {
+                done: false,
+                detached: false,
+                wire_done: false,
+                awaiting_ack: sync,
+                xfer,
+                bytes: len as u64,
+                peer: dst,
+                tag,
+            },
+        );
+    }
+
+    /// Rendezvous send through the NIC tag matcher: registration is still
+    /// host work, but the RTS is matched in the receiving NIC, which pulls
+    /// the data itself and fires the FIN back — zero receiver-host
+    /// involvement. The sender-side request state and FIN handling are
+    /// shared with the classic direct-read path.
+    fn hw_send_rndv(&mut self, req_id: u64, dst: usize, tag: u64, data: &[u8]) {
+        let len = data.len();
+        let cached = self.cfg.use_reg_cache
+            && self
+                .send_reg_cache
+                .iter()
+                .any(|&(cached_len, _, busy)| cached_len == len && !busy);
+        if !cached {
+            self.reg_busy(self.net.reg_cost(len));
+        }
+        self.lib_busy(self.net.post_cost);
+        let xfer;
+        let region;
+        {
+            let mut w = self.world.lock();
+            region = Self::acquire_send_region(
+                &mut self.send_reg_cache,
+                &self.cfg,
+                self.rank,
+                &mut w,
+                len,
+                data,
+                cached,
+            );
+            xfer = w.alloc_xfer_id().0;
+            // FIN template the pulling NIC sends us on completion; it reuses
+            // the classic direct-read FIN so the sender-side handler is
+            // identical. Its `src` is the receiver (the pull initiator).
+            let fin = Packet::control(
+                dst,
+                self.net.ctrl_packet_bytes,
+                proto::PT_FIN_READ,
+                [req_id, xfer, len as u64, 0, 0, 0],
+            );
+            w.hw_send_rndv(
+                self.rank,
+                dst,
+                tag,
+                len,
+                region,
+                XferId(xfer),
+                proto::pack_user(wr_kind::IGNORE, 0),
+                fin,
+            );
         }
         self.rec.xfer_begin(xfer, len as u64);
         self.reqs.insert(
@@ -902,6 +1122,20 @@ impl<'a> Mpi<'a> {
                 pipe: None,
             },
         );
+        if self.cfg.progress == ProgressModel::HwTag {
+            // Post the receive descriptor into the NIC matching table; the
+            // host pays the post, the NIC does everything else. Matching
+            // results come back as `HW_RECV` completions.
+            self.lib_busy(self.net.post_cost);
+            let (s, t) = hw_selector(src, tag);
+            self.world.lock().hw_post_recv(
+                self.rank,
+                s,
+                t,
+                proto::pack_user(wr_kind::HW_RECV, req_id),
+            );
+            return Request(req_id);
+        }
         if let Some(pos) = self
             .unexpected
             .iter()
@@ -928,8 +1162,9 @@ impl<'a> Mpi<'a> {
                 xfer,
                 data,
                 ack_req,
+                copied,
             } => {
-                if xfer != NO_XFER {
+                if xfer != NO_XFER && !copied {
                     // Copy out of the library bounce buffer.
                     self.lib_busy(self.net.copy_cost(data.len()));
                 }
@@ -1236,6 +1471,37 @@ impl<'a> Mpi<'a> {
                 let (src, tag) = env.expect("read completion on unmatched recv");
                 self.complete_recv(req_id, src, tag, data);
             }
+            wr_kind::HW_RECV => {
+                // NIC-matched receive (hw-tag model): the data was placed
+                // directly in the application buffer, so the host pays no
+                // copy. The envelope and transfer id ride in the immediate
+                // words. End-only stamp: the host first observes the
+                // transfer at its completion — NIC matching is invisible.
+                let data = c.data.expect("hw recv completion without data");
+                let (src, tag, xfer) = (c.imm[0] as usize, c.imm[1], c.imm[2]);
+                if xfer != NO_XFER {
+                    self.rec.xfer_end(xfer, data.len() as u64);
+                    self.rec.note_contention(xfer, c.edge.contention_ns());
+                }
+                self.complete_recv(req_id, src, tag, data);
+            }
+            wr_kind::HW_MATCHED => {
+                // NIC match notification for a synchronous hw-tag send.
+                if let Some(Req::SendEager {
+                    done,
+                    detached,
+                    wire_done,
+                    awaiting_ack,
+                    ..
+                }) = self.reqs.get_mut(&req_id)
+                {
+                    *awaiting_ack = false;
+                    if *wire_done {
+                        *done = true;
+                        debug_assert!(!*detached, "synchronous sends are always waited");
+                    }
+                }
+            }
             other => panic!("unknown completion kind {other}"),
         }
     }
@@ -1295,6 +1561,7 @@ impl<'a> Mpi<'a> {
                     xfer,
                     data,
                     ack_req: (p.h[2] != 0).then_some(p.h[3]),
+                    copied: false,
                 }
             }
             proto::PT_BARRIER => Arrival::Eager {
@@ -1303,6 +1570,7 @@ impl<'a> Mpi<'a> {
                 xfer: NO_XFER,
                 data: p.data.unwrap_or_default(),
                 ack_req: None,
+                copied: false,
             },
             proto::PT_SSEND_ACK => {
                 let sender_req = p.h[0];
@@ -1411,6 +1679,7 @@ impl<'a> Mpi<'a> {
             other => panic!("unknown packet type {other}"),
         };
         // Match against posted receives, else queue as unexpected.
+        let mut arrival = arrival;
         let env = arrival.envelope();
         if let Some(pos) = self
             .posted
@@ -1420,6 +1689,22 @@ impl<'a> Mpi<'a> {
             let posted = self.posted.remove(pos);
             self.deliver(posted.req, arrival);
         } else {
+            if self.cfg.progress == ProgressModel::EarlyBird {
+                // Early-bird delivery: pay the bounce-buffer copy while
+                // processing the arrival, so the receive that eventually
+                // matches this message pays nothing and late-sender waits
+                // shrink by exactly the copy cost.
+                if let Arrival::Eager {
+                    xfer, data, copied, ..
+                } = &mut arrival
+                {
+                    if *xfer != NO_XFER {
+                        let d = self.net.copy_cost(data.len());
+                        *copied = true;
+                        self.lib_busy(d);
+                    }
+                }
+            }
             self.unexpected.push_back(arrival);
         }
     }
@@ -1825,4 +2110,17 @@ impl<'a> Mpi<'a> {
 
 fn envelope_matches(env: (usize, u64), src: Src, tag: TagSel) -> bool {
     src.matches(env.0) && tag.matches(env.1)
+}
+
+/// Translate a receive selector into the NIC matching table's wildcard form.
+fn hw_selector(src: Src, tag: TagSel) -> (Option<usize>, Option<u64>) {
+    let s = match src {
+        Src::Rank(r) => Some(r),
+        Src::Any => None,
+    };
+    let t = match tag {
+        TagSel::Is(v) => Some(v),
+        TagSel::Any => None,
+    };
+    (s, t)
 }

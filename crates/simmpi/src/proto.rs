@@ -58,6 +58,11 @@ pub mod wr_kind {
     pub const FRAG_WRITE: u64 = 2;
     /// Completion of a rendezvous RDMA Read (data attached).
     pub const RDMA_READ: u64 = 3;
+    /// Completion of a NIC-matched receive (hw-tag progress model): matched
+    /// payload attached, `(src, tag, xfer word)` in the immediate data.
+    pub const HW_RECV: u64 = 4;
+    /// NIC match notification for a synchronous hw-tag eager send.
+    pub const HW_MATCHED: u64 = 5;
 }
 
 /// Pack a completion correlation word: kind in the top byte, request id in
@@ -83,6 +88,8 @@ mod tests {
             wr_kind::EAGER_SEND,
             wr_kind::FRAG_WRITE,
             wr_kind::RDMA_READ,
+            wr_kind::HW_RECV,
+            wr_kind::HW_MATCHED,
         ] {
             let u = pack_user(kind, 123_456);
             assert_eq!(unpack_user(u), (kind, 123_456));

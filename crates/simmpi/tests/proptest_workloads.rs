@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 
 use overlap_core::RecorderOpts;
-use simmpi::{default_xfer_table, run_mpi, MpiConfig, RndvMode, Src, TagSel};
+use simmpi::{default_xfer_table, run_mpi, MpiConfig, ProgressModel, RndvMode, Src, TagSel};
 use simnet::NetConfig;
 
 /// One round of a generated two-rank program. Both ranks execute the same
@@ -55,6 +55,7 @@ fn arb_cfg() -> impl Strategy<Value = MpiConfig> {
                 reg_cache_entries: 8,
                 retrans_timeout: None,
                 max_retries: 16,
+                progress: ProgressModel::Polling,
             },
         )
 }

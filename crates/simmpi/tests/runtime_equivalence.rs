@@ -12,7 +12,7 @@
 use overlap_core::RecorderOpts;
 use proptest::prelude::*;
 use simcore::{OracleHandle, RandomOracle, RankRuntime, SimOpts};
-use simmpi::{default_xfer_table, run_mpi_explored, MpiConfig, Src, TagSel};
+use simmpi::{default_xfer_table, run_mpi_explored, MpiConfig, ProgressModel, Src, TagSel};
 use simnet::{FaultPlan, NetConfig};
 
 fn payload(rank: usize, round: usize, len: usize) -> Vec<u8> {
@@ -48,16 +48,30 @@ fn fingerprint(
     oracle_seed: Option<u64>,
     sizes: &[usize],
 ) -> String {
+    fingerprint_model(runtime, net, oracle_seed, sizes, ProgressModel::Polling)
+}
+
+fn fingerprint_model(
+    runtime: RankRuntime,
+    net: &NetConfig,
+    oracle_seed: Option<u64>,
+    sizes: &[usize],
+    model: ProgressModel,
+) -> String {
     let oracle = oracle_seed.map(|seed| OracleHandle::new(Box::new(RandomOracle::new(seed))));
     let opts = SimOpts {
         runtime,
         ..SimOpts::default()
     };
     let sizes: Vec<usize> = sizes.to_vec();
+    let cfg = MpiConfig {
+        progress: model,
+        ..MpiConfig::default()
+    };
     let out = run_mpi_explored(
         4,
         net.clone(),
-        MpiConfig::default(),
+        cfg,
         RecorderOpts::default(),
         default_xfer_table(net),
         opts,
@@ -116,5 +130,28 @@ proptest! {
         let a = fingerprint(RankRuntime::Coroutine, &net, Some(oracle_seed), &sizes);
         let b = fingerprint(RankRuntime::OsThreads, &net, Some(oracle_seed), &sizes);
         prop_assert_eq!(a, b);
+    }
+
+    /// Every progress model — including the async-rank fiber, whose
+    /// `ProgressWake` consultations appear in the oracle trace — must be
+    /// byte-identical between the two rank runtimes.
+    #[test]
+    fn runtimes_agree_under_each_progress_model(oracle_seed in any::<u64>()) {
+        let net = NetConfig::default();
+        let sizes = [64usize, 4096, 64 << 10];
+        for model in [
+            ProgressModel::Polling,
+            ProgressModel::AsyncRank {
+                poll_interval: ProgressModel::DEFAULT_POLL_INTERVAL,
+            },
+            ProgressModel::EarlyBird,
+            ProgressModel::HwTag,
+        ] {
+            let a = fingerprint_model(
+                RankRuntime::Coroutine, &net, Some(oracle_seed), &sizes, model);
+            let b = fingerprint_model(
+                RankRuntime::OsThreads, &net, Some(oracle_seed), &sizes, model);
+            prop_assert_eq!(a, b, "divergence under {}", model.label());
+        }
     }
 }

@@ -2,8 +2,10 @@
 
 use std::collections::VecDeque;
 
+use bytes::Bytes;
 use simcore::Time;
 
+use crate::memory::RegionId;
 use crate::packet::Packet;
 
 /// Identifier of a posted work request, returned by the `post_*` calls and
@@ -59,8 +61,67 @@ pub struct Completion {
     pub user: u64,
     /// For RDMA Read completions, the fetched bytes.
     pub data: Option<bytes::Bytes>,
+    /// Immediate data (InfiniBand-style): opaque words a remote NIC attached
+    /// to this completion. Used by the hardware tag-matching offload to
+    /// carry the matched message's `(src, tag, transfer id)`; all-zero for
+    /// host-initiated operations.
+    pub imm: [u64; 3],
     /// Where the operation's time went before this completion fired.
     pub edge: CausalEdge,
+}
+
+/// A receive descriptor posted into a NIC's hardware tag-matching table
+/// (`None` selector fields are wildcards).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HwPosted {
+    pub(crate) src: Option<usize>,
+    pub(crate) tag: Option<u64>,
+    /// Correlation word echoed in the matching completion.
+    pub(crate) user: u64,
+}
+
+/// An arrival parked in a NIC's hardware unexpected queue, awaiting a
+/// matching posted receive.
+#[derive(Debug)]
+pub(crate) enum HwUnexpected {
+    /// Eager payload held in the NIC's overflow buffer.
+    Eager {
+        src: usize,
+        tag: u64,
+        /// Opaque transfer-id word echoed in the completion's immediate data.
+        xfer: u64,
+        data: Bytes,
+        edge: CausalEdge,
+        /// Match-notification correlation word to complete back at the
+        /// sender once matched (synchronous sends).
+        ack: Option<u64>,
+    },
+    /// Rendezvous RTS: the pull starts when a receive matches.
+    Rndv {
+        src: usize,
+        tag: u64,
+        len: usize,
+        region: RegionId,
+        /// Fabric transfer id for the pull.
+        xfer: u64,
+        /// FIN notification delivered to the sender when the pull completes.
+        fin: Packet,
+    },
+}
+
+impl HwUnexpected {
+    pub(crate) fn envelope(&self) -> (usize, u64) {
+        match self {
+            HwUnexpected::Eager { src, tag, .. } | HwUnexpected::Rndv { src, tag, .. } => {
+                (*src, *tag)
+            }
+        }
+    }
+
+    pub(crate) fn matches(&self, src: Option<usize>, tag: Option<u64>) -> bool {
+        let (s, t) = self.envelope();
+        src.is_none_or(|v| v == s) && tag.is_none_or(|v| v == t)
+    }
 }
 
 /// NIC state for one node. All mutation happens inside the world lock; hosts
@@ -80,6 +141,12 @@ pub struct Nic {
     pub(crate) completions_generated: u64,
     /// Statistics: total packets delivered.
     pub(crate) packets_delivered: u64,
+    /// Hardware tag-matching table: posted receive descriptors, searched in
+    /// post order (MPI non-overtaking).
+    pub(crate) hw_posted: VecDeque<HwPosted>,
+    /// Hardware unexpected queue: arrivals with no matching descriptor,
+    /// searched in arrival order.
+    pub(crate) hw_unexpected: VecDeque<HwUnexpected>,
 }
 
 impl Nic {
@@ -106,6 +173,14 @@ impl Nic {
     /// True if the host would observe anything on a poll.
     pub fn has_host_events(&self) -> bool {
         !self.cq.is_empty() || !self.rx.is_empty()
+    }
+
+    /// First posted hardware receive descriptor matching `(src, tag)`, in
+    /// post order.
+    pub(crate) fn hw_match(&self, src: usize, tag: u64) -> Option<usize> {
+        self.hw_posted
+            .iter()
+            .position(|e| e.src.is_none_or(|s| s == src) && e.tag.is_none_or(|t| t == tag))
     }
 }
 

@@ -21,7 +21,7 @@ use crate::arena::Slab;
 use crate::config::NetConfig;
 use crate::fault::{FaultEvent, FaultKind, FaultRng};
 use crate::memory::{NodeMemory, RegionId};
-use crate::nic::{CausalEdge, Completion, Nic, WrId};
+use crate::nic::{CausalEdge, Completion, HwPosted, HwUnexpected, Nic, WrId};
 use crate::packet::Packet;
 use crate::topology::{Hop, Topology, TrafficPattern, LINK_DEDICATED};
 use crate::truth::{TransferKind, TransferRecord};
@@ -129,6 +129,7 @@ enum Pending {
         len: usize,
         wr: WrId,
         user: u64,
+        imm: [u64; 3],
         notify: Option<Packet>,
         xfer: Option<XferId>,
     },
@@ -139,9 +140,19 @@ enum Pending {
         target: usize,
         wr: WrId,
         user: u64,
+        imm: [u64; 3],
         snapshot: Bytes,
         notify: Option<Packet>,
         edge: CausalEdge,
+    },
+    /// NIC-side match notification (hw tag matching): a bare completion
+    /// delivered to `to`'s CQ one control latency after the matching NIC
+    /// (`from`) resolved a synchronous send.
+    HwAck {
+        from: usize,
+        to: usize,
+        wr: WrId,
+        user: u64,
     },
 }
 
@@ -216,6 +227,11 @@ pub struct World {
     faulty: bool,
     fault_rng: FaultRng,
     fault_events: Vec<FaultEvent>,
+    /// FIN templates for in-flight hw rendezvous RTS packets, keyed by the
+    /// meta id the RTS carries (the template cannot ride in the packet's
+    /// fixed header words).
+    hw_fin_meta: std::collections::HashMap<u64, Packet>,
+    next_hw_meta: u64,
 }
 
 impl World {
@@ -247,6 +263,8 @@ impl World {
             faulty,
             fault_rng,
             fault_events: Vec::new(),
+            hw_fin_meta: std::collections::HashMap::new(),
+            next_hw_meta: 0,
         }));
         // Weak capture: a strong one would cycle (World holds the engine
         // handle, the engine holds the handler).
@@ -276,12 +294,19 @@ impl World {
                 edge,
             } => {
                 packet.edge = edge;
-                w.nics[dst].rx.push_back(packet);
-                w.nics[dst].packets_delivered += 1;
+                if packet.ty >= crate::packet::hw::TY_BASE {
+                    // NIC-offload traffic: consumed by the receiving NIC's
+                    // matching engine, never surfaced to the host rx queue.
+                    w.hw_deliver(dst, packet);
+                } else {
+                    w.nics[dst].rx.push_back(packet);
+                    w.nics[dst].packets_delivered += 1;
+                }
                 w.nics[src].cq.push_back(Completion {
                     wr_id: wr,
                     user,
                     data: None,
+                    imm: [0; 3],
                     edge,
                 });
                 w.nics[src].completions_generated += 1;
@@ -299,6 +324,7 @@ impl World {
                     wr_id: wr,
                     user,
                     data: None,
+                    imm: [0; 3],
                     edge,
                 });
                 w.nics[src].completions_generated += 1;
@@ -330,6 +356,7 @@ impl World {
                     wr_id: wr,
                     user,
                     data: None,
+                    imm: [0; 3],
                     edge,
                 });
                 w.nics[src].completions_generated += 1;
@@ -369,6 +396,7 @@ impl World {
                     wr_id: wr,
                     user,
                     data: None,
+                    imm: [0; 3],
                     edge,
                 });
                 w.nics[src].completions_generated += 1;
@@ -423,6 +451,7 @@ impl World {
                     wr_id: wr,
                     user,
                     data: Some(Bytes::copy_from_slice(&old.to_le_bytes())),
+                    imm: [0; 3],
                     edge,
                 });
                 w.nics[initiator].completions_generated += 1;
@@ -437,6 +466,7 @@ impl World {
                 len,
                 wr,
                 user,
+                imm,
                 notify,
                 xfer,
             } => {
@@ -478,6 +508,7 @@ impl World {
                         target,
                         wr,
                         user,
+                        imm,
                         snapshot,
                         notify,
                         edge,
@@ -489,6 +520,7 @@ impl World {
                 target,
                 wr,
                 user,
+                imm,
                 snapshot,
                 notify,
                 edge,
@@ -497,6 +529,7 @@ impl World {
                     wr_id: wr,
                     user,
                     data: Some(snapshot),
+                    imm,
                     edge,
                 });
                 w.nics[initiator].completions_generated += 1;
@@ -513,6 +546,23 @@ impl World {
                 if wake_target {
                     h.wake_rank(target);
                 }
+            }
+            Pending::HwAck {
+                from: _,
+                to,
+                wr,
+                user,
+            } => {
+                w.nics[to].cq.push_back(Completion {
+                    wr_id: wr,
+                    user,
+                    data: None,
+                    imm: [0; 3],
+                    edge: CausalEdge::default(),
+                });
+                w.nics[to].completions_generated += 1;
+                drop(w);
+                h.wake_rank(to);
             }
         }
     }
@@ -775,6 +825,7 @@ impl World {
             Pending::ReadReply {
                 initiator, target, ..
             } => (*target, *initiator),
+            Pending::HwAck { from, to, .. } => (*from, *to),
         }
     }
 
@@ -1175,6 +1226,35 @@ impl World {
         notify_target: Option<Packet>,
         xfer: Option<XferId>,
     ) -> WrId {
+        self.rdma_read_imm(
+            initiator,
+            target,
+            region,
+            off,
+            len,
+            user,
+            [0; 3],
+            notify_target,
+            xfer,
+        )
+    }
+
+    /// [`World::post_rdma_read`] with immediate data attached to the
+    /// eventual completion (used by the hw tag-matching pull, whose
+    /// completion must carry the matched envelope).
+    #[allow(clippy::too_many_arguments)]
+    fn rdma_read_imm(
+        &mut self,
+        initiator: usize,
+        target: usize,
+        region: RegionId,
+        off: usize,
+        len: usize,
+        user: u64,
+        imm: [u64; 3],
+        notify_target: Option<Packet>,
+        xfer: Option<XferId>,
+    ) -> WrId {
         let wr = self.alloc_wr();
         let now = self.now();
         let request_at = now + self.latency(initiator, target);
@@ -1188,11 +1268,256 @@ impl World {
                 len,
                 wr,
                 user,
+                imm,
                 notify: notify_target,
                 xfer,
             },
         );
         wr
+    }
+
+    // ---- hardware tag matching (hw-tag progress model) -------------------
+
+    /// Post an eager send resolved by the *receiving NIC's* tag matcher: the
+    /// payload travels like any two-sided send (DMA, fabric, optional
+    /// ground-truth record under `xfer`), but at arrival the NIC matches it
+    /// against [`World::hw_post_recv`] descriptors and completes the matched
+    /// receive directly — the destination host never sees a packet. The
+    /// local wire completion carries `wire_user`. When `ack_user` is given
+    /// (synchronous sends), the matching NIC schedules a bare completion
+    /// with that word back to this node one control latency after the match.
+    ///
+    /// Offload traffic rides the fabric's reliable transport: it is exempt
+    /// from fault injection, like reliability-layer control traffic.
+    #[allow(clippy::too_many_arguments)]
+    pub fn hw_send(
+        &mut self,
+        src: usize,
+        dst: usize,
+        tag: u64,
+        data: Bytes,
+        wire_bytes: usize,
+        xfer_word: u64,
+        wire_user: u64,
+        ack_user: Option<u64>,
+        xfer: Option<XferId>,
+    ) -> WrId {
+        let pkt = Packet::with_data(
+            src,
+            wire_bytes,
+            crate::packet::hw::EAGER,
+            [
+                tag,
+                xfer_word,
+                ack_user.is_some() as u64,
+                ack_user.unwrap_or(0),
+                0,
+                0,
+            ],
+            data,
+        )
+        .protect();
+        self.post_send(src, dst, pkt, wire_user, xfer)
+    }
+
+    /// Post a rendezvous send resolved by the receiving NIC: an RTS control
+    /// packet advertises `(tag, len, region)`; when the remote NIC matches
+    /// it, the NIC itself pulls the region with an RDMA Read (recorded as
+    /// transfer `xfer`) and delivers `fin` back to this node after the pull
+    /// — zero involvement from either host past the post. The matched
+    /// receive completes with the pulled bytes and `(src, tag, xfer)`
+    /// immediate data.
+    #[allow(clippy::too_many_arguments)]
+    pub fn hw_send_rndv(
+        &mut self,
+        src: usize,
+        dst: usize,
+        tag: u64,
+        len: usize,
+        region: RegionId,
+        xfer: XferId,
+        rts_user: u64,
+        fin: Packet,
+    ) -> WrId {
+        let meta = self.next_hw_meta;
+        self.next_hw_meta += 1;
+        self.hw_fin_meta.insert(meta, fin);
+        let pkt = Packet::control(
+            src,
+            self.cfg.ctrl_packet_bytes,
+            crate::packet::hw::RTS,
+            [tag, len as u64, region.0, xfer.0, meta, 0],
+        )
+        .protect();
+        self.post_send(src, dst, pkt, rts_user, None)
+    }
+
+    /// Post a receive descriptor into `node`'s NIC matching table (`None`
+    /// selectors are wildcards). If a parked unexpected arrival already
+    /// matches, the NIC resolves it immediately: eager payloads complete
+    /// right away, rendezvous RTSs start their pull. The eventual completion
+    /// echoes `user` and carries `(src, tag, xfer word)` immediate data.
+    pub fn hw_post_recv(&mut self, node: usize, src: Option<usize>, tag: Option<u64>, user: u64) {
+        let pos = self.nics[node]
+            .hw_unexpected
+            .iter()
+            .position(|u| u.matches(src, tag));
+        let Some(pos) = pos else {
+            self.nics[node]
+                .hw_posted
+                .push_back(HwPosted { src, tag, user });
+            return;
+        };
+        match self.nics[node].hw_unexpected.remove(pos).unwrap() {
+            HwUnexpected::Eager {
+                src: s,
+                tag: t,
+                xfer,
+                data,
+                edge,
+                ack,
+            } => {
+                self.hw_complete_recv(node, user, data, edge, [s as u64, t, xfer]);
+                if let Some(u) = ack {
+                    self.hw_schedule_ack(node, s, u);
+                }
+            }
+            HwUnexpected::Rndv {
+                src: s,
+                tag: t,
+                len,
+                region,
+                xfer,
+                fin,
+            } => {
+                self.hw_start_pull(node, s, region, len, xfer, t, user, fin);
+            }
+        }
+    }
+
+    /// Envelope of the first arrival in `node`'s NIC unexpected queue
+    /// matching the selectors, if any (the hw analogue of scanning the
+    /// host-side unexpected queue for `MPI_Probe`).
+    pub fn hw_probe(
+        &self,
+        node: usize,
+        src: Option<usize>,
+        tag: Option<u64>,
+    ) -> Option<(usize, u64)> {
+        self.nics[node]
+            .hw_unexpected
+            .iter()
+            .find(|u| u.matches(src, tag))
+            .map(|u| u.envelope())
+    }
+
+    /// NIC-side resolution of an offload packet at delivery time.
+    fn hw_deliver(&mut self, dst: usize, packet: Packet) {
+        let src = packet.src;
+        let edge = packet.edge;
+        self.nics[dst].packets_delivered += 1;
+        match packet.ty {
+            t if t == crate::packet::hw::EAGER => {
+                let tag = packet.h[0];
+                let xfer_word = packet.h[1];
+                let ack = (packet.h[2] != 0).then_some(packet.h[3]);
+                let data = packet.data.unwrap_or_default();
+                if let Some(pos) = self.nics[dst].hw_match(src, tag) {
+                    let e = self.nics[dst].hw_posted.remove(pos).unwrap();
+                    self.hw_complete_recv(dst, e.user, data, edge, [src as u64, tag, xfer_word]);
+                    if let Some(u) = ack {
+                        self.hw_schedule_ack(dst, src, u);
+                    }
+                } else {
+                    self.nics[dst].hw_unexpected.push_back(HwUnexpected::Eager {
+                        src,
+                        tag,
+                        xfer: xfer_word,
+                        data,
+                        edge,
+                        ack,
+                    });
+                }
+            }
+            t if t == crate::packet::hw::RTS => {
+                let tag = packet.h[0];
+                let len = packet.h[1] as usize;
+                let region = RegionId(packet.h[2]);
+                let xfer = packet.h[3];
+                let fin = self
+                    .hw_fin_meta
+                    .remove(&packet.h[4])
+                    .expect("hw RTS without FIN template");
+                if let Some(pos) = self.nics[dst].hw_match(src, tag) {
+                    let e = self.nics[dst].hw_posted.remove(pos).unwrap();
+                    self.hw_start_pull(dst, src, region, len, xfer, tag, e.user, fin);
+                } else {
+                    self.nics[dst].hw_unexpected.push_back(HwUnexpected::Rndv {
+                        src,
+                        tag,
+                        len,
+                        region,
+                        xfer,
+                        fin,
+                    });
+                }
+            }
+            other => panic!("unknown hw packet type {other}"),
+        }
+    }
+
+    /// Push a matched-receive completion into `node`'s CQ.
+    fn hw_complete_recv(
+        &mut self,
+        node: usize,
+        user: u64,
+        data: Bytes,
+        edge: CausalEdge,
+        imm: [u64; 3],
+    ) {
+        let wr = self.alloc_wr();
+        self.nics[node].cq.push_back(Completion {
+            wr_id: wr,
+            user,
+            data: Some(data),
+            imm,
+            edge,
+        });
+        self.nics[node].completions_generated += 1;
+    }
+
+    /// Schedule the synchronous-send match notification from the matching
+    /// NIC (`from`) back to the sender (`to`).
+    fn hw_schedule_ack(&mut self, from: usize, to: usize, user: u64) {
+        let wr = self.alloc_wr();
+        let at = self.now() + self.latency(from, to);
+        self.schedule_pending(at, Pending::HwAck { from, to, wr, user });
+    }
+
+    /// Start the NIC-initiated rendezvous pull for a matched RTS.
+    #[allow(clippy::too_many_arguments)]
+    fn hw_start_pull(
+        &mut self,
+        dst: usize,
+        src: usize,
+        region: RegionId,
+        len: usize,
+        xfer: u64,
+        tag: u64,
+        user: u64,
+        fin: Packet,
+    ) {
+        self.rdma_read_imm(
+            dst,
+            src,
+            region,
+            0,
+            len,
+            user,
+            [src as u64, tag, xfer],
+            Some(fin),
+            Some(XferId(xfer)),
+        );
     }
 
     /// Drain one completion from `node`'s CQ, if any. The *host cost* of the
