@@ -12,6 +12,9 @@
 //! repro --bench-json BENCH.json  # also write the perf-trajectory record
 //! repro --topology fat-tree:k=8 fig03  # re-run under another fabric
 //! repro --progress async-rank fig03    # re-run under another progress model
+//! repro serve --addr 127.0.0.1:7077    # run the streaming analysis service
+//! repro push out/fig03.events.jsonl --to 127.0.0.1:7077  # upload a stream
+//! repro fig03 --stream 127.0.0.1:7077  # tee captured traces to the service
 //! repro list                     # list available harnesses
 //! ```
 //!
@@ -67,10 +70,14 @@ static ALLOC: bench::alloc::CountingAlloc = bench::alloc::CountingAlloc;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
-    // `repro explore ...` is a subcommand with its own flags; dispatch
-    // before harness-selection parsing sees them.
-    if args.first().map(String::as_str) == Some("explore") {
-        std::process::exit(bench::explore::cli_main(&args[1..]));
+    // `repro explore ...`, `repro serve ...` and `repro push ...` are
+    // subcommands with their own flags; dispatch before harness-selection
+    // parsing sees them.
+    match args.first().map(String::as_str) {
+        Some("explore") => std::process::exit(bench::explore::cli_main(&args[1..])),
+        Some("serve") => std::process::exit(bench::serve::serve_main(&args[1..])),
+        Some("push") => std::process::exit(bench::serve::push_main(&args[1..])),
+        _ => {}
     }
 
     let figures = bench::figures::all();
@@ -106,6 +113,10 @@ fn main() {
 
     if cli.trace.is_some() || cli.critical_path.is_some() {
         bench::tracecap::enable();
+    }
+
+    if let Some(addr) = &cli.stream {
+        bench::tracecap::set_stream(addr.clone());
     }
 
     // Refuse to clobber a bench record written under a different schema

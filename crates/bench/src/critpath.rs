@@ -13,215 +13,59 @@
 //!   the per-transfer cause records and the instrumentation self-overhead
 //!   meter.
 //!
+//! The artifact *types* and construction live in
+//! [`overlap_core::artifact`], shared with the streaming server
+//! (`overlapd`) so batch and stream emit byte-identical files; this module
+//! re-exports them and adapts captured [`TraceBundle`]s into the shared
+//! builders.
+//!
 //! Everything here is a pure function of the captured traces (virtual time
 //! only), so all artifacts are byte-identical across runs and `--jobs`
 //! values. Host wall-clock — the one nondeterministic quantity — is
 //! reported by the CLI on stderr only.
 
-use overlap_core::attribution::{self, WaitCause};
+use overlap_core::artifact::{self, RankArtifactInput};
+use overlap_core::attribution;
 use overlap_core::trace::TraceBundle;
 
-/// Total attributed nanoseconds for one cause (stable label from
-/// [`WaitCause::label`]).
-#[derive(Debug, Clone, serde::Serialize)]
-pub struct CauseTotal {
-    /// Cause label (e.g. `"late_sender"`).
-    pub cause: String,
-    /// Attributed nanoseconds.
-    pub ns: u64,
-}
-
-/// One rank's wait-state summary within a scope.
-#[derive(Debug, Clone, serde::Serialize)]
-pub struct RankWaitStates {
-    /// Rank index.
-    pub rank: usize,
-    /// Blocking intervals the library classified.
-    pub wait_intervals: usize,
-    /// Σ provably-non-overlapped transfer time, ns (`xfer_time −
-    /// max_overlap` over all transfers).
-    pub nonoverlap_ns: u64,
-    /// Per-cause attributed totals in canonical cause order, zero causes
-    /// omitted. Sums to `nonoverlap_ns`.
-    pub causes: Vec<CauseTotal>,
-}
-
-/// Per-rank wait-state breakdown of one traced scope, as merged into the
-/// `--json` run report.
-#[derive(Debug, Clone, serde::Serialize)]
-pub struct ScopeWaitStates {
-    /// Scope label (`"<harness>/<point>"`).
-    pub scope: String,
-    /// Per-rank summaries, rank order.
-    pub ranks: Vec<RankWaitStates>,
-}
-
-/// One cause slice of a transfer's breakdown (serialized form).
-#[derive(Debug, Clone, serde::Serialize)]
-pub struct SliceJson {
-    /// Cause label.
-    pub cause: String,
-    /// Attributed nanoseconds.
-    pub ns: u64,
-}
-
-/// One per-transfer cause record (serialized form of
-/// [`overlap_core::attribution::CauseRecord`]).
-#[derive(Debug, Clone, serde::Serialize)]
-pub struct TransferJson {
-    /// Transfer id, if the instrumentation saw one.
-    pub id: Option<u64>,
-    /// Payload bytes.
-    pub bytes: u64,
-    /// A-priori wire time, ns.
-    pub xfer_time: u64,
-    /// Upper overlap bound, ns.
-    pub max_overlap: u64,
-    /// Non-overlapped time the breakdown explains, ns.
-    pub nonoverlap: u64,
-    /// Fault-disturbed transfer.
-    pub flagged: bool,
-    /// Cause breakdown; sums to `nonoverlap` exactly.
-    pub breakdown: Vec<SliceJson>,
-}
-
-/// One rank's full attribution inside the artifact file.
-#[derive(Debug, Clone, serde::Serialize)]
-pub struct RankAttributionJson {
-    /// Rank index.
-    pub rank: usize,
-    /// Blocking intervals the library classified.
-    pub wait_intervals: usize,
-    /// Per-transfer records, close order.
-    pub transfers: Vec<TransferJson>,
-}
-
-/// One scope's section of the artifact file.
-#[derive(Debug, Clone, serde::Serialize)]
-pub struct ScopeAttributionJson {
-    /// Scope label.
-    pub scope: String,
-    /// Per-rank attributions.
-    pub ranks: Vec<RankAttributionJson>,
-}
-
-/// Instrumentation self-overhead meter: what the observability layer itself
-/// cost, in deterministic units (counts and virtual-time nanoseconds — host
-/// wall-clock goes to stderr, not into artifacts).
-#[derive(Debug, Clone, Default, serde::Serialize)]
-pub struct OverheadMeter {
-    /// Traced scopes folded.
-    pub scopes: usize,
-    /// Rank traces folded.
-    pub ranks: usize,
-    /// Raw instrumentation events captured.
-    pub events: u64,
-    /// Per-transfer bound records derived.
-    pub bound_records: u64,
-    /// Wait intervals classified and recorded.
-    pub wait_intervals: u64,
-    /// Σ attributed non-overlap across all transfers, ns.
-    pub attributed_ns: u64,
-}
-
-/// The `<id>.attribution.json` artifact: per-scope, per-rank, per-transfer
-/// cause records plus the self-overhead meter.
-#[derive(Debug, Clone, serde::Serialize)]
-pub struct AttributionArtifact {
-    /// Harness id the artifact covers.
-    pub id: String,
-    /// Per-scope attributions, scope order.
-    pub scopes: Vec<ScopeAttributionJson>,
-    /// What the instrumentation itself cost.
-    pub overhead: OverheadMeter,
-}
+pub use overlap_core::artifact::{
+    AttributionArtifact, CauseTotal, OverheadMeter, RankAttributionJson, RankWaitStates,
+    ScopeAttributionJson, ScopeWaitStates, SliceJson, TransferJson,
+};
 
 /// Summarize one scope's bundle into the per-rank wait-state breakdown for
 /// the `--json` report.
 pub fn wait_states(scope: &str, bundle: &TraceBundle) -> ScopeWaitStates {
-    let ranks = bundle
-        .ranks
-        .iter()
-        .map(|tr| {
-            let attr = attribution::attribute(tr);
-            let causes = WaitCause::ALL
-                .iter()
-                .filter_map(|c| {
-                    attr.totals.get(c.label()).map(|&ns| CauseTotal {
-                        cause: c.label().to_string(),
-                        ns,
-                    })
-                })
-                .collect();
-            RankWaitStates {
-                rank: tr.rank,
-                wait_intervals: attr.wait_intervals,
-                nonoverlap_ns: attr.total_nonoverlap(),
-                causes,
-            }
-        })
-        .collect();
     ScopeWaitStates {
         scope: scope.to_string(),
-        ranks,
+        ranks: bundle
+            .ranks
+            .iter()
+            .map(|tr| artifact::rank_wait_states(&attribution::attribute(tr)))
+            .collect(),
     }
 }
 
 /// Build the attribution artifact for one harness from its scope bundles
 /// (scope order), accumulating the self-overhead meter as it goes.
 pub fn attribution_artifact(id: &str, scoped: &[(String, &TraceBundle)]) -> AttributionArtifact {
-    let mut overhead = OverheadMeter::default();
-    let scopes = scoped
+    let inputs: Vec<(String, Vec<RankArtifactInput>)> = scoped
         .iter()
         .map(|(scope, bundle)| {
-            overhead.scopes += 1;
-            let ranks = bundle
-                .ranks
-                .iter()
-                .map(|tr| {
-                    overhead.ranks += 1;
-                    overhead.events += tr.events.len() as u64;
-                    overhead.bound_records += tr.bounds.len() as u64;
-                    overhead.wait_intervals += tr.waits.len() as u64;
-                    let attr = attribution::attribute(tr);
-                    overhead.attributed_ns += attr.total_nonoverlap();
-                    RankAttributionJson {
-                        rank: tr.rank,
-                        wait_intervals: attr.wait_intervals,
-                        transfers: attr
-                            .records
-                            .iter()
-                            .map(|r| TransferJson {
-                                id: r.id,
-                                bytes: r.bytes,
-                                xfer_time: r.xfer_time,
-                                max_overlap: r.max_overlap,
-                                nonoverlap: r.nonoverlap,
-                                flagged: r.flagged,
-                                breakdown: r
-                                    .breakdown
-                                    .iter()
-                                    .map(|s| SliceJson {
-                                        cause: s.cause.label().to_string(),
-                                        ns: s.ns,
-                                    })
-                                    .collect(),
-                            })
-                            .collect(),
-                    }
-                })
-                .collect();
-            ScopeAttributionJson {
-                scope: scope.clone(),
-                ranks,
-            }
+            (
+                scope.clone(),
+                bundle
+                    .ranks
+                    .iter()
+                    .map(|tr| RankArtifactInput {
+                        events: tr.events.len() as u64,
+                        attribution: attribution::attribute(tr),
+                    })
+                    .collect(),
+            )
         })
         .collect();
-    AttributionArtifact {
-        id: id.to_string(),
-        scopes,
-        overhead,
-    }
+    artifact::attribution_artifact(id, &inputs)
 }
 
 /// Collapsed-stack (flamegraph) text for one harness: each scope's dominant

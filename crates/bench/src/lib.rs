@@ -19,6 +19,7 @@ pub mod figures;
 pub mod micro;
 pub mod progress;
 pub mod runner;
+pub mod serve;
 pub mod topo;
 pub mod tracecap;
 

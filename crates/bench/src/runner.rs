@@ -287,6 +287,10 @@ pub struct Cli {
     /// `async-rank[:interval=<ns>]`, `early-bird`, `hw-tag`); applied
     /// process-wide via [`crate::progress::set`] before any harness runs.
     pub progress: Option<simmpi::ProgressModel>,
+    /// Tee captured traces to a running `overlapd` analysis service
+    /// (`--stream <host:port>`); also arms trace capture. Push failures are
+    /// warnings, never fatal.
+    pub stream: Option<String>,
     /// `list` was requested.
     pub list: bool,
     /// The selected harnesses, in canonical order (figures, then ablations).
@@ -311,6 +315,7 @@ pub fn parse_cli(
     let mut bench_json: Option<std::path::PathBuf> = None;
     let mut topology: Option<simnet::TopologySpec> = None;
     let mut progress: Option<simmpi::ProgressModel> = None;
+    let mut stream: Option<String> = None;
     let mut list = false;
     let mut want_figures = false;
     let mut want_ablations = false;
@@ -374,6 +379,12 @@ pub fn parse_cli(
                     .ok_or_else(|| "--progress requires a model".to_string())?;
                 progress = Some(simmpi::ProgressModel::parse(v)?);
             }
+            "--stream" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--stream requires a host:port address".to_string())?;
+                stream = Some(v.clone());
+            }
             a if a.starts_with("--jobs=") => {
                 jobs = Some(parse_jobs(&a["--jobs=".len()..])?);
             }
@@ -394,6 +405,9 @@ pub fn parse_cli(
             }
             a if a.starts_with("--progress=") => {
                 progress = Some(simmpi::ProgressModel::parse(&a["--progress=".len()..])?);
+            }
+            a if a.starts_with("--stream=") => {
+                stream = Some(a["--stream=".len()..].to_string());
             }
             a if a.starts_with('-') => return Err(format!("unknown flag {a:?}")),
             a => ids.push(a),
@@ -430,6 +444,7 @@ pub fn parse_cli(
         bench_json,
         topology,
         progress,
+        stream,
         list,
         selection,
     })

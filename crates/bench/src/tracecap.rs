@@ -23,6 +23,7 @@ use simnet::FaultEvent;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static STORE: Mutex<BTreeMap<String, TraceBundle>> = Mutex::new(BTreeMap::new());
+static STREAM_TO: Mutex<Option<String>> = Mutex::new(None);
 
 /// Arm trace capture for the rest of the process. Call once, before running
 /// harnesses.
@@ -33,6 +34,15 @@ pub fn enable() {
 /// Whether capture is armed.
 pub fn enabled() -> bool {
     ENABLED.load(Ordering::SeqCst)
+}
+
+/// Additionally tee every captured bundle to a running `overlapd` at `addr`
+/// (the `repro --stream <addr>` flow). Implies capture; call once, before
+/// running harnesses. Push failures are warnings, never fatal — live
+/// streaming must not break a batch run.
+pub fn set_stream(addr: impl Into<String>) {
+    *STREAM_TO.lock().unwrap() = Some(addr.into());
+    enable();
 }
 
 /// Recorder options for an instrumented harness run: the defaults, with
@@ -65,6 +75,18 @@ pub fn record(scope: impl Into<String>, traces: Vec<RankTrace>, faults: &[FaultE
         ranks: traces,
         extras,
     };
+    let stream_to = STREAM_TO.lock().unwrap().clone();
+    if let Some(addr) = stream_to {
+        // Tee this bundle to the analysis service as it lands: session =
+        // harness id (the scope prefix), so all of a harness's scopes stream
+        // into one live session. Each chunk re-states the schema header,
+        // which the server accepts.
+        let session = scope.split('/').next().unwrap_or(&scope);
+        let chunk = overlap_core::trace::jsonl(std::slice::from_ref(&bundle));
+        if let Err(e) = overlapd::push_text(&addr, session, &chunk) {
+            eprintln!("warning: cannot stream scope {scope:?} to {addr}: {e}");
+        }
+    }
     STORE.lock().unwrap().insert(scope, bundle);
 }
 

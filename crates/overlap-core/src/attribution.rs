@@ -42,7 +42,7 @@ use std::collections::BTreeMap;
 use crate::bins::SizeBins;
 use crate::event::EventKind;
 use crate::metrics::{Histogram, MetricsRegistry};
-use crate::trace::{RankTrace, TraceBundle};
+use crate::trace::{BoundRecord, RankTrace, TraceBundle};
 
 /// Why a rank was not overlapping a transfer at some moment.
 ///
@@ -105,6 +105,11 @@ impl WaitCause {
         WaitCause::TableExcess,
     ];
 
+    /// Inverse of [`WaitCause::label`] (used by the streaming JSONL reader).
+    pub fn from_label(s: &str) -> Option<WaitCause> {
+        WaitCause::ALL.iter().copied().find(|c| c.label() == s)
+    }
+
     /// Stable lowercase label (export/metric naming).
     pub fn label(self) -> &'static str {
         match self {
@@ -134,8 +139,8 @@ impl WaitCause {
 
 /// One classified blocking (or registration) interval, recorded by the
 /// instrumented library while a time-resolved trace is being captured.
-/// Rides on [`RankTrace::waits`]; never serialized by the pinned
-/// Chrome-trace / JSONL exports.
+/// Rides on [`RankTrace::waits`]; serialized by the JSONL export as `"wait"`
+/// lines (the Chrome-trace export does not render them).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WaitInterval {
     /// Interval start, virtual ns.
@@ -201,13 +206,15 @@ impl RankAttribution {
 
 /// Top-level call spans `[start, end)` with the call name, replayed from the
 /// raw event stream. An unbalanced trailing `CALL_ENTER` closes at the last
-/// event's stamp.
-fn call_spans(trace: &RankTrace) -> Vec<(u64, u64, &'static str)> {
+/// event's stamp. This is the span view [`attribute`] and [`collapsed_stack`]
+/// consume; the streaming server maintains the same spans incrementally and
+/// feeds them to [`attribute_parts`] / [`collapsed_weights`].
+pub fn call_spans_of(events: &[crate::event::Event]) -> Vec<(u64, u64, &'static str)> {
     let mut spans = Vec::new();
     let mut depth = 0usize;
     let mut open: Option<(u64, &'static str)> = None;
     let mut last_t = 0u64;
-    for e in &trace.events {
+    for e in events {
         last_t = last_t.max(e.t);
         match e.kind {
             EventKind::CallEnter { name } => {
@@ -239,13 +246,15 @@ fn call_spans(trace: &RankTrace) -> Vec<(u64, u64, &'static str)> {
 /// boundaries, labelled with the wait's cause and the transfer the wait was
 /// pinned on (gaps between waits are [`WaitCause::LibraryOverhead`] with no
 /// transfer). Returned in time order.
-fn call_atoms(trace: &RankTrace) -> Vec<(u64, u64, WaitCause, Option<u64>)> {
-    let spans = call_spans(trace);
-    let mut waits: Vec<&WaitInterval> = trace.waits.iter().filter(|w| w.end > w.start).collect();
+fn call_atoms(
+    spans: &[(u64, u64, &'static str)],
+    all_waits: &[WaitInterval],
+) -> Vec<(u64, u64, WaitCause, Option<u64>)> {
+    let mut waits: Vec<&WaitInterval> = all_waits.iter().filter(|w| w.end > w.start).collect();
     waits.sort_by_key(|w| (w.start, w.end));
     let mut atoms = Vec::new();
     let mut wi = 0usize;
-    for (s, e, _) in spans {
+    for &(s, e, _) in spans {
         let mut cursor = s;
         // Skip waits that ended before this span.
         while wi < waits.len() && waits[wi].end <= s {
@@ -276,10 +285,29 @@ fn call_atoms(trace: &RankTrace) -> Vec<(u64, u64, WaitCause, Option<u64>)> {
 /// [`CauseRecord`]s. See the module docs for the algorithm and the exact
 /// reconciliation invariant.
 pub fn attribute(trace: &RankTrace) -> RankAttribution {
-    let atoms = call_atoms(trace);
-    let mut records = Vec::with_capacity(trace.bounds.len());
+    attribute_parts(
+        trace.rank,
+        &call_spans_of(&trace.events),
+        &trace.waits,
+        &trace.bounds,
+    )
+}
+
+/// [`attribute`] on pre-extracted parts: the rank's top-level call spans
+/// (see [`call_spans_of`]), its recorded wait intervals, and its bound
+/// records. The streaming server calls this with incrementally-maintained
+/// parts; byte-identical output to the batch path is by construction — both
+/// run this exact fold.
+pub fn attribute_parts(
+    rank: usize,
+    spans: &[(u64, u64, &'static str)],
+    waits: &[WaitInterval],
+    bounds: &[BoundRecord],
+) -> RankAttribution {
+    let atoms = call_atoms(spans, waits);
+    let mut records = Vec::with_capacity(bounds.len());
     let mut totals: BTreeMap<&'static str, u64> = BTreeMap::new();
-    for b in &trace.bounds {
+    for b in bounds {
         let nonoverlap = b.xfer_time.saturating_sub(b.max);
         let mut by_cause = [0u64; WaitCause::ALL.len()];
         if nonoverlap > 0 {
@@ -335,10 +363,10 @@ pub fn attribute(trace: &RankTrace) -> RankAttribution {
         });
     }
     RankAttribution {
-        rank: trace.rank,
+        rank,
         records,
         totals,
-        wait_intervals: trace.waits.len(),
+        wait_intervals: waits.len(),
     }
 }
 
@@ -372,29 +400,48 @@ pub fn fold_metrics(attr: &RankAttribution, bins: &SizeBins, reg: &mut MetricsRe
 pub fn collapsed_stack(bundle: &TraceBundle) -> String {
     let mut weights: BTreeMap<String, u64> = BTreeMap::new();
     for tr in &bundle.ranks {
-        let spans = call_spans(tr);
-        for w in &tr.waits {
-            if w.end <= w.start {
-                continue;
-            }
-            let call = spans
-                .iter()
-                .find(|&&(s, e, _)| s <= w.start && w.start < e)
-                .map(|&(_, _, name)| name)
-                .unwrap_or("(outside-call)");
-            let key = format!(
-                "{};rank {};{};{}",
-                bundle.scope,
-                tr.rank,
-                call,
-                w.cause.label()
-            );
-            *weights.entry(key).or_insert(0) += w.end - w.start;
-        }
+        collapsed_weights(
+            &bundle.scope,
+            tr.rank,
+            &call_spans_of(&tr.events),
+            &tr.waits,
+            &mut weights,
+        );
     }
+    render_collapsed(&weights)
+}
+
+/// Accumulate one rank's collapsed-stack weights (see [`collapsed_stack`])
+/// into `weights`, keyed `scope;rank N;<call>;<cause>`. The streaming server
+/// calls this per rank with incrementally-maintained spans/waits and renders
+/// the scope's map with [`render_collapsed`].
+pub fn collapsed_weights(
+    scope: &str,
+    rank: usize,
+    spans: &[(u64, u64, &'static str)],
+    waits: &[WaitInterval],
+    weights: &mut BTreeMap<String, u64>,
+) {
+    for w in waits {
+        if w.end <= w.start {
+            continue;
+        }
+        let call = spans
+            .iter()
+            .find(|&&(s, e, _)| s <= w.start && w.start < e)
+            .map(|&(_, _, name)| name)
+            .unwrap_or("(outside-call)");
+        let key = format!("{};rank {};{};{}", scope, rank, call, w.cause.label());
+        *weights.entry(key).or_insert(0) += w.end - w.start;
+    }
+}
+
+/// Render accumulated collapsed-stack weights as `key weight\n` lines in map
+/// (lexical) order — the flamegraph-collapsed text format.
+pub fn render_collapsed(weights: &BTreeMap<String, u64>) -> String {
     let mut out = String::new();
     for (k, v) in weights {
-        out.push_str(&k);
+        out.push_str(k);
         out.push(' ');
         out.push_str(&v.to_string());
         out.push('\n');

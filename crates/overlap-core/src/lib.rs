@@ -53,7 +53,13 @@
 //! * [`attribution`] — wait-state attribution: folds library-classified
 //!   blocking intervals ([`attribution::WaitInterval`]) into per-transfer
 //!   cause breakdowns that reconcile exactly with the overlap bounds, plus
-//!   flamegraph-collapsed critical-path export.
+//!   flamegraph-collapsed critical-path export,
+//! * [`stream`] — streaming ingest: folds an exported JSONL event stream
+//!   back into batch-identical aggregates with bounded memory
+//!   ([`stream::SessionFold`]); the substrate of the `overlapd` analysis
+//!   service,
+//! * [`artifact`] — the serialized attribution-artifact shapes shared by
+//!   the batch CLI and `overlapd`, so both emit byte-identical files.
 //!
 //! See `docs/ARCHITECTURE.md` for how these layers fit together and
 //! `docs/BOUNDS.md` for the bound algorithm itself.
@@ -83,6 +89,7 @@
 //! ```
 
 pub mod advice;
+pub mod artifact;
 pub mod attribution;
 pub mod bins;
 pub mod bounds;
@@ -95,6 +102,7 @@ pub mod processor;
 pub mod queue;
 pub mod recorder;
 pub mod report;
+pub mod stream;
 pub mod trace;
 pub mod xfer_table;
 
@@ -112,5 +120,6 @@ pub use observer::{EventObserver, TraceSink};
 pub use queue::{EventRing, RingFull};
 pub use recorder::{Recorder, RecorderOpts};
 pub use report::{CallStats, ClusterSummary, OverlapReport, OverlapStats, SectionReport};
+pub use stream::{FoldOpts, RankSummary, ScopeReport, ScopeSeries, SessionFold, StreamError};
 pub use trace::{BoundRecord, ExtraEvent, RankTrace, TraceBundle, WindowRow};
 pub use xfer_table::XferTimeTable;

@@ -22,6 +22,12 @@
 //!
 //! All output is a pure function of the captured traces: byte-identical
 //! across runs and across worker counts.
+//!
+//! Both exports are stamped with [`SCHEMA_VERSION`]: the JSONL stream opens
+//! with a `{"ev":"header","schema_version":N}` line and the Chrome-trace
+//! object carries a top-level `schemaVersion` member, so stream consumers
+//! (notably the `overlapd` ingest reader, [`crate::stream`]) can refuse
+//! files written by an incompatible exporter instead of misfolding them.
 
 use std::fmt::Write as _;
 
@@ -29,6 +35,12 @@ use serde::Serialize;
 
 use crate::bounds::XferCase;
 use crate::event::{Event, EventKind};
+
+/// Version of the pinned trace-export schemas (JSONL lines and Chrome-trace
+/// metadata). Bumped whenever a line shape changes incompatibly; the
+/// streaming reader ([`crate::stream`]) rejects mismatches with a one-line
+/// error.
+pub const SCHEMA_VERSION: u32 = 1;
 
 /// One derived record per closed transfer: the inputs and outputs of the
 /// bound computation, time-stamped so offline tools can re-derive or audit
@@ -70,9 +82,9 @@ pub struct RankTrace {
     /// One record per closed transfer.
     pub bounds: Vec<BoundRecord>,
     /// Classified blocking intervals recorded by the instrumented library
-    /// (see [`crate::attribution`]). Carried out-of-band: the Chrome-trace
-    /// and JSONL exports do not serialize these, so their output is
-    /// unchanged whether or not the library recorded any.
+    /// (see [`crate::attribution`]). Serialized by [`jsonl`] as `"wait"`
+    /// lines (so streaming consumers can reproduce the attribution exactly);
+    /// the Chrome-trace export does not render them.
     pub waits: Vec<crate::attribution::WaitInterval>,
 }
 
@@ -155,6 +167,16 @@ pub fn case_label(c: XferCase) -> &'static str {
     }
 }
 
+/// Inverse of [`case_label`] (used by the streaming JSONL reader).
+pub fn case_from_label(s: &str) -> Option<XferCase> {
+    match s {
+        "same_call" => Some(XferCase::SameCall),
+        "split_calls" => Some(XferCase::SplitCalls),
+        "single_stamp" => Some(XferCase::SingleStamp),
+        _ => None,
+    }
+}
+
 /// Escape a string for embedding in a JSON string literal.
 fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -190,7 +212,9 @@ fn ts_us(t: u64) -> String {
 /// `XFER_FLAG`s. Fabric extras land on one additional `fabric` thread per
 /// process.
 pub fn chrome_json(bundles: &[TraceBundle]) -> String {
-    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+    let mut out = format!(
+        "{{\"displayTimeUnit\":\"ns\",\"schemaVersion\":{SCHEMA_VERSION},\"traceEvents\":[\n"
+    );
     let mut first = true;
     let mut push = |out: &mut String, line: String| {
         if !std::mem::replace(&mut first, false) {
@@ -338,12 +362,18 @@ pub fn chrome_json(bundles: &[TraceBundle]) -> String {
 
 /// Serialize bundles as JSON lines: one self-describing object per record.
 ///
-/// Lines are grouped (per scope: each rank's raw events in time order, then
-/// its bound records, then the fabric extras), not globally time-sorted;
-/// every line carries `scope`, and rank lines carry `rank`, so offline tools
-/// can regroup freely.
+/// The first line is always `{"ev":"header","schema_version":N}` (see
+/// [`SCHEMA_VERSION`]). After it, lines are grouped (per scope: each rank's
+/// raw events in time order, then its bound records, then its wait
+/// intervals, then the fabric extras), not globally time-sorted; every
+/// record line carries `scope`, and rank lines carry `rank`, so offline
+/// tools can regroup freely.
 pub fn jsonl(bundles: &[TraceBundle]) -> String {
     let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"{{"ev":"header","schema_version":{SCHEMA_VERSION}}}"#
+    );
     for b in bundles {
         let scope = esc(&b.scope);
         for r in &b.ranks {
@@ -394,6 +424,20 @@ pub fn jsonl(bundles: &[TraceBundle]) -> String {
                     bd.clamped
                 );
             }
+            for w in &r.waits {
+                let xfer = w
+                    .xfer
+                    .map(|i| i.to_string())
+                    .unwrap_or_else(|| "null".to_string());
+                let _ = writeln!(
+                    out,
+                    r#"{{"scope":"{scope}","rank":{},"t":{},"ev":"wait","end":{},"cause":"{}","xfer":{xfer}}}"#,
+                    r.rank,
+                    w.start,
+                    w.end,
+                    w.cause.label()
+                );
+            }
         }
         for x in &b.extras {
             let _ = writeln!(
@@ -433,15 +477,64 @@ pub struct WindowRow {
     pub faults: u64,
 }
 
-/// Fold a bundle into fixed-width virtual-time windows. Returns an empty
-/// vector for an empty bundle; `width` is clamped to at least 1 ns.
-///
-/// Transfers are attributed to the window containing their close time;
-/// in-call (`wait`) time is split exactly across window boundaries.
-pub fn windowed(bundle: &TraceBundle, width: u64) -> Vec<WindowRow> {
-    let Some((t0, t1)) = bundle.span() else {
-        return Vec::new();
-    };
+/// One rank's inputs to [`windowed_parts`]: bound records, top-level in-call
+/// spans (a trailing open call already closed at the bundle span's end), and
+/// `XFER_FLAG` timestamps. The streaming server derives these incrementally;
+/// [`windowed`] derives them from a captured [`RankTrace`] — both feed the
+/// same fold, which is what makes the two series byte-identical.
+pub struct RankWindowParts<'a> {
+    /// Bound records of the rank's closed transfers.
+    pub bounds: &'a [BoundRecord],
+    /// Top-level call spans `[start, end)`.
+    pub call_spans: &'a [(u64, u64)],
+    /// Timestamps of `XFER_FLAG` events.
+    pub flags: &'a [u64],
+}
+
+/// Owned form of one rank's window inputs: `(call_spans, flag_stamps)`.
+pub(crate) type SpansAndFlags = (Vec<(u64, u64)>, Vec<u64>);
+
+/// Extract one rank's [`RankWindowParts`] span/flag vectors from its raw
+/// event stream; `t1` closes a trailing open call (the bundle span's end).
+pub(crate) fn rank_window_spans(events: &[Event], t1: u64) -> SpansAndFlags {
+    let mut spans = Vec::new();
+    let mut flags = Vec::new();
+    let mut depth = 0u32;
+    let mut span_start = 0u64;
+    for e in events {
+        match e.kind {
+            EventKind::CallEnter { .. } => {
+                if depth == 0 {
+                    span_start = e.t;
+                }
+                depth += 1;
+            }
+            EventKind::CallExit if depth > 0 => {
+                depth -= 1;
+                if depth == 0 {
+                    spans.push((span_start, e.t));
+                }
+            }
+            EventKind::XferFlag { .. } => flags.push(e.t),
+            _ => {}
+        }
+    }
+    if depth > 0 {
+        spans.push((span_start, t1));
+    }
+    (spans, flags)
+}
+
+/// Fold pre-extracted per-rank parts into fixed-width virtual-time windows
+/// covering `[t0, t1]`. `width` is clamped to at least 1 ns; `extras` are
+/// fabric-extra timestamps. This is the shared core of [`windowed`] and the
+/// streaming server's live series.
+pub fn windowed_parts(
+    (t0, t1): (u64, u64),
+    ranks: &[RankWindowParts<'_>],
+    extras: &[u64],
+    width: u64,
+) -> Vec<WindowRow> {
     let width = width.max(1);
     let span = t1.saturating_sub(t0);
     let n = (span / width + 1) as usize;
@@ -454,51 +547,62 @@ pub fn windowed(bundle: &TraceBundle, width: u64) -> Vec<WindowRow> {
         .collect();
     rows[n - 1].end = rows[n - 1].end.max(t1 + 1);
     let idx = |t: u64| (((t.saturating_sub(t0)) / width) as usize).min(n - 1);
-    for r in &bundle.ranks {
-        for b in &r.bounds {
+    let credit = |from: u64, to: u64, rows: &mut Vec<WindowRow>| {
+        let mut cur = from;
+        while cur < to {
+            let i = idx(cur);
+            let stop = rows[i].end.min(to);
+            rows[i].wait_ns += stop - cur;
+            cur = stop;
+        }
+    };
+    for r in ranks {
+        for b in r.bounds {
             let w = &mut rows[idx(b.end_t)];
             w.transfers += 1;
             w.min_overlap_ns += b.min;
             w.max_overlap_ns += b.max;
         }
         // In-call time: split each top-level call span across windows.
-        let mut depth = 0u32;
-        let mut span_start = 0u64;
-        let credit = |from: u64, to: u64, rows: &mut Vec<WindowRow>| {
-            let mut cur = from;
-            while cur < to {
-                let i = idx(cur);
-                let stop = rows[i].end.min(to);
-                rows[i].wait_ns += stop - cur;
-                cur = stop;
-            }
-        };
-        for e in &r.events {
-            match e.kind {
-                EventKind::CallEnter { .. } => {
-                    if depth == 0 {
-                        span_start = e.t;
-                    }
-                    depth += 1;
-                }
-                EventKind::CallExit if depth > 0 => {
-                    depth -= 1;
-                    if depth == 0 {
-                        credit(span_start, e.t, &mut rows);
-                    }
-                }
-                EventKind::XferFlag { .. } => rows[idx(e.t)].flags += 1,
-                _ => {}
-            }
+        for &(s, e) in r.call_spans {
+            credit(s, e, &mut rows);
         }
-        if depth > 0 {
-            credit(span_start, t1, &mut rows);
+        for &t in r.flags {
+            rows[idx(t)].flags += 1;
         }
     }
-    for x in &bundle.extras {
-        rows[idx(x.t)].faults += 1;
+    for &t in extras {
+        rows[idx(t)].faults += 1;
     }
     rows
+}
+
+/// Fold a bundle into fixed-width virtual-time windows. Returns an empty
+/// vector for an empty bundle; `width` is clamped to at least 1 ns.
+///
+/// Transfers are attributed to the window containing their close time;
+/// in-call (`wait`) time is split exactly across window boundaries.
+pub fn windowed(bundle: &TraceBundle, width: u64) -> Vec<WindowRow> {
+    let Some((t0, t1)) = bundle.span() else {
+        return Vec::new();
+    };
+    let parts: Vec<SpansAndFlags> = bundle
+        .ranks
+        .iter()
+        .map(|r| rank_window_spans(&r.events, t1))
+        .collect();
+    let ranks: Vec<RankWindowParts<'_>> = bundle
+        .ranks
+        .iter()
+        .zip(&parts)
+        .map(|(r, (spans, flags))| RankWindowParts {
+            bounds: &r.bounds,
+            call_spans: spans,
+            flags,
+        })
+        .collect();
+    let extras: Vec<u64> = bundle.extras.iter().map(|x| x.t).collect();
+    windowed_parts((t0, t1), &ranks, &extras, width)
 }
 
 /// A reasonable default window width for a bundle: 1/16th of the covered
@@ -544,7 +648,12 @@ mod tests {
                     flagged: true,
                     clamped: false,
                 }],
-                waits: vec![],
+                waits: vec![crate::attribution::WaitInterval {
+                    start: 1_000,
+                    end: 1_500,
+                    cause: crate::attribution::WaitCause::LateSender,
+                    xfer: Some(1),
+                }],
             }],
             extras: vec![ExtraEvent {
                 t: 1_100,
@@ -559,6 +668,7 @@ mod tests {
         let text = chrome_json(&[sample_bundle()]);
         let v: serde_json::Value = serde_json::from_str(&text).expect("chrome trace parses");
         assert_eq!(v["displayTimeUnit"], "ns");
+        assert_eq!(v["schemaVersion"].as_u64(), Some(SCHEMA_VERSION as u64));
         let evs = v["traceEvents"].as_array().unwrap();
         // Metadata (process + 2 threads + fabric), 2 B + 2 E, 1 flag instant,
         // 1 X span, 1 fault instant.
@@ -597,9 +707,15 @@ mod tests {
     fn jsonl_every_line_parses() {
         let text = jsonl(&[sample_bundle()]);
         let lines: Vec<&str> = text.lines().collect();
-        // 7 raw events + 1 bound record + 1 extra.
-        assert_eq!(lines.len(), 9);
-        for l in &lines {
+        // Header + 7 raw events + 1 bound record + 1 wait + 1 extra.
+        assert_eq!(lines.len(), 11);
+        let header: serde_json::Value = serde_json::from_str(lines[0]).expect("header parses");
+        assert_eq!(header["ev"], "header");
+        assert_eq!(
+            header["schema_version"].as_u64(),
+            Some(SCHEMA_VERSION as u64)
+        );
+        for l in &lines[1..] {
             let v: serde_json::Value = serde_json::from_str(l).expect("jsonl line parses");
             assert_eq!(v["scope"], "test/one");
             assert!(v["t"].is_u64());
@@ -613,6 +729,17 @@ mod tests {
         .unwrap();
         assert_eq!(bound["begin_t"].as_u64(), Some(5));
         assert_eq!(bound["flagged"].as_bool(), Some(true));
+        let wait: serde_json::Value = serde_json::from_str(
+            lines
+                .iter()
+                .find(|l| l.contains(r#""ev":"wait""#))
+                .expect("wait line present"),
+        )
+        .unwrap();
+        assert_eq!(wait["t"].as_u64(), Some(1_000));
+        assert_eq!(wait["end"].as_u64(), Some(1_500));
+        assert_eq!(wait["cause"], "late_sender");
+        assert_eq!(wait["xfer"].as_u64(), Some(1));
     }
 
     #[test]

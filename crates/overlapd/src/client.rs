@@ -1,0 +1,86 @@
+//! The client half of the framed ingest protocol (`repro push`,
+//! `--stream`).
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::Path;
+
+/// Target frame size; lines are never split across frames, so actual frames
+/// may exceed this by one line's length (still far below the server's
+/// limit).
+const FRAME_TARGET: usize = 60 << 10;
+
+/// Why a push failed.
+#[derive(Debug)]
+pub enum PushError {
+    /// Transport failure (connect, write, or read).
+    Io(io::Error),
+    /// The server refused the stream (schema mismatch, malformed line, ...):
+    /// the one-line reason it replied with.
+    Refused(String),
+}
+
+impl fmt::Display for PushError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PushError::Io(e) => write!(f, "transport error: {e}"),
+            PushError::Refused(msg) => write!(f, "server refused stream: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PushError {}
+
+impl From<io::Error> for PushError {
+    fn from(e: io::Error) -> Self {
+        PushError::Io(e)
+    }
+}
+
+/// Push a block of JSONL text to `addr` under `session`. Returns the event
+/// count the server acknowledged.
+pub fn push_text(addr: &str, session: &str, text: &str) -> Result<u64, PushError> {
+    let stream = TcpStream::connect(addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    writer.write_all(format!("OVLP1 {session}\n").as_bytes())?;
+
+    let mut frame = String::with_capacity(FRAME_TARGET + 1024);
+    for line in text.lines() {
+        frame.push_str(line);
+        frame.push('\n');
+        if frame.len() >= FRAME_TARGET {
+            write_frame(&mut writer, frame.as_bytes())?;
+            frame.clear();
+        }
+    }
+    if !frame.is_empty() {
+        write_frame(&mut writer, frame.as_bytes())?;
+    }
+    write_frame(&mut writer, b"")?; // zero frame: end of stream
+    writer.flush()?;
+
+    let mut reply = String::new();
+    reader.read_line(&mut reply)?;
+    let reply = reply.trim_end();
+    if let Some(rest) = reply.strip_prefix("ok events=") {
+        rest.parse::<u64>()
+            .map_err(|_| PushError::Refused(format!("unparseable reply {reply:?}")))
+    } else if let Some(msg) = reply.strip_prefix("err ") {
+        Err(PushError::Refused(msg.to_string()))
+    } else {
+        Err(PushError::Refused(format!("unexpected reply {reply:?}")))
+    }
+}
+
+/// Push a `.events.jsonl` file to `addr` under `session`.
+pub fn push_file(addr: &str, session: &str, path: &Path) -> Result<u64, PushError> {
+    let text = std::fs::read_to_string(path)?;
+    push_text(addr, session, &text)
+}
+
+fn write_frame<W: Write>(w: &mut W, bytes: &[u8]) -> io::Result<()> {
+    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    w.write_all(bytes)
+}

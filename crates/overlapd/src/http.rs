@@ -1,0 +1,201 @@
+//! Minimal HTTP/1.1 read side for the service endpoints.
+//!
+//! Deliberately tiny: request line + headers, bodies via `Content-Length`
+//! or `Transfer-Encoding: chunked` (the two upload shapes `repro push
+//! --http` and `curl -T` produce), one response per connection
+//! (`Connection: close`). No dependency beyond the standard library.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, Write};
+
+/// Largest accepted request body (a full `.events.jsonl` upload), bytes.
+pub const MAX_BODY: usize = 256 << 20;
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, uppercased (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path component, query string stripped.
+    pub path: String,
+    /// Decoded query parameters (`k=v`, no percent-decoding — the API uses
+    /// plain tokens only).
+    pub query: BTreeMap<String, String>,
+    /// Request body (empty unless `Content-Length`/chunked said otherwise).
+    pub body: Vec<u8>,
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Read one request off the stream. `Ok(None)` means the peer closed before
+/// sending a request line.
+pub fn read_request<R: BufRead>(r: &mut R) -> io::Result<Option<Request>> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| bad("empty request line"))?
+        .to_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| bad("request line lacks target"))?;
+    let (path, query_s) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q),
+        None => (target.to_string(), ""),
+    };
+    let mut query = BTreeMap::new();
+    for pair in query_s.split('&').filter(|s| !s.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        query.insert(k.to_string(), v.to_string());
+    }
+
+    let mut content_length: Option<usize> = None;
+    let mut chunked = false;
+    loop {
+        let mut h = String::new();
+        if r.read_line(&mut h)? == 0 {
+            return Err(bad("connection closed mid-headers"));
+        }
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = h.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim();
+            match name.as_str() {
+                "content-length" => {
+                    content_length = Some(value.parse().map_err(|_| bad("bad Content-Length"))?);
+                }
+                "transfer-encoding" => {
+                    chunked = value.to_ascii_lowercase().contains("chunked");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let body = if chunked {
+        read_chunked(r)?
+    } else if let Some(n) = content_length {
+        if n > MAX_BODY {
+            return Err(bad("request body exceeds limit"));
+        }
+        let mut body = vec![0u8; n];
+        r.read_exact(&mut body)?;
+        body
+    } else {
+        Vec::new()
+    };
+
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        body,
+    }))
+}
+
+fn read_chunked<R: BufRead>(r: &mut R) -> io::Result<Vec<u8>> {
+    let mut body = Vec::new();
+    loop {
+        let mut size_line = String::new();
+        if r.read_line(&mut size_line)? == 0 {
+            return Err(bad("connection closed mid-chunk"));
+        }
+        let size_tok = size_line.trim().split(';').next().unwrap_or("").to_string();
+        let size = usize::from_str_radix(&size_tok, 16).map_err(|_| bad("bad chunk size line"))?;
+        if body.len() + size > MAX_BODY {
+            return Err(bad("request body exceeds limit"));
+        }
+        if size == 0 {
+            // Trailer section: read lines until the blank terminator.
+            loop {
+                let mut t = String::new();
+                if r.read_line(&mut t)? == 0 || t.trim_end().is_empty() {
+                    break;
+                }
+            }
+            return Ok(body);
+        }
+        let start = body.len();
+        body.resize(start + size, 0);
+        r.read_exact(&mut body[start..])?;
+        let mut crlf = [0u8; 2];
+        r.read_exact(&mut crlf)?;
+    }
+}
+
+/// Write one response and flush. `content_type` of `None` means
+/// `application/json`.
+pub fn respond<W: Write>(
+    w: &mut W,
+    status: u16,
+    content_type: Option<&str>,
+    body: &[u8],
+) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    };
+    write!(
+        w,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        content_type.unwrap_or("application/json"),
+        body.len(),
+    )?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parses_get_with_query() {
+        let raw = b"GET /v1/sessions/s/series?window_ns=500 HTTP/1.1\r\nHost: x\r\n\r\n";
+        let req = read_request(&mut BufReader::new(&raw[..]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/sessions/s/series");
+        assert_eq!(req.query.get("window_ns").map(String::as_str), Some("500"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_content_length_body() {
+        let raw = b"POST /v1/sessions/s HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let req = read_request(&mut BufReader::new(&raw[..]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn parses_chunked_body() {
+        let raw = b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n";
+        let req = read_request(&mut BufReader::new(&raw[..]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body, b"hello world");
+    }
+
+    #[test]
+    fn closed_before_request_is_none() {
+        let raw = b"";
+        assert!(read_request(&mut BufReader::new(&raw[..]))
+            .unwrap()
+            .is_none());
+    }
+}

@@ -1,0 +1,270 @@
+//! End-to-end service tests over real loopback sockets: framed pushes,
+//! HTTP uploads, live endpoints, artifact byte-equivalence, refusal paths,
+//! and graceful shutdown.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use overlap_core::attribution::{WaitCause, WaitInterval};
+use overlap_core::bounds::XferCase;
+use overlap_core::stream::SessionFold;
+use overlap_core::trace::{jsonl, BoundRecord, ExtraEvent, RankTrace, TraceBundle};
+use overlap_core::{Event, EventKind};
+use overlapd::{push_text, PushError, Server, Service};
+
+fn ev(t: u64, kind: EventKind) -> Event {
+    Event::new(t, kind)
+}
+
+/// A deterministic little two-rank trace with transfers, waits and a fault.
+fn bundle(scope: &str, shift: u64) -> TraceBundle {
+    let rank = |r: usize| RankTrace {
+        rank: r,
+        events: vec![
+            ev(shift, EventKind::CallEnter { name: "MPI_Isend" }),
+            ev(
+                shift + 5,
+                EventKind::XferBegin {
+                    id: r as u64 + 1,
+                    bytes: 2048,
+                },
+            ),
+            ev(shift + 10, EventKind::CallExit),
+            ev(shift + 900, EventKind::CallEnter { name: "MPI_Wait" }),
+            ev(
+                shift + 1_400,
+                EventKind::XferEnd {
+                    id: r as u64 + 1,
+                    bytes: 2048,
+                },
+            ),
+            ev(shift + 1_410, EventKind::CallExit),
+        ],
+        bounds: vec![BoundRecord {
+            id: Some(r as u64 + 1),
+            bytes: 2048,
+            begin_t: Some(shift + 5),
+            end_t: shift + 1_400,
+            xfer_time: 300,
+            min: 0,
+            max: 300,
+            case: XferCase::SplitCalls,
+            flagged: false,
+            clamped: false,
+        }],
+        waits: vec![WaitInterval {
+            start: shift + 900,
+            end: shift + 1_400,
+            cause: WaitCause::LateSender,
+            xfer: Some(r as u64 + 1),
+        }],
+    };
+    TraceBundle {
+        scope: scope.to_string(),
+        ranks: vec![rank(0), rank(1)],
+        extras: vec![ExtraEvent {
+            t: shift + 700,
+            name: "fault.dropped".to_string(),
+            detail: "synthetic".to_string(),
+        }],
+    }
+}
+
+fn start_server() -> (
+    String,
+    overlapd::server::ServerHandle,
+    std::thread::JoinHandle<()>,
+) {
+    let service = Arc::new(Service::default());
+    let server = Server::bind("127.0.0.1:0", service).expect("bind loopback");
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.handle().unwrap();
+    let join = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle, join)
+}
+
+/// Tiny HTTP client: one request, returns (status, body bytes).
+fn http(addr: &str, method: &str, path: &str, body: &[u8]) -> (u16, Vec<u8>) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    s.write_all(head.as_bytes()).unwrap();
+    s.write_all(body).unwrap();
+    let mut raw = Vec::new();
+    s.read_to_end(&mut raw).unwrap();
+    let text = String::from_utf8_lossy(&raw);
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let sep = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("header/body separator");
+    (status, raw[sep + 4..].to_vec())
+}
+
+#[test]
+fn concurrent_pushes_then_live_endpoints_match_local_fold() {
+    let (addr, handle, join) = start_server();
+
+    let alpha = jsonl(&[bundle("alpha/p0", 0), bundle("alpha/p1", 10_000)]);
+    let beta = jsonl(&[bundle("beta/p0", 5_000)]);
+
+    // Two sessions pushed concurrently from separate client threads.
+    let (a2, b2) = (alpha.clone(), beta.clone());
+    let (aa, ab) = (addr.clone(), addr.clone());
+    let ta = std::thread::spawn(move || push_text(&aa, "alpha", &a2).expect("alpha push"));
+    let tb = std::thread::spawn(move || push_text(&ab, "beta", &b2).expect("beta push"));
+    let pushed_a = ta.join().unwrap();
+    let pushed_b = tb.join().unwrap();
+    assert_eq!(pushed_a, 24); // 2 scopes x 2 ranks x 6 events
+    assert_eq!(pushed_b, 12);
+
+    // Local reference folds of the same streams.
+    let mut ref_a = SessionFold::default();
+    ref_a.push_text(&alpha).unwrap();
+    let mut ref_b = SessionFold::default();
+    ref_b.push_text(&beta).unwrap();
+
+    let (st, body) = http(&addr, "GET", "/healthz", b"");
+    assert_eq!((st, body.as_slice()), (200, &b"ok\n"[..]));
+
+    let (st, body) = http(&addr, "GET", "/v1/sessions/alpha/report", b"");
+    assert_eq!(st, 200);
+    assert_eq!(
+        body,
+        serde_json::to_string(&ref_a.report()).unwrap().into_bytes()
+    );
+
+    let (st, body) = http(&addr, "GET", "/v1/sessions/alpha/series?window_ns=500", b"");
+    assert_eq!(st, 200);
+    assert_eq!(
+        body,
+        serde_json::to_string(&ref_a.series(Some(500)))
+            .unwrap()
+            .into_bytes()
+    );
+
+    // Artifact endpoints serve the exact batch file bytes.
+    let (st, body) = http(&addr, "GET", "/v1/sessions/beta/attribution.json", b"");
+    assert_eq!(st, 200);
+    assert_eq!(
+        body,
+        serde_json::to_string_pretty(&ref_b.attribution("beta"))
+            .unwrap()
+            .into_bytes()
+    );
+    let (st, body) = http(&addr, "GET", "/v1/sessions/beta/critpath.folded", b"");
+    assert_eq!(st, 200);
+    assert_eq!(body, ref_b.collapsed().into_bytes());
+
+    // Fleet = both sessions merged.
+    let (st, body) = http(&addr, "GET", "/v1/fleet", b"");
+    assert_eq!(st, 200);
+    let fleet: serde_json::Value =
+        serde_json::from_str(std::str::from_utf8(&body).unwrap()).expect("fleet json");
+    assert_eq!(fleet.field("scopes").as_u64(), Some(3));
+    assert_eq!(fleet.field("ranks").as_u64(), Some(6));
+    assert_eq!(fleet.field("events").as_u64(), Some(36));
+    let mut total = overlap_core::OverlapStats::default();
+    for f in [&mut ref_a, &mut ref_b] {
+        for scope in f.report() {
+            for r in &scope.ranks {
+                total.merge(&r.total);
+            }
+        }
+    }
+    assert_eq!(fleet.field("total"), &serde_json::to_value(&total));
+
+    let (st, _) = http(&addr, "GET", "/v1/sessions/nope/report", b"");
+    assert_eq!(st, 404);
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn http_upload_equals_framed_push() {
+    let (addr, handle, join) = start_server();
+    let text = jsonl(&[bundle("up/p0", 0)]);
+
+    push_text(&addr, "framed", &text).expect("framed push");
+    let (st, body) = http(&addr, "POST", "/v1/sessions/posted", text.as_bytes());
+    assert_eq!(st, 200);
+    assert!(String::from_utf8_lossy(&body).starts_with("ok events=12"));
+
+    let (_, framed) = http(&addr, "GET", "/v1/sessions/framed/report", b"");
+    let (_, posted) = http(&addr, "GET", "/v1/sessions/posted/report", b"");
+    // Same stream, either transport: identical scope contents.
+    let f: serde_json::Value = serde_json::from_str(std::str::from_utf8(&framed).unwrap()).unwrap();
+    let p: serde_json::Value = serde_json::from_str(std::str::from_utf8(&posted).unwrap()).unwrap();
+    assert_eq!(f, p);
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn refusals_are_one_line_and_leave_no_session_state() {
+    let (addr, handle, join) = start_server();
+
+    // Missing header.
+    let err = push_text(
+        &addr,
+        "s1",
+        r#"{"scope":"x","rank":0,"t":0,"ev":"call_exit"}"#,
+    )
+    .unwrap_err();
+    match err {
+        PushError::Refused(msg) => {
+            assert!(msg.contains("missing schema header"), "got: {msg}");
+            assert!(!msg.contains('\n'));
+        }
+        other => panic!("expected refusal, got {other}"),
+    }
+
+    // Version mismatch.
+    let err = push_text(&addr, "s2", "{\"ev\":\"header\",\"schema_version\":999}\n").unwrap_err();
+    match err {
+        PushError::Refused(msg) => assert!(msg.contains("schema_version mismatch"), "got: {msg}"),
+        other => panic!("expected refusal, got {other}"),
+    }
+
+    // A refused stream folds nothing: the session reports no events.
+    let (st, body) = http(&addr, "GET", "/v1/sessions", b"");
+    assert_eq!(st, 200);
+    let sessions: serde_json::Value =
+        serde_json::from_str(std::str::from_utf8(&body).unwrap()).unwrap();
+    for s in sessions.as_array().unwrap() {
+        assert_eq!(s.field("events").as_u64(), Some(0));
+    }
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn shutdown_endpoint_stops_the_server() {
+    let (addr, _handle, join) = start_server();
+    let (st, body) = http(&addr, "POST", "/v1/shutdown", b"");
+    assert_eq!(st, 200);
+    assert_eq!(body, b"shutting down\n");
+    join.join().unwrap();
+    // Connections after shutdown fail (accept loop gone).
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    assert!(
+        TcpStream::connect(&addr).is_err() || {
+            // The OS may briefly accept into the backlog; a request must fail.
+            let mut s = TcpStream::connect(&addr).unwrap();
+            s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+            let mut buf = Vec::new();
+            s.read_to_end(&mut buf).unwrap_or(0) == 0
+        }
+    );
+}

@@ -9,7 +9,9 @@
 //!   and one NAS-kernel figure (`fig14`) rendered-series snapshot,
 //! * FNV-1a-64 checksums + byte lengths of fig03's exported trace files
 //!   (`fig03.trace.fnv` — the raw exports are several MB, so the golden
-//!   stores digests),
+//!   stores digests; re-blessed when the export schema intentionally
+//!   changes, most recently for the `schema_version` header and the
+//!   wait/fault lines that ride the JSONL stream),
 //! * job-count invariance: the concatenated `--jobs 4` output equals the
 //!   serial goldens.
 //!
